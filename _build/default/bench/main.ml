@@ -1,0 +1,583 @@
+(* zkflow benchmark harness.
+
+   Regenerates every evaluation artifact of the paper:
+     fig4      — Figure 4: aggregation / query proof-generation latency
+                 vs. number of NetFlow records, plus the constant-time
+                 verification the text reports.
+     table1    — Table 1: proof / journal / receipt sizes vs. records.
+     tamper    — §5/§6 tampering experiment: modified data ⇒ no proof.
+     ablations — §7 discussions: proof parallelization, specialized
+                 proof systems (STARK vs zkVM hashing), the TEE
+                 baseline, and sketch-based logging.
+     micro     — substrate microbenchmarks (bechamel).
+
+   Usage: dune exec bench/main.exe [-- fig4|table1|tamper|ablations|micro|all]
+   Set ZKFLOW_BENCH_QUICK=1 to cap the sweep at 500 records. *)
+
+module D = Zkflow_hash.Digest32
+module Gen = Zkflow_netflow.Gen
+module Export = Zkflow_netflow.Export
+module Flowkey = Zkflow_netflow.Flowkey
+module Receipt = Zkflow_zkproof.Receipt
+open Zkflow_core
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let quick () = Sys.getenv_opt "ZKFLOW_BENCH_QUICK" = Some "1"
+
+let sizes () =
+  if quick () then [ 50; 100; 500 ] else [ 50; 100; 500; 1000; 2000; 3000 ]
+
+let routers = 4
+
+(* ------------------------------------------------------------------ *)
+(* Shared sweep: one aggregation + one query round per input size.
+   Produces both Figure 4 (latencies) and Table 1 (sizes).            *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_row = {
+  n : int;
+  agg_cycles : int;
+  agg_exec_s : float;
+  agg_prove_s : float;
+  agg_verify_s : float;
+  q_cycles : int;
+  q_exec_s : float;
+  q_prove_s : float;
+  q_verify_s : float;
+  proof_bytes : int;       (* wrapped seal: constant *)
+  journal_bytes : int;
+  receipt_bytes : int;
+}
+
+let sweep_cache : (int, sweep_row) Hashtbl.t = Hashtbl.create 8
+
+let run_size n =
+  match Hashtbl.find_opt sweep_cache n with
+  | Some row -> row
+  | None ->
+    (* Level the heap between sizes so one size's garbage doesn't bill
+       the next size's timings. *)
+    Gc.compact ();
+    let rng = Zkflow_util.Rng.create (Int64.of_int (0xbe5c + n)) in
+    let batches =
+      List.init routers (fun r ->
+          let records =
+            Gen.records rng Gen.default_profile ~router_id:r ~count:(n / routers)
+          in
+          (Export.batch_hash records, records))
+    in
+    let round =
+      match Aggregate.prove_round ~prev:Clog.empty batches with
+      | Ok r -> r
+      | Error e -> failwith e
+    in
+    let agg_program = Lazy.force Guests.aggregation_program in
+    let (), agg_verify_s =
+      time (fun () ->
+          match Zkflow_zkproof.Verify.verify ~program:agg_program round.Aggregate.receipt with
+          | Ok () -> ()
+          | Error e -> failwith e)
+    in
+    (* The paper's query: SUM(hop_count) filtered on src/dst of a flow
+       that exists in the CLog. *)
+    let entry = (Clog.entries round.Aggregate.clog).(0) in
+    let q =
+      Query.sum_hops_between ~src:entry.Clog.key.Flowkey.src_ip
+        ~dst:entry.Clog.key.Flowkey.dst_ip
+    in
+    let qrow =
+      match Query.prove ~clog:round.Aggregate.clog q with
+      | Ok r -> r
+      | Error e -> failwith e
+    in
+    let q_program = Lazy.force Guests.query_program in
+    let (), q_verify_s =
+      time (fun () ->
+          match Zkflow_zkproof.Verify.verify ~program:q_program qrow.Query.receipt with
+          | Ok () -> ()
+          | Error e -> failwith e)
+    in
+    (* Constant-size wrapped proof (Table 1 "Proof" column). *)
+    let vkey = Zkflow_zkproof.Wrap.setup ~seed:(Bytes.of_string "bench-setup") in
+    let wrapped =
+      match Zkflow_zkproof.Wrap.wrap vkey ~program:agg_program round.Aggregate.receipt with
+      | Ok w -> w
+      | Error e -> failwith e
+    in
+    let row =
+      {
+        n;
+        agg_cycles = round.Aggregate.cycles;
+        agg_exec_s = round.Aggregate.execute_s;
+        agg_prove_s = round.Aggregate.prove_s;
+        agg_verify_s;
+        q_cycles = qrow.Query.cycles;
+        q_exec_s = qrow.Query.execute_s;
+        q_prove_s = qrow.Query.prove_s;
+        q_verify_s;
+        proof_bytes = Bytes.length wrapped.Zkflow_zkproof.Wrap.seal256;
+        journal_bytes = Receipt.journal_size round.Aggregate.receipt;
+        receipt_bytes = Receipt.size round.Aggregate.receipt;
+      }
+    in
+    Hashtbl.replace sweep_cache n row;
+    row
+
+let fig4 () =
+  print_endline "== Figure 4: proof generation latency vs #records ==";
+  print_endline "   (4 routers; aggregation = Algorithm 1 in the zkVM;";
+  print_endline "    query = SELECT SUM(hop_count) WHERE src AND dst)";
+  Printf.printf "%8s %12s %14s %14s %14s %14s %12s\n" "records" "agg cycles"
+    "agg prove (s)" "query prove(s)" "agg verify(ms)" "q verify (ms)" "exec (s)";
+  List.iter
+    (fun n ->
+      let r = run_size n in
+      Printf.printf "%8d %12d %14.2f %14.2f %14.1f %14.1f %12.2f\n%!" r.n
+        r.agg_cycles r.agg_prove_s r.q_prove_s (1000. *. r.agg_verify_s)
+        (1000. *. r.q_verify_s) (r.agg_exec_s +. r.q_exec_s))
+    (sizes ());
+  print_endline "   shape checks: prove time grows with records; verification stays flat."
+
+let table1 () =
+  print_endline "== Table 1: proof size of aggregation ==";
+  Printf.printf "%12s %14s %13s %13s\n" "# of records" "Proof (bytes)" "Journal (KB)"
+    "Receipt (KB)";
+  List.iter
+    (fun n ->
+      let r = run_size n in
+      Printf.printf "%12d %14d %13.1f %13.1f\n%!" r.n r.proof_bytes
+        (float_of_int r.journal_bytes /. 1024.)
+        (float_of_int r.receipt_bytes /. 1024.))
+    (sizes ());
+  print_endline
+    "   shape checks: proof constant (256 B); journal/receipt grow linearly."
+
+(* ------------------------------------------------------------------ *)
+
+let tamper () =
+  print_endline "== Tampering experiment (Sec. 5 / Fig. 3) ==";
+  List.iter (fun o -> Format.printf "   %a@." Tamper.pp_outcome o) (Tamper.all ());
+  print_endline "   expected: every scenario DETECTED (no proof over modified data)."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (Sec. 7 discussion points)                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_parallel () =
+  print_endline "== Ablation: proof parallelization by flow ID (Sec. 7) ==";
+  let n = if quick () then 200 else 1000 in
+  let rng = Zkflow_util.Rng.create 777L in
+  let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:n in
+  Printf.printf "%8s %10s %16s %20s %10s\n" "shards" "proofs" "serial total(s)"
+    "parallel wall (s)" "speedup";
+  let base = ref 0.0 in
+  List.iter
+    (fun shards ->
+      match
+        Aggregate.prove_sharded ~prev_shards:(Array.make shards Clog.empty)
+          ~shards records
+      with
+      | Error e -> failwith e
+      | Ok rounds ->
+        let times = Array.map (fun r -> r.Aggregate.prove_s) rounds in
+        let total = Array.fold_left ( +. ) 0. times in
+        let widest = Array.fold_left max 0. times in
+        if shards = 1 then base := widest;
+        Printf.printf "%8d %10d %16.2f %20.2f %9.1fx\n%!" shards
+          (Array.length rounds) total widest (!base /. widest))
+    [ 1; 2; 4; 8 ];
+  print_endline
+    "   shards are independent CLogs (queries fan out and sum), so the";
+  print_endline
+    "   parallel wall-clock is the slowest shard — the Sec. 7 claim.";
+  (* Also show the naive chained partitioning for contrast. *)
+  let batches =
+    List.init 4 (fun r ->
+        let rs = Gen.records rng Gen.default_profile ~router_id:r ~count:(n / 4) in
+        (Export.batch_hash rs, rs))
+  in
+  (match Aggregate.prove_partitioned ~prev:Clog.empty ~partitions:4 batches with
+   | Error e -> failwith e
+   | Ok rounds ->
+     let total = List.fold_left (fun a r -> a +. r.Aggregate.prove_s) 0. rounds in
+     Printf.printf
+       "   contrast — chained partitioning (4 parts, same window): %.2f s total;\n"
+       total;
+     print_endline
+       "   chaining re-verifies the growing CLog each part, so sharding wins.")
+
+let ablation_specialized () =
+  print_endline "== Ablation: specialized proof system vs zkVM (Sec. 7) ==";
+  (* STARK path: mini-rescue permutation chain, one round per row. *)
+  let rows = if quick () then 1024 else 16384 in
+  let trace = Zkflow_stark.Airs.mini_rescue_trace ~x0:3 ~y0:5 rows in
+  let air =
+    Zkflow_stark.Airs.mini_rescue ~x0:3 ~y0:5
+      ~claim:(Zkflow_stark.Airs.mini_rescue_final trace)
+  in
+  let proof, stark_s =
+    time (fun () ->
+        match Zkflow_stark.Stark.prove air trace with
+        | Ok p -> p
+        | Error e -> failwith e)
+  in
+  let (), stark_verify_s =
+    time (fun () ->
+        match Zkflow_stark.Stark.verify air proof with
+        | Ok () -> ()
+        | Error e -> failwith e)
+  in
+  let hashes = rows / Zkflow_stark.Airs.rounds_per_hash in
+  let stark_rate = float_of_int hashes /. stark_s in
+  (* zkVM path: the workload that dominates Figure 4 — Merkle-style
+     64-byte hashes computed in a guest loop, with all the bookkeeping
+     (loop instructions, register traffic) a zkVM must also prove. *)
+  let n_hashes = if quick () then 64 else 512 in
+  let guest =
+    Zkflow_zkvm.Asm.(
+      assemble
+        [
+          li s9 n_hashes;
+          li s10 1000;     (* message cursor *)
+          label "loop";
+          beq s9 zero "done";
+          li t4 16;
+          sha ~src:s10 ~words:t4 ~dst:s11;
+          addi s10 s10 16;
+          addi s9 s9 (-1);
+          j "loop";
+          label "done";
+          halt 0;
+        ])
+  in
+  let (receipt, run), zkvm_s =
+    time (fun () ->
+        match Zkflow_zkproof.Prove.prove guest ~input:[||] with
+        | Ok r -> r
+        | Error e -> failwith e)
+  in
+  ignore receipt;
+  let zkvm_rate = float_of_int n_hashes /. zkvm_s in
+  Printf.printf "%26s %12s %12s %12s\n" "backend" "hashes" "prove (s)" "hashes/s";
+  Printf.printf "%26s %12d %12.2f %12.0f\n" "STARK (mini-rescue AIR)" hashes
+    stark_s stark_rate;
+  Printf.printf "%26s %12d %12.2f %12.0f   (cycles=%d)\n" "zkVM (SHA ecall loop)"
+    n_hashes zkvm_s zkvm_rate run.Zkflow_zkvm.Machine.cycles;
+  Printf.printf
+    "   measured STARK/zkVM throughput ratio: %.1fx  (STARK verify %.1f ms, proof %d KB)\n"
+    (stark_rate /. zkvm_rate) (1000. *. stark_verify_s)
+    (Zkflow_stark.Stark.proof_size_bytes proof / 1024);
+  print_endline
+    "   context: with production provers the gap is far larger — the paper";
+  print_endline
+    "   reports 87 min for ~35k in-zkVM hashes (~7/s) vs 600k/s for a";
+  print_endline
+    "   specialized prover; our simulated zkVM understates zkVM overhead,";
+  print_endline
+    "   so treat the direction (specialized > zkVM per hash), not the ratio.";
+  (* Prototype of the full Section 7 direction: commit the CLog with an
+     algebraic absorb-chain proven by the STARK, vs. the zkVM round. *)
+  let n_entries = if quick () then 32 else 128 in
+  let rng2 = Zkflow_util.Rng.create 0x51a6L in
+  let records = Gen.records rng2 Gen.default_profile ~router_id:0 ~count:n_entries in
+  let clog = Clog.apply_batch Clog.empty records in
+  let (claim, sproof), sc_prove_s = time (fun () -> Result.get_ok (Stark_commit.prove clog)) in
+  let (), sc_verify_s =
+    time (fun () -> Result.get_ok (Stark_commit.verify clog ~claim sproof))
+  in
+  let _, agg_s =
+    time (fun () ->
+        Result.get_ok
+          (Aggregate.prove_round ~prev:Clog.empty
+             [ (Export.batch_hash records, records) ]))
+  in
+  Printf.printf
+    "   CLog commitment over %d entries: absorb-chain STARK %.2f s (verify %.0f ms)\n"
+    n_entries sc_prove_s (1000. *. sc_verify_s);
+  Printf.printf
+    "   vs full in-zkVM aggregation round %.2f s — the specialized path proves\n" agg_s;
+  print_endline
+    "   only the commitment (a weaker statement); it shows where the Merkle-";
+  print_endline
+    "   dominated cost of Figure 4 would go with a specialized arithmetization."
+
+let ablation_tee () =
+  print_endline "== Ablation: TEE baseline vs software-only (Sec. 1/3) ==";
+  let platform = Zkflow_tee.Enclave.platform ~seed:(Bytes.of_string "bench") in
+  let vantage_points = [ 1; 4; 16; 64 ] in
+  Printf.printf "%16s %18s %18s\n" "vantage points" "TEE units needed"
+    "zkflow TEE units";
+  List.iter
+    (fun v -> Printf.printf "%16d %18d %18d\n" v v 0)
+    vantage_points;
+  (* per-record ingest + per-report attest/verify costs *)
+  let t = Zkflow_tee.Tee_telemetry.deploy platform ~router_ids:[ 0 ] ~code_id:"nf" in
+  let rng = Zkflow_util.Rng.create 5L in
+  let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:5000 in
+  let (), ingest_s =
+    time (fun () ->
+        Array.iter
+          (fun r -> Result.get_ok (Zkflow_tee.Tee_telemetry.ingest t r))
+          records)
+  in
+  let key = records.(0).Zkflow_netflow.Record.key in
+  let report, attest_s =
+    time (fun () ->
+        Result.get_ok (Zkflow_tee.Tee_telemetry.flow_report t ~router_id:0 key))
+  in
+  let ok, verify_s =
+    time (fun () ->
+        Zkflow_tee.Tee_telemetry.verify_report
+          ~attestation_key:(Zkflow_tee.Enclave.attestation_key platform)
+          ~expected_measurement:(Zkflow_tee.Tee_telemetry.code_measurement t)
+          report)
+  in
+  assert ok;
+  Printf.printf
+    "   TEE: ingest %.2f µs/record; report attest %.1f µs; verify %.1f µs\n"
+    (1e6 *. ingest_s /. 5000.) (1e6 *. attest_s) (1e6 *. verify_s);
+  let r = run_size (if quick () then 100 else 500) in
+  Printf.printf
+    "   zkflow: %.0f ms/record proving (off-path, no per-router hardware);\n"
+    (1000. *. r.agg_prove_s /. float_of_int r.n);
+  print_endline
+    "   trade-off: TEEs are cheap per record but need trusted hardware at every";
+  print_endline "   vantage point; zkflow needs none and moves all cost off-path."
+
+let ablation_sketch () =
+  print_endline "== Ablation: sketch-based logging backends (Sec. 1) ==";
+  let flows = 10_000 in
+  let rng = Zkflow_util.Rng.create 31337L in
+  let keys =
+    Gen.flows rng { Gen.default_profile with Gen.flow_count = flows }
+  in
+  (* Zipf packet counts *)
+  let truth = Hashtbl.create flows in
+  for _ = 1 to 200_000 do
+    let k = keys.(Zkflow_util.Rng.zipf rng ~n:flows ~s:1.1 - 1) in
+    Hashtbl.replace truth k (1 + Option.value (Hashtbl.find_opt truth k) ~default:0)
+  done;
+  let cms = Zkflow_sketch.Countmin.create ~width:4096 ~depth:4 in
+  let ss = Zkflow_sketch.Spacesaving.create ~capacity:256 in
+  Hashtbl.iter
+    (fun k c ->
+      Zkflow_sketch.Countmin.add cms ~count:c (Flowkey.to_bytes k);
+      Zkflow_sketch.Spacesaving.add ss ~count:c (Flowkey.to_bytes k))
+    truth;
+  (* error on the top-100 flows *)
+  let top =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) truth []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+    |> fun l -> List.filteri (fun i _ -> i < 100) l
+  in
+  let avg_err est =
+    List.fold_left
+      (fun acc (k, c) ->
+        acc +. (float_of_int (abs (est k - c)) /. float_of_int c))
+      0. top
+    /. 100.
+  in
+  let cms_err = avg_err (fun k -> Zkflow_sketch.Countmin.estimate cms (Flowkey.to_bytes k)) in
+  let ss_err = avg_err (fun k -> Zkflow_sketch.Spacesaving.estimate ss (Flowkey.to_bytes k)) in
+  Printf.printf "%16s %14s %24s\n" "backend" "memory" "avg rel. error (top100)";
+  Printf.printf "%16s %13dw %23.2f%%\n" "exact CLog" (flows * 8) 0.0;
+  Printf.printf "%16s %13dw %23.2f%%\n" "count-min 4Kx4"
+    (Zkflow_sketch.Countmin.memory_words cms)
+    (100. *. cms_err);
+  Printf.printf "%16s %13dw %23.2f%%\n" "space-saving256" (256 * 10) (100. *. ss_err);
+  let hll = Zkflow_sketch.Hyperloglog.create ~precision:12 in
+  Array.iter (fun k -> Zkflow_sketch.Hyperloglog.add hll (Flowkey.to_bytes k)) keys;
+  Printf.printf "   distinct flows: truth=%d hyperloglog=%.0f (%d B)\n" flows
+    (Zkflow_sketch.Hyperloglog.estimate hll)
+    (Zkflow_sketch.Hyperloglog.memory_bytes hll);
+  (* verifiable sketch query: the committed count-min answered in-guest *)
+  let vs = Vsketch.create () in
+  Hashtbl.iter (fun k c -> Vsketch.add vs ~count:c k) truth;
+  let target = fst (List.hd top) in
+  let (receipt, attested), vs_prove_s =
+    time (fun () ->
+        Result.get_ok (Vsketch.prove ~params:(Zkflow_zkproof.Params.make ~queries:16) vs target))
+  in
+  let ok, vs_verify_s =
+    time (fun () ->
+        Result.is_ok (Vsketch.verify ~expected_commitment:(Vsketch.commitment vs) receipt))
+  in
+  assert ok;
+  Printf.printf
+    "   verifiable sketch query: attested count %d (truth %d) proved in %.2f s, verified in %.0f ms\n"
+    attested.Vsketch.estimate
+    (Hashtbl.find truth target)
+    vs_prove_s (1000. *. vs_verify_s)
+
+let ablation_merkle_maintenance () =
+  print_endline "== Ablation: Merkle maintenance — full rebuild vs sparse tree ==";
+  (* The paper profiles in-zkVM Merkle updates as the dominant cost and
+     floats specialized structures as future work; quantify the
+     host-side gap between the rebuild the guest performs today and an
+     incremental sparse Merkle tree. *)
+  let n = 10_000 and k = 100 in
+  let rng = Zkflow_util.Rng.create 4242L in
+  let records = Gen.records rng { Gen.default_profile with Gen.flow_count = n } ~router_id:0 ~count:n in
+  let clog = Clog.apply_batch Clog.empty records in
+  let entries = Clog.entries clog in
+  let smt = Zkflow_merkle.Smt.create () in
+  Array.iter
+    (fun (e : Clog.entry) ->
+      Zkflow_merkle.Smt.set smt
+        ~key:(Flowkey.to_bytes e.Clog.key)
+        (Clog.entry_bytes e))
+    entries;
+  let (), rebuild_s =
+    time (fun () ->
+        ignore (Zkflow_merkle.Tree.of_leaves (Array.map Clog.entry_bytes entries)))
+  in
+  let (), smt_s =
+    time (fun () ->
+        for i = 0 to k - 1 do
+          let e = entries.(i * (n / k)) in
+          Zkflow_merkle.Smt.set smt
+            ~key:(Flowkey.to_bytes e.Clog.key)
+            (Bytes.cat (Clog.entry_bytes e) (Bytes.of_string "v2"))
+        done)
+  in
+  Printf.printf
+    "   dense rebuild of %d entries: %.1f ms;  SMT update of %d keys: %.1f ms (%.1f µs/update)\n"
+    n (1000. *. rebuild_s) k (1000. *. smt_s) (1e6 *. smt_s /. float_of_int k);
+  Printf.printf
+    "   per-window break-even: SMT wins when < %.0f%% of flows change per window.\n"
+    (100. *. rebuild_s /. (smt_s /. float_of_int k) /. float_of_int n)
+
+let ablation_queries () =
+  print_endline "== Ablation: spot-check count (receipt size vs assurance) ==";
+  let n = if quick () then 100 else 500 in
+  let rng = Zkflow_util.Rng.create 0x5ecL in
+  let batches =
+    [ (let r = Gen.records rng Gen.default_profile ~router_id:0 ~count:n in
+       (Export.batch_hash r, r)) ]
+  in
+  let run = Result.get_ok (Aggregate.execute ~prev:Clog.empty batches) in
+  let program = Lazy.force Guests.aggregation_program in
+  Printf.printf "%8s %12s %12s %14s %24s\n" "queries" "seal (KB)" "prove (s)"
+    "verify (ms)" "soundness bits (5% bad)";
+  List.iter
+    (fun q ->
+      let params = Zkflow_zkproof.Params.make ~queries:q in
+      let receipt, prove_s =
+        time (fun () ->
+            Result.get_ok (Zkflow_zkproof.Prove.prove_result ~params program run))
+      in
+      let ok, verify_s =
+        time (fun () -> Zkflow_zkproof.Verify.check ~program receipt)
+      in
+      assert ok;
+      (* detection power against a trace where 5 % of positions are
+         inconsistent (DESIGN.md §5: single-position forgeries are the
+         documented statistical gap of the simulation) *)
+      let bits = -.Float.log2 (Float.pow 0.95 (float_of_int q)) in
+      Printf.printf "%8d %12.1f %12.2f %14.1f %24.1f\n%!" q
+        (float_of_int (Receipt.seal_size receipt) /. 1024.)
+        prove_s (1000. *. verify_s) bits)
+    [ 8; 16; 48; 96; 192 ];
+  print_endline
+    "   seal size and verify time scale linearly with the spot-check count;";
+  print_endline
+    "   the production analogue is FRI query count vs. soundness bits.";
+  print_endline
+    "   (a real STARK gets full soundness; see DESIGN.md §5 for the gap)"
+
+let ablations () =
+  ablation_parallel ();
+  print_newline ();
+  ablation_queries ();
+  print_newline ();
+  ablation_merkle_maintenance ();
+  print_newline ();
+  ablation_specialized ();
+  print_newline ();
+  ablation_tee ();
+  print_newline ();
+  ablation_sketch ()
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks (bechamel)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "== Substrate microbenchmarks (bechamel, monotonic clock) ==";
+  let open Bechamel in
+  let data64k = Bytes.make 65536 'x' in
+  let leaves = Array.init 1024 (fun i -> Bytes.of_string (Printf.sprintf "leaf%d" i)) in
+  let rng = Zkflow_util.Rng.create 9L in
+  let coeffs = Array.init 4096 (fun _ -> Zkflow_field.Babybear.random rng) in
+  let zkvm_guest =
+    Zkflow_zkvm.Asm.(
+      assemble
+        [
+          li t0 20000; li a0 0;
+          label "l";
+          beq t0 zero "e";
+          add a0 a0 t0;
+          addi t0 t0 (-1);
+          j "l";
+          label "e";
+          halt 0;
+        ])
+  in
+  let tests =
+    [
+      Test.make ~name:"sha256-64KB" (Staged.stage (fun () ->
+          ignore (Zkflow_hash.Sha256.digest data64k)));
+      Test.make ~name:"merkle-1024-leaves" (Staged.stage (fun () ->
+          ignore (Zkflow_merkle.Tree.of_leaves leaves)));
+      Test.make ~name:"ntt-4096" (Staged.stage (fun () ->
+          ignore (Zkflow_field.Ntt.forward coeffs)));
+      Test.make ~name:"zkvm-60k-cycles" (Staged.stage (fun () ->
+          ignore (Zkflow_zkvm.Machine.run zkvm_guest ~input:[||])));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |]) instance raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "   %-24s %12.1f ns/op\n%!" name est
+        | _ -> Printf.printf "   %-24s (no estimate)\n%!" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let all () =
+    fig4 ();
+    print_newline ();
+    table1 ();
+    print_newline ();
+    tamper ();
+    print_newline ();
+    ablations ();
+    print_newline ();
+    micro ()
+  in
+  match target with
+  | "fig4" -> fig4 ()
+  | "table1" -> table1 ()
+  | "tamper" -> tamper ()
+  | "ablations" -> ablations ()
+  | "micro" -> micro ()
+  | "all" -> all ()
+  | other ->
+    Printf.eprintf "unknown bench target %S\n" other;
+    exit 2

@@ -1,0 +1,344 @@
+(* zkflow command-line interface.
+
+   A file-based workflow mirroring the paper's deployment roles:
+
+     zkflow simulate --dir state   # routers: generate traffic, export
+                                   # RLogs (WAL) + publish commitments
+     zkflow prove    --dir state   # operator: aggregate every epoch
+                                   # under proof; optionally prove a query
+     zkflow verify   --dir state   # auditor: verify the receipt chain
+                                   # (and query receipt) from public data
+
+   The directory holds: rlogs.wal (private telemetry), board.txt (the
+   public bulletin), receipts.bin / query.bin (proof artifacts). *)
+
+module D = Zkflow_hash.Digest32
+module Db = Zkflow_store.Db
+module Epoch = Zkflow_store.Epoch
+module Board = Zkflow_commitlog.Board
+module Gen = Zkflow_netflow.Gen
+module Ipaddr = Zkflow_netflow.Ipaddr
+module Topology = Zkflow_netflow.Topology
+module Receipt = Zkflow_zkproof.Receipt
+module Wire = Zkflow_util.Wire
+open Zkflow_core
+
+let ( let* ) = Result.bind
+let ( // ) = Filename.concat
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_bytes oc contents;
+  close_out oc
+
+let read_file path =
+  if not (Sys.file_exists path) then Error (path ^ ": not found")
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    Ok b
+  end
+
+let wal_path dir = dir // "rlogs.wal"
+let board_path dir = dir // "board.txt"
+let receipts_path dir = dir // "receipts.bin"
+let query_path dir = dir // "query.bin"
+
+let epoch_policy = Epoch.default
+
+(* ---- simulate ---- *)
+
+let simulate dir routers flows rate duration loss seed =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ wal_path dir; board_path dir; receipts_path dir; query_path dir ];
+  let db = Db.create ~wal_path:(wal_path dir) ~epoch:epoch_policy () in
+  let board = Board.create () in
+  let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+  let profile = { Gen.default_profile with Gen.flow_count = flows } in
+  let keys = Gen.flows rng profile in
+  let packets = Gen.packets rng profile ~flows:keys ~rate_pps:rate ~duration_ms:duration in
+  let topology =
+    Topology.linear
+      (List.init routers (fun id ->
+           { Zkflow_netflow.Router.id; active_timeout_ms = 60_000; inactive_timeout_ms = 30_000; sampling_interval = 1 }))
+  in
+  let losses = Array.make routers loss in
+  List.iter (Topology.inject topology ~rng ~loss_rate:losses) packets;
+  let count = ref 0 in
+  List.iter
+    (fun (_, records) ->
+      List.iter
+        (fun r ->
+          incr count;
+          Db.insert db r)
+        records)
+    (Topology.flush topology ~now:duration);
+  Db.sync db;
+  (* routers publish one commitment per epoch *)
+  List.iter
+    (fun epoch ->
+      List.iter
+        (fun router_id ->
+          let window = Db.window db ~router_id ~epoch in
+          match Board.publish board window ~router_id ~epoch with
+          | Ok c ->
+            Printf.printf "published r%d/e%d: %s (%d records)\n" router_id epoch
+              (D.short c.Zkflow_commitlog.Commitment.batch)
+              (Array.length window)
+          | Error e -> failwith e)
+        (Db.routers db))
+    (Db.epochs db);
+  write_file (board_path dir) (Bytes.of_string (Board.export board));
+  Printf.printf "simulated %d packets -> %d records across %d routers\n"
+    (List.length packets) !count routers;
+  Printf.printf "state written to %s (rlogs.wal, board.txt)\n" dir;
+  Ok ()
+
+(* ---- prove ---- *)
+
+let load_state dir =
+  let* db =
+    match Db.recover ~wal_path:(wal_path dir) ~epoch:epoch_policy with
+    | Ok db -> Ok db
+    | Error e -> Error ("recovering store: " ^ e)
+  in
+  let* board_text = read_file (board_path dir) in
+  let* board = Board.import (Bytes.to_string board_text) in
+  Ok (db, board)
+
+let encode_rounds rounds =
+  let w = Wire.writer () in
+  Wire.w_list w
+    (fun (epoch, receipt) ->
+      Wire.w_int w epoch;
+      Wire.w_bytes w (Receipt.encode receipt))
+    rounds;
+  Wire.contents w
+
+let decode_rounds bytes =
+  Wire.decode bytes (fun r ->
+      Wire.r_list r (fun () ->
+          let epoch = Wire.r_int r in
+          let receipt_bytes = Wire.r_bytes r in
+          match Receipt.decode receipt_bytes with
+          | Ok receipt -> (epoch, receipt)
+          | Error e -> raise (Wire.Decode e)))
+
+let parse_query src dst metric op =
+  let* predicate =
+    let field name = function
+      | None -> Ok None
+      | Some s -> (
+        match Ipaddr.of_string s with
+        | Ok ip -> Ok (Some ip)
+        | Error e -> Error (name ^ ": " ^ e))
+    in
+    let* src_ip = field "--src" src in
+    let* dst_ip = field "--dst" dst in
+    Ok { Guests.match_any with Guests.src_ip; dst_ip }
+  in
+  let* metric =
+    match metric with
+    | "packets" -> Ok Guests.Packets
+    | "bytes" -> Ok Guests.Bytes
+    | "hops" -> Ok Guests.Hops
+    | "losses" -> Ok Guests.Losses
+    | m -> Error ("unknown metric " ^ m)
+  in
+  let* op =
+    match op with
+    | "sum" -> Ok Guests.Sum
+    | "count" -> Ok Guests.Count
+    | "max" -> Ok Guests.Max
+    | "min" -> Ok Guests.Min
+    | o -> Error ("unknown op " ^ o)
+  in
+  Ok { Guests.predicate; op; metric }
+
+(* Custom Zirc query guests all receive the standard CLog statement
+   stream: m, the claimed root (8 words), then the m entries — see
+   PROTOCOL.md §3.2 and examples/custom_query.ml. *)
+let clog_input clog =
+  Array.concat
+    [
+      [| Clog.length clog |];
+      Zkflow_zkvm.Guestlib.words_of_digest (D.to_bytes (Clog.root clog));
+      Clog.words clog;
+    ]
+
+let prove_zirc ~params ~clog path =
+  let* program_src = Zkflow_lang.Zirc_parse.parse_file path in
+  let* program = Zkflow_lang.Zirc.compile program_src in
+  match Zkflow_zkproof.Prove.prove ~params program ~input:(clog_input clog) with
+  | Error e -> Error ("custom query: " ^ e)
+  | Ok (receipt, run) ->
+    Printf.printf "custom query %s: %d cycles, journal %s\n" path
+      run.Zkflow_zkvm.Machine.cycles
+      (String.concat ","
+         (List.map string_of_int (Array.to_list run.Zkflow_zkvm.Machine.journal)));
+    Ok receipt
+
+let prove dir queries_n src dst metric op zirc =
+  let* db, board = load_state dir in
+  let params = Zkflow_zkproof.Params.make ~queries:queries_n in
+  let service = Prover_service.create ~proof_params:params ~db ~board () in
+  let* rounds =
+    List.fold_left
+      (fun acc epoch ->
+        let* acc = acc in
+        let* round = Prover_service.aggregate_epoch service ~epoch in
+        Printf.printf "epoch %d: %d flows, %d cycles, proved in %.2fs (%d KB)\n"
+          epoch
+          (Clog.length round.Aggregate.clog)
+          round.Aggregate.cycles round.Aggregate.prove_s
+          (Receipt.size round.Aggregate.receipt / 1024);
+        Ok ((epoch, round.Aggregate.receipt) :: acc))
+      (Ok []) (Db.epochs db)
+  in
+  let rounds = List.rev rounds in
+  write_file (receipts_path dir) (encode_rounds rounds);
+  Printf.printf "receipts written to %s\n" (receipts_path dir);
+  (* optional built-in query *)
+  let* () =
+    match (src, dst) with
+    | None, None -> Ok ()
+    | _ ->
+      let* q = parse_query src dst metric op in
+      let* row = Prover_service.query service q in
+      write_file (query_path dir) (Receipt.encode row.Query.receipt);
+      Printf.printf "query proved: result=%d matches=%d -> %s\n"
+        row.Query.journal.Guests.result row.Query.journal.Guests.matches
+        (query_path dir);
+      Ok ()
+  in
+  (* optional custom (Zirc) query *)
+  match zirc with
+  | None -> Ok ()
+  | Some path ->
+    let* receipt = prove_zirc ~params ~clog:(Prover_service.clog service) path in
+    write_file (dir // "custom.bin") (Receipt.encode receipt);
+    Printf.printf "custom receipt -> %s\n" (dir // "custom.bin");
+    Ok ()
+
+(* ---- verify ---- *)
+
+let verify dir zirc =
+  let* board_text = read_file (board_path dir) in
+  let* board = Board.import (Bytes.to_string board_text) in
+  let* receipt_bytes = read_file (receipts_path dir) in
+  let* rounds = decode_rounds receipt_bytes in
+  let* chain = Verifier_client.verify_chain ~board rounds in
+  Printf.printf "verified %d aggregation round(s); final CLog root %s\n"
+    chain.Verifier_client.round_count
+    (D.to_hex chain.Verifier_client.final_root);
+  let* () =
+    if Sys.file_exists (query_path dir) then begin
+      let* qbytes = read_file (query_path dir) in
+      let* receipt = Receipt.decode qbytes in
+      let* journal =
+        Verifier_client.verify_query
+          ~expected_root:chain.Verifier_client.final_root receipt
+      in
+      Printf.printf "verified query receipt: result=%d matches=%d\n"
+        journal.Guests.result journal.Guests.matches;
+      Ok ()
+    end
+    else Ok ()
+  in
+  match zirc with
+  | None -> Ok ()
+  | Some path ->
+    (* The auditor compiles the (public) query source themselves and
+       pins the resulting image — they never trust the operator's
+       binary. Convention: journal word 0..7 = the root it ran on. *)
+    let* src = Zkflow_lang.Zirc_parse.parse_file path in
+    let* program = Zkflow_lang.Zirc.compile src in
+    let* cbytes = read_file (dir // "custom.bin") in
+    let* receipt = Receipt.decode cbytes in
+    let* () = Zkflow_zkproof.Verify.verify ~program receipt in
+    let journal = receipt.Receipt.claim.Receipt.journal in
+    if Array.length journal < 8 then Error "custom receipt: journal too short"
+    else begin
+      let root =
+        D.of_bytes (Zkflow_zkvm.Guestlib.digest_of_words (Array.sub journal 0 8))
+      in
+      if not (D.equal root chain.Verifier_client.final_root) then
+        Error "custom receipt: ran against a different CLog root"
+      else begin
+        Printf.printf "verified custom query %s: outputs %s\n" path
+          (String.concat ","
+             (List.map string_of_int (Array.to_list (Array.sub journal 8 (Array.length journal - 8)))));
+        Ok ()
+      end
+    end
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let handle = function
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+
+let dir_arg =
+  Arg.(value & opt string "zkflow-state" & info [ "dir"; "d" ] ~docv:"DIR"
+         ~doc:"State directory shared between the subcommands.")
+
+let simulate_cmd =
+  let routers = Arg.(value & opt int 4 & info [ "routers" ] ~doc:"Vantage points.") in
+  let flows = Arg.(value & opt int 30 & info [ "flows" ] ~doc:"Flow population.") in
+  let rate = Arg.(value & opt float 200.0 & info [ "rate" ] ~doc:"Packets per second.") in
+  let duration = Arg.(value & opt int 4000 & info [ "duration" ] ~doc:"Duration (ms).") in
+  let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~doc:"Per-hop loss rate.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run dir routers flows rate duration loss seed =
+    handle (simulate dir routers flows rate duration loss seed)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Generate traffic, export RLogs, publish commitments.")
+    Term.(const run $ dir_arg $ routers $ flows $ rate $ duration $ loss $ seed)
+
+let prove_cmd =
+  let queries =
+    Arg.(value & opt int 48 & info [ "queries" ] ~doc:"Proof spot-check count.")
+  in
+  let src = Arg.(value & opt (some string) None & info [ "src" ] ~doc:"Query src IP filter.") in
+  let dst = Arg.(value & opt (some string) None & info [ "dst" ] ~doc:"Query dst IP filter.") in
+  let metric =
+    Arg.(value & opt string "hops" & info [ "metric" ] ~doc:"packets|bytes|hops|losses.")
+  in
+  let op = Arg.(value & opt string "sum" & info [ "op" ] ~doc:"sum|count|max|min.") in
+  let zirc =
+    Arg.(value & opt (some string) None & info [ "zirc" ]
+           ~doc:"Custom query: a Zirc source file run against the latest CLog.")
+  in
+  let run dir queries src dst metric op zirc =
+    handle (prove dir queries src dst metric op zirc)
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Aggregate every epoch under proof; optionally prove a query.")
+    Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc)
+
+let verify_cmd =
+  let zirc =
+    Arg.(value & opt (some string) None & info [ "zirc" ]
+           ~doc:"Verify the custom-query receipt against this Zirc source.")
+  in
+  let run dir zirc = handle (verify dir zirc) in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify the receipt chain (and query) from public data only.")
+    Term.(const run $ dir_arg $ zirc)
+
+let () =
+  let info =
+    Cmd.info "zkflow" ~version:"1.0.0"
+      ~doc:"Verifiable network telemetry without special-purpose hardware."
+  in
+  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; prove_cmd; verify_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_query.ml: Array Clog Format Printf Zirc Zkflow_core Zkflow_hash Zkflow_lang Zkflow_netflow Zkflow_util Zkflow_zkproof Zkflow_zkvm

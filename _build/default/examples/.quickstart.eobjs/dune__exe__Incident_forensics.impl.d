@@ -1,0 +1,1 @@
+examples/incident_forensics.ml: Aggregate Array Clog Guests Int64 List Printf Prover_service Query Result Verifier_client Zkflow Zkflow_core Zkflow_netflow Zkflow_store Zkflow_util Zkflow_zkproof

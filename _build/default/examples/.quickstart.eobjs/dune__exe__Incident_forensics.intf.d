@@ -1,0 +1,1 @@
+examples/incident_forensics.mli:

@@ -1,0 +1,1 @@
+examples/neutrality_audit.ml: Aggregate Array Clog Guests Printf Query Verifier_client Zkflow_core Zkflow_netflow Zkflow_util Zkflow_zkproof

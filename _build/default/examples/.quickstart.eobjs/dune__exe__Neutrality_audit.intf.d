@@ -1,0 +1,1 @@
+examples/neutrality_audit.mli:

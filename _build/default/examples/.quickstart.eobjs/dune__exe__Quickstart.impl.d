@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Guestlib List Machine Printf String Unix Zkflow_core Zkflow_hash Zkflow_util Zkflow_zkproof Zkflow_zkvm

@@ -1,0 +1,1 @@
+examples/sla_audit.ml: Aggregate Array Clog Guests Printf Query Verifier_client Zkflow_core Zkflow_hash Zkflow_netflow Zkflow_util Zkflow_zkproof

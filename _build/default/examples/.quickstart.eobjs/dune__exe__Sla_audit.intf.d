@@ -1,0 +1,1 @@
+examples/sla_audit.mli:

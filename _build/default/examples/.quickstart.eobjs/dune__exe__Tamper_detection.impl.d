@@ -1,0 +1,1 @@
+examples/tamper_detection.ml: Format List Printf Zkflow_core

@@ -1,0 +1,1 @@
+examples/tamper_detection.mli:

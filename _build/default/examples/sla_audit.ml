@@ -1,0 +1,118 @@
+(* SLA audit (paper §2.1): an ISP proves to a customer that the loss
+   rate on the customer's traffic met the contract — without revealing
+   any telemetry. The customer sees two attested scalars (lost packets,
+   delivered packets) and checks the ratio itself.
+
+   Run: dune exec examples/sla_audit.exe *)
+
+module Ipaddr = Zkflow_netflow.Ipaddr
+module Flowkey = Zkflow_netflow.Flowkey
+module Record = Zkflow_netflow.Record
+module Export = Zkflow_netflow.Export
+open Zkflow_core
+
+let customer_ip = Ipaddr.of_string_exn "203.0.113.10"
+let sla_max_loss_rate = 0.01
+
+(* The operator's private telemetry: customer traffic with ~0.4% loss,
+   plus unrelated background traffic with terrible loss — which must
+   not leak into (or pollute) the customer's audit. *)
+let telemetry rng =
+  let flow i dst =
+    Flowkey.make
+      ~src_ip:(Ipaddr.random_in_subnet rng ~prefix:(Ipaddr.of_string_exn "10.0.0.0") ~bits:8)
+      ~dst_ip:dst ~src_port:(10_000 + i) ~dst_port:443 ~proto:6
+  in
+  let customer =
+    Array.init 15 (fun i ->
+        let packets = 2000 + Zkflow_util.Rng.int rng 3000 in
+        Record.make ~key:(flow i customer_ip) ~router_id:0
+          {
+            Record.packets;
+            bytes = packets * 900;
+            hop_count = packets;
+            losses = packets * 4 / 1000;     (* 0.4% *)
+          })
+  in
+  let background =
+    Array.init 10 (fun i ->
+        let packets = 1000 + Zkflow_util.Rng.int rng 1000 in
+        Record.make
+          ~key:(flow (100 + i) (Ipaddr.of_string_exn "198.51.100.77"))
+          ~router_id:0
+          {
+            Record.packets;
+            bytes = packets * 600;
+            hop_count = packets;
+            losses = packets / 10;           (* 10%! not the customer's problem *)
+          })
+  in
+  Array.append customer background
+
+let query_params_of row = row.Query.journal.Guests.params
+
+let () =
+  let rng = Zkflow_util.Rng.create 2026L in
+  let records = telemetry rng in
+  Printf.printf "operator: %d private records (never shown to the customer)\n"
+    (Array.length records);
+
+  (* Operator side: commit, aggregate under proof. *)
+  let params = Zkflow_zkproof.Params.make ~queries:16 in
+  let batches = [ (Export.batch_hash records, records) ] in
+  let round =
+    match Aggregate.prove_round ~params ~prev:Clog.empty batches with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let root = round.Aggregate.journal.Guests.new_root in
+  Printf.printf "operator: aggregation proved (%.2fs), CLog root %s…\n"
+    round.Aggregate.prove_s (Zkflow_hash.Digest32.short root);
+
+  (* Two attested scalars for the customer's traffic. *)
+  let query metric =
+    let q =
+      {
+        Guests.predicate = { Guests.match_any with Guests.dst_ip = Some customer_ip };
+        op = Guests.Sum;
+        metric;
+      }
+    in
+    match Query.prove ~params ~clog:round.Aggregate.clog q with
+    | Ok row -> row
+    | Error e -> failwith e
+  in
+  let losses_row = query Guests.Losses in
+  let packets_row = query Guests.Packets in
+
+  (* Customer side: verify both receipts against the aggregation root,
+     then evaluate the SLA. *)
+  let attested row =
+    match Verifier_client.verify_query ~expected_root:root row.Query.receipt with
+    | Ok j -> j.Guests.result
+    | Error e -> failwith ("customer: receipt rejected: " ^ e)
+  in
+  let lost = attested losses_row and delivered = attested packets_row in
+  let rate = float_of_int lost /. float_of_int delivered in
+  Printf.printf "customer: attested losses=%d packets=%d -> loss rate %.3f%%\n" lost
+    delivered (100. *. rate);
+  Printf.printf "customer: SLA (≤ %.1f%%): %s\n"
+    (100. *. sla_max_loss_rate)
+    (if rate <= sla_max_loss_rate then "MET — and no logs were disclosed"
+     else "VIOLATED — dispute with cryptographic evidence");
+
+  (* What the operator could NOT have done: answer from a doctored state. *)
+  let doctored =
+    Clog.apply_batch Clog.empty
+      (Array.map
+         (fun r -> Record.make ~key:r.Record.key ~router_id:0
+             { r.Record.metrics with Record.losses = 0 })
+         records)
+  in
+  match Query.prove ~params ~clog:doctored (query_params_of losses_row) with
+  | exception _ -> ()
+  | Error e -> Printf.printf "operator (cheating): %s\n" e
+  | Ok dishonest -> (
+    match Verifier_client.verify_query ~expected_root:root dishonest.Query.receipt with
+    | Error e -> Printf.printf "customer: doctored answer rejected: %s\n" e
+    | Ok _ -> Printf.printf "customer: ERROR — doctored answer accepted!\n")

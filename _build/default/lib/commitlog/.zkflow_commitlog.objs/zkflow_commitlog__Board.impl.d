@@ -1,0 +1,1 @@
+lib/commitlog/board.ml: Buffer Bytes Commitment Hashtbl Int List Printf String Zkflow_hash Zkflow_util

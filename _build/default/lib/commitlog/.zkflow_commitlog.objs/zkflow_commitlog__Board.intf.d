@@ -1,0 +1,1 @@
+lib/commitlog/board.mli: Commitment Zkflow_hash Zkflow_netflow

@@ -1,0 +1,1 @@
+lib/commitlog/commitment.ml: Array Format Zkflow_hash Zkflow_netflow

@@ -1,0 +1,1 @@
+lib/commitlog/commitment.mli: Format Zkflow_hash Zkflow_netflow

@@ -1,0 +1,91 @@
+module Chain = Zkflow_hash.Chain
+
+type router_state = { mutable chain : Chain.t; mutable entries : Commitment.t list }
+
+type t = { states : (int, router_state) Hashtbl.t }
+
+let create () = { states = Hashtbl.create 16 }
+
+let state t router_id =
+  match Hashtbl.find_opt t.states router_id with
+  | Some s -> s
+  | None ->
+    let s = { chain = Chain.genesis; entries = [] } in
+    Hashtbl.replace t.states router_id s;
+    s
+
+let publish_with t ~router_id ~epoch make =
+  let s = state t router_id in
+  match s.entries with
+  | last :: _ when last.Commitment.epoch >= epoch ->
+    Error
+      (Printf.sprintf "board: epoch %d not after last published epoch %d" epoch
+         last.Commitment.epoch)
+  | _ ->
+    let c, chain = make ~prev_chain:s.chain in
+    s.chain <- chain;
+    s.entries <- c :: s.entries;
+    Ok c
+
+let publish t records ~router_id ~epoch =
+  publish_with t ~router_id ~epoch (fun ~prev_chain ->
+      Commitment.of_batch ~prev_chain ~router_id ~epoch records)
+
+let publish_digest t ~batch ~record_count ~router_id ~epoch =
+  publish_with t ~router_id ~epoch (fun ~prev_chain ->
+      Commitment.of_digest ~prev_chain ~router_id ~epoch ~batch ~record_count)
+
+let lookup t ~router_id ~epoch =
+  match Hashtbl.find_opt t.states router_id with
+  | None -> None
+  | Some s -> List.find_opt (fun c -> c.Commitment.epoch = epoch) s.entries
+
+let chain_head t ~router_id = Chain.head (state t router_id).chain
+let commitments t ~router_id = List.rev (state t router_id).entries
+
+let routers t =
+  Hashtbl.fold (fun r _ acc -> r :: acc) t.states [] |> List.sort_uniq Int.compare
+
+let export t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun router_id ->
+      List.iter
+        (fun (c : Commitment.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d %d %d %s\n" c.Commitment.router_id
+               c.Commitment.epoch c.Commitment.record_count
+               (Zkflow_hash.Digest32.to_hex c.Commitment.batch)))
+        (commitments t ~router_id))
+    (routers t);
+  Buffer.contents buf
+
+let import text =
+  let board = create () in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go = function
+    | [] -> Ok board
+    | line :: rest -> (
+      match String.split_on_char ' ' (String.trim line) with
+      | [ r; e; n; hex ] -> (
+        match
+          ( int_of_string_opt r,
+            int_of_string_opt e,
+            int_of_string_opt n,
+            Zkflow_util.Hexcodec.decode hex )
+        with
+        | Some router_id, Some epoch, Some record_count, Ok digest
+          when Bytes.length digest = 32 -> (
+          match
+            publish_digest board
+              ~batch:(Zkflow_hash.Digest32.of_bytes digest)
+              ~record_count ~router_id ~epoch
+          with
+          | Ok _ -> go rest
+          | Error msg -> Error msg)
+        | _ -> Error (Printf.sprintf "board import: malformed line %S" line))
+      | _ -> Error (Printf.sprintf "board import: malformed line %S" line))
+  in
+  go lines

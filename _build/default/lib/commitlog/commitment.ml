@@ -1,0 +1,27 @@
+module D = Zkflow_hash.Digest32
+module Chain = Zkflow_hash.Chain
+
+type t = {
+  router_id : int;
+  epoch : int;
+  batch : D.t;
+  chain : D.t;
+  record_count : int;
+}
+
+let of_digest ~prev_chain ~router_id ~epoch ~batch ~record_count =
+  let chain = Chain.extend_digest prev_chain batch in
+  ({ router_id; epoch; batch; chain = Chain.head chain; record_count }, chain)
+
+let of_batch ~prev_chain ~router_id ~epoch records =
+  of_digest ~prev_chain ~router_id ~epoch
+    ~batch:(Zkflow_netflow.Export.batch_hash records)
+    ~record_count:(Array.length records)
+
+let matches t records =
+  D.equal t.batch (Zkflow_netflow.Export.batch_hash records)
+  && Array.length records = t.record_count
+
+let pp ppf t =
+  Format.fprintf ppf "r%d/e%d %s (%d records)" t.router_id t.epoch
+    (D.short t.batch) t.record_count

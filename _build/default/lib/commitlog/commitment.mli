@@ -1,0 +1,36 @@
+(** Per-router, per-window hash commitments (the paper's Section 3
+    integrity mechanism): the digest of a window's exported record
+    batch, chained to the router's previous commitments so neither a
+    window's content nor the sequence of windows can be rewritten. *)
+
+type t = {
+  router_id : int;
+  epoch : int;
+  batch : Zkflow_hash.Digest32.t;     (** hash of the window's record bytes *)
+  chain : Zkflow_hash.Digest32.t;     (** running chain head after this window *)
+  record_count : int;
+}
+
+val of_batch :
+  prev_chain:Zkflow_hash.Chain.t ->
+  router_id:int ->
+  epoch:int ->
+  Zkflow_netflow.Record.t array ->
+  t * Zkflow_hash.Chain.t
+(** Commits a window and advances the router's chain. *)
+
+val of_digest :
+  prev_chain:Zkflow_hash.Chain.t ->
+  router_id:int ->
+  epoch:int ->
+  batch:Zkflow_hash.Digest32.t ->
+  record_count:int ->
+  t * Zkflow_hash.Chain.t
+(** Rebuilds a commitment from an already-computed batch digest (e.g.
+    when importing a published board without the records). *)
+
+val matches : t -> Zkflow_netflow.Record.t array -> bool
+(** Does this batch still hash to the published commitment? The check a
+    verifier (or the aggregation guest) performs before trusting RLogs. *)
+
+val pp : Format.formatter -> t -> unit

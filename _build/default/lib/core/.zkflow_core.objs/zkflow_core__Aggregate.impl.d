@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Bytes Clog Guests Int64 Lazy List Printf Result Unix Zkflow_hash Zkflow_netflow Zkflow_zkproof Zkflow_zkvm

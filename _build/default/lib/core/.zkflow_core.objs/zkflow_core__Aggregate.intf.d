@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Clog Guests Zkflow_hash Zkflow_netflow Zkflow_zkproof Zkflow_zkvm

@@ -1,0 +1,1 @@
+lib/core/clog.ml: Array Bytes Hashtbl Int32 Lazy List Option Zkflow_hash Zkflow_merkle Zkflow_netflow

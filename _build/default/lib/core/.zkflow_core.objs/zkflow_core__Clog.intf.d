@@ -1,0 +1,1 @@
+lib/core/clog.mli: Zkflow_hash Zkflow_merkle Zkflow_netflow

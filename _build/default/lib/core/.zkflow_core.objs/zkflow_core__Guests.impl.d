@@ -1,0 +1,1 @@
+lib/core/guests.ml: Array Asm Clog Guestlib Lazy List Printf Program Result Zkflow_hash Zkflow_netflow Zkflow_zkvm

@@ -1,0 +1,1 @@
+lib/core/guests.mli: Clog Lazy Zkflow_hash Zkflow_netflow Zkflow_zkvm

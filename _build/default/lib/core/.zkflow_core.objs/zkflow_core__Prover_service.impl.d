@@ -1,0 +1,1 @@
+lib/core/prover_service.ml: Aggregate Array Clog Format Guests Int List Printf Query Result Zkflow_commitlog Zkflow_merkle Zkflow_netflow Zkflow_store Zkflow_util Zkflow_zkproof

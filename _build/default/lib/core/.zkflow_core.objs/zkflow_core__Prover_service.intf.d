@@ -1,0 +1,1 @@
+lib/core/prover_service.mli: Aggregate Clog Guests Query Zkflow_commitlog Zkflow_hash Zkflow_merkle Zkflow_netflow Zkflow_store Zkflow_zkproof

@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Clog Guests Lazy Printf Result Unix Zkflow_hash Zkflow_netflow Zkflow_zkproof Zkflow_zkvm

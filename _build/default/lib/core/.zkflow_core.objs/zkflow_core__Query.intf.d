@@ -1,0 +1,1 @@
+lib/core/query.mli: Clog Guests Zkflow_netflow Zkflow_zkproof Zkflow_zkvm

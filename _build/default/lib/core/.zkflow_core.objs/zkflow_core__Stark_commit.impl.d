@@ -1,0 +1,1 @@
+lib/core/stark_commit.ml: Array Clog List Zkflow_field Zkflow_stark

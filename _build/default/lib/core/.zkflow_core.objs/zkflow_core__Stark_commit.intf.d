@@ -1,0 +1,1 @@
+lib/core/stark_commit.mli: Clog Zkflow_field Zkflow_stark

@@ -1,0 +1,1 @@
+lib/core/tamper.ml: Aggregate Array Clog Format Guests Lazy Printf Query Verifier_client Zkflow_hash Zkflow_netflow Zkflow_util Zkflow_zkproof Zkflow_zkvm

@@ -1,0 +1,1 @@
+lib/core/tamper.mli: Format

@@ -1,0 +1,1 @@
+lib/core/verifier_client.ml: Array Clog Guests Lazy List Printf Prover_service Result Zkflow_commitlog Zkflow_hash Zkflow_merkle Zkflow_zkproof

@@ -1,0 +1,1 @@
+lib/core/verifier_client.mli: Clog Guests Prover_service Zkflow_commitlog Zkflow_hash Zkflow_zkproof

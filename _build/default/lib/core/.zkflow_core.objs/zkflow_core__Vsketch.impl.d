@@ -1,0 +1,1 @@
+lib/core/vsketch.ml: Array Int64 Lazy List Printf Result Zkflow_hash Zkflow_lang Zkflow_netflow Zkflow_zkproof Zkflow_zkvm

@@ -1,0 +1,1 @@
+lib/core/vsketch.mli: Zkflow_hash Zkflow_lang Zkflow_netflow Zkflow_zkproof

@@ -1,0 +1,1 @@
+lib/core/zkflow.ml: Aggregate Array Clog Guests List Prover_service Query Result Tamper Verifier_client Zkflow_commitlog Zkflow_netflow Zkflow_store Zkflow_util Zkflow_zkproof

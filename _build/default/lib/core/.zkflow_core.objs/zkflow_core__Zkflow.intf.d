@@ -1,0 +1,1 @@
+lib/core/zkflow.mli: Aggregate Clog Guests Prover_service Query Tamper Verifier_client Zkflow_commitlog Zkflow_store Zkflow_zkproof

@@ -1,0 +1,96 @@
+module Flowkey = Zkflow_netflow.Flowkey
+module Record = Zkflow_netflow.Record
+module Tree = Zkflow_merkle.Tree
+module D = Zkflow_hash.Digest32
+
+type entry = { key : Flowkey.t; metrics : Record.metrics }
+
+let entry_words e =
+  Array.append (Flowkey.to_words e.key)
+    [|
+      e.metrics.Record.packets; e.metrics.Record.bytes;
+      e.metrics.Record.hop_count; e.metrics.Record.losses;
+    |]
+
+let entry_of_words w =
+  if Array.length w <> 8 then Error "clog entry: need 8 words"
+  else
+    match Flowkey.of_words (Array.sub w 0 4) with
+    | Error e -> Error e
+    | Ok key -> (
+      match Record.metrics_of_words (Array.sub w 4 4) with
+      | Error e -> Error e
+      | Ok metrics -> Ok { key; metrics })
+
+let entry_bytes e =
+  let ws = entry_words e in
+  let b = Bytes.create 32 in
+  Array.iteri (fun i w -> Bytes.set_int32_be b (4 * i) (Int32.of_int w)) ws;
+  b
+
+let leaf_digest e = Tree.leaf_hash (entry_bytes e)
+
+type t = {
+  entries : entry array;
+  index : (Flowkey.t, int) Hashtbl.t;
+  lazy_tree : Tree.t Lazy.t;
+}
+
+let build entries =
+  let index = Hashtbl.create (max 16 (Array.length entries)) in
+  Array.iteri (fun i e -> Hashtbl.replace index e.key i) entries;
+  {
+    entries;
+    index;
+    lazy_tree = lazy (Tree.of_leaves (Array.map entry_bytes entries));
+  }
+
+let empty = build [||]
+let entries t = Array.copy t.entries
+let length t = Array.length t.entries
+
+let of_entries es =
+  let keys = Array.to_list es |> List.map (fun e -> e.key) in
+  if List.length (List.sort_uniq Flowkey.compare keys) <> Array.length es then
+    Error "clog: duplicate flow keys"
+  else Ok (build (Array.copy es))
+
+let tree t = Lazy.force t.lazy_tree
+let root t = Tree.root (tree t)
+
+let find t key =
+  Option.map (fun i -> (i, t.entries.(i))) (Hashtbl.find_opt t.index key)
+
+let words t =
+  Array.concat (List.map entry_words (Array.to_list t.entries))
+
+let apply_batch t records =
+  let table = Hashtbl.copy t.index in
+  let metrics = Hashtbl.create (Array.length t.entries + Array.length records) in
+  Array.iteri (fun i e -> Hashtbl.replace metrics i e.metrics) t.entries;
+  let new_keys_rev = ref [] in
+  let n = ref (Array.length t.entries) in
+  Array.iter
+    (fun (r : Record.t) ->
+      match Hashtbl.find_opt table r.Record.key with
+      | Some i ->
+        Hashtbl.replace metrics i
+          (Record.add_metrics (Hashtbl.find metrics i) r.Record.metrics)
+      | None ->
+        Hashtbl.replace table r.Record.key !n;
+        Hashtbl.replace metrics !n r.Record.metrics;
+        new_keys_rev := r.Record.key :: !new_keys_rev;
+        incr n)
+    records;
+  let new_keys = Array.of_list (List.rev !new_keys_rev) in
+  let final =
+    Array.init !n (fun i ->
+        let key =
+          if i < Array.length t.entries then t.entries.(i).key
+          else new_keys.(i - Array.length t.entries)
+        in
+        { key; metrics = Hashtbl.find metrics i })
+  in
+  build final
+
+let empty_root = root empty

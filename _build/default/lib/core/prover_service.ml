@@ -1,0 +1,158 @@
+module Db = Zkflow_store.Db
+module Board = Zkflow_commitlog.Board
+module Commitment = Zkflow_commitlog.Commitment
+
+type t = {
+  proof_params : Zkflow_zkproof.Params.t;
+  db : Db.t;
+  board : Board.t;
+  mutable clog : Clog.t;
+  mutable rounds_rev : Aggregate.round list;
+}
+
+let create ?(proof_params = Zkflow_zkproof.Params.default) ~db ~board () =
+  { proof_params; db; board; clog = Clog.empty; rounds_rev = [] }
+
+let clog t = t.clog
+let rounds t = List.rev t.rounds_rev
+let latest_root t = Clog.root t.clog
+
+let ( let* ) = Result.bind
+
+let publish_epoch t ~epoch =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | router_id :: rest ->
+      let records = Db.window t.db ~router_id ~epoch in
+      let* c = Board.publish t.board records ~router_id ~epoch in
+      go (c :: acc) rest
+  in
+  go [] (Db.routers t.db)
+
+let aggregate_epoch t ~epoch =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | router_id :: rest -> (
+      match Board.lookup t.board ~router_id ~epoch with
+      | None ->
+        Error
+          (Printf.sprintf
+             "aggregate: router %d has no published commitment for epoch %d"
+             router_id epoch)
+      | Some c ->
+        let records = Db.window t.db ~router_id ~epoch in
+        collect ((c.Commitment.batch, records) :: acc) rest)
+  in
+  let* batches = collect [] (Db.routers t.db) in
+  let* round =
+    Aggregate.prove_round ~params:t.proof_params ~prev:t.clog batches
+  in
+  t.clog <- round.Aggregate.clog;
+  t.rounds_rev <- round :: t.rounds_rev;
+  Ok round
+
+type disclosure = {
+  indices : int list;
+  entries : Clog.entry list;
+  proof : Zkflow_merkle.Multiproof.t;
+}
+
+let disclose t ~keys =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | key :: rest -> (
+      match Clog.find t.clog key with
+      | Some (i, e) -> collect ((i, e) :: acc) rest
+      | None ->
+        Error
+          (Format.asprintf "disclose: flow %a not in the CLog"
+             Zkflow_netflow.Flowkey.pp key))
+  in
+  let* found = collect [] keys in
+  match found with
+  | [] -> Error "disclose: no keys given"
+  | _ ->
+    let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) found in
+    let indices = List.map fst sorted in
+    let entries = List.map snd sorted in
+    let proof = Zkflow_merkle.Multiproof.prove (Clog.tree t.clog) indices in
+    Ok { indices; entries; proof }
+
+(* ---- persistence ---- *)
+
+module Wire = Zkflow_util.Wire
+
+let w_entries w clog =
+  Wire.w_array w
+    (fun (e : Clog.entry) ->
+      Array.iter (fun word -> Wire.w_int w word) (Clog.entry_words e))
+    (Clog.entries clog)
+
+let r_entries r =
+  let entries =
+    Wire.r_array r (fun () ->
+        let words = Array.init 8 (fun _ -> Wire.r_int r) in
+        match Clog.entry_of_words words with
+        | Ok e -> e
+        | Error msg -> raise (Wire.Decode msg))
+  in
+  match Clog.of_entries entries with
+  | Ok clog -> clog
+  | Error msg -> raise (Wire.Decode msg)
+
+let save t =
+  let w = Wire.writer () in
+  Wire.w_string w "zkflow.service.v1";
+  w_entries w t.clog;
+  Wire.w_list w
+    (fun (round : Aggregate.round) ->
+      Wire.w_bytes w (Zkflow_zkproof.Receipt.encode round.Aggregate.receipt);
+      w_entries w round.Aggregate.clog;
+      Wire.w_int w round.Aggregate.cycles)
+    (List.rev t.rounds_rev);
+  Wire.contents w
+
+let load ?proof_params ~db ~board bytes =
+  Wire.decode bytes (fun r ->
+      let magic = Wire.r_string r in
+      if magic <> "zkflow.service.v1" then raise (Wire.Decode "service state: bad magic");
+      let clog = r_entries r in
+      let rounds =
+        Wire.r_list r (fun () ->
+            let receipt_bytes = Wire.r_bytes r in
+            let receipt =
+              match Zkflow_zkproof.Receipt.decode receipt_bytes with
+              | Ok receipt -> receipt
+              | Error msg -> raise (Wire.Decode msg)
+            in
+            let round_clog = r_entries r in
+            let cycles = Wire.r_int r in
+            let journal =
+              match
+                Guests.parse_aggregation_journal
+                  receipt.Zkflow_zkproof.Receipt.claim.Zkflow_zkproof.Receipt.journal
+              with
+              | Ok j -> j
+              | Error msg -> raise (Wire.Decode msg)
+            in
+            {
+              Aggregate.receipt;
+              journal;
+              clog = round_clog;
+              cycles;
+              execute_s = 0.;
+              prove_s = 0.;
+            })
+      in
+      let t = create ?proof_params ~db ~board () in
+      t.clog <- clog;
+      t.rounds_rev <- List.rev rounds;
+      t)
+
+let query t params = Query.prove ~params:t.proof_params ~clog:t.clog params
+
+let query_at t ~round params =
+  let rounds = List.rev t.rounds_rev in
+  match List.nth_opt rounds round with
+  | None -> Error (Printf.sprintf "query_at: no round %d (have %d)" round (List.length rounds))
+  | Some r -> Query.prove ~params:t.proof_params ~clog:r.Aggregate.clog params

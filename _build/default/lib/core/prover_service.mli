@@ -1,0 +1,75 @@
+(** The service provider's prover (Figure 1, left half).
+
+    Owns the operator-side state: reads integrity windows from the
+    shared {!Zkflow_store.Db}, checks them against the public
+    {!Zkflow_commitlog.Board}, runs aggregation rounds (off-path — this
+    is a plain value the operator can host anywhere), and answers
+    queries against the latest committed CLog. *)
+
+type t
+
+val create :
+  ?proof_params:Zkflow_zkproof.Params.t ->
+  db:Zkflow_store.Db.t ->
+  board:Zkflow_commitlog.Board.t ->
+  unit ->
+  t
+
+val clog : t -> Clog.t
+(** Current aggregated state (starts empty). *)
+
+val rounds : t -> Aggregate.round list
+(** Completed rounds, oldest first. *)
+
+val latest_root : t -> Zkflow_hash.Digest32.t
+
+val publish_epoch : t -> epoch:int -> (Zkflow_commitlog.Commitment.t list, string) result
+(** The router-side duty, modelled here for convenience: publish every
+    router's window-[epoch] commitment to the board. Fails if any
+    router already published that epoch. *)
+
+val aggregate_epoch : t -> epoch:int -> (Aggregate.round, string) result
+(** One Algorithm 1 round over epoch [epoch]: windows are read from the
+    store, their {e published} commitments from the board (it is an
+    error if a window was never published), and the guest re-derives
+    and checks everything. On success the service state advances. *)
+
+val query : t -> Guests.query_params -> (Query.result_row, string) result
+(** Prove a query against the latest CLog. *)
+
+val save : t -> bytes
+(** Serialize the service state (CLog entries plus every round's
+    receipt and post-round entries) so an operator can stop and resume
+    across process restarts without re-proving history. *)
+
+val load :
+  ?proof_params:Zkflow_zkproof.Params.t ->
+  db:Zkflow_store.Db.t ->
+  board:Zkflow_commitlog.Board.t ->
+  bytes ->
+  (t, string) result
+(** Inverse of {!save}; wall-clock timings of restored rounds read 0.
+    Fails on malformed bytes or receipts. *)
+
+type disclosure = {
+  indices : int list;                 (** CLog positions, ascending *)
+  entries : Clog.entry list;          (** the disclosed entries, aligned *)
+  proof : Zkflow_merkle.Multiproof.t; (** batched inclusion proof *)
+}
+(** Selective disclosure: with the client's consent (e.g. a legal
+    order covering specific flows), the operator reveals exactly those
+    CLog entries, authenticated against the already-verified root —
+    and provably nothing else is needed to check them. *)
+
+val disclose :
+  t -> keys:Zkflow_netflow.Flowkey.t list -> (disclosure, string) result
+(** Build a disclosure for the given flows against the latest CLog.
+    Fails if any key is absent (use a query with an exact-match
+    predicate to prove absence-of-traffic instead). *)
+
+val query_at : t -> round:int -> Guests.query_params -> (Query.result_row, string) result
+(** Prove a query against the historical CLog state after round
+    [round] (0-based). Every past root stays pinned by its aggregation
+    receipt, so clients can audit any earlier integrity window — the
+    retrospective/interval-query use the paper's related work
+    motivates. *)

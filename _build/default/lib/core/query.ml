@@ -1,0 +1,111 @@
+module D = Zkflow_hash.Digest32
+module Machine = Zkflow_zkvm.Machine
+module Record = Zkflow_netflow.Record
+module Flowkey = Zkflow_netflow.Flowkey
+
+type result_row = {
+  receipt : Zkflow_zkproof.Receipt.t;
+  journal : Guests.query_journal;
+  cycles : int;
+  execute_s : float;
+  prove_s : float;
+}
+
+let ( let* ) = Result.bind
+let mask32 = 0xffffffff
+
+let metric_value (m : Record.metrics) = function
+  | Guests.Packets -> m.Record.packets
+  | Guests.Bytes -> m.Record.bytes
+  | Guests.Hops -> m.Record.hop_count
+  | Guests.Losses -> m.Record.losses
+
+let entry_matches (p : Guests.predicate) (e : Clog.entry) =
+  let w = Clog.entry_words e in
+  let ok field idx = match field with None -> true | Some v -> w.(idx) = v in
+  ok p.Guests.src_ip 0 && ok p.Guests.dst_ip 1 && ok p.Guests.ports 2
+  && ok p.Guests.proto 3
+
+let reference clog (params : Guests.query_params) =
+  let init = match params.Guests.op with Guests.Min -> mask32 | _ -> 0 in
+  Array.fold_left
+    (fun (acc, matches) e ->
+      if entry_matches params.Guests.predicate e then begin
+        let v = metric_value e.Clog.metrics params.Guests.metric in
+        let acc =
+          match params.Guests.op with
+          | Guests.Sum -> (acc + v) land mask32
+          | Guests.Count -> acc + 1
+          | Guests.Max -> max acc v
+          | Guests.Min -> min acc v
+        in
+        (acc, matches + 1)
+      end
+      else (acc, matches))
+    (init, 0) (Clog.entries clog)
+
+let guest_failure = function
+  | 1 -> "query guest: Merkle root mismatch"
+  | 5 -> "query guest: malformed parameters"
+  | n -> Printf.sprintf "query guest: unexpected exit code %d" n
+
+let execute ~clog params =
+  let input = Guests.query_input ~clog params in
+  let program = Lazy.force Guests.query_program in
+  match Machine.run ~trace:true program ~input with
+  | exception Machine.Trap { reason; cycle; pc } ->
+    Error (Printf.sprintf "query guest trapped at cycle %d pc %d: %s" cycle pc reason)
+  | run when run.Machine.exit_code <> 0 -> Error (guest_failure run.Machine.exit_code)
+  | run -> Ok run
+
+let now () = Unix.gettimeofday ()
+
+let prove ?params:proof_params ~clog params =
+  let t0 = now () in
+  let* run = execute ~clog params in
+  let t1 = now () in
+  let program = Lazy.force Guests.query_program in
+  let* receipt = Zkflow_zkproof.Prove.prove_result ?params:proof_params program run in
+  let t2 = now () in
+  let* journal = Guests.parse_query_journal run.Machine.journal in
+  let* () =
+    if D.equal journal.Guests.root (Clog.root clog) then Ok ()
+    else Error "query: journal root diverges from host state"
+  in
+  let* () =
+    if Guests.params_equal journal.Guests.params params then Ok ()
+    else Error "query: journal params diverge"
+  in
+  let expected_result, expected_matches = reference clog params in
+  let* () =
+    if journal.Guests.result = expected_result && journal.Guests.matches = expected_matches
+    then Ok ()
+    else Error "query: guest result diverges from host reference"
+  in
+  Ok
+    {
+      receipt;
+      journal;
+      cycles = run.Machine.cycles;
+      execute_s = t1 -. t0;
+      prove_s = t2 -. t1;
+    }
+
+let sum_hops_between ~src ~dst =
+  {
+    Guests.predicate = { Guests.match_any with Guests.src_ip = Some src; dst_ip = Some dst };
+    op = Guests.Sum;
+    metric = Guests.Hops;
+  }
+
+let loss_of_flow key =
+  let w = Flowkey.to_words key in
+  {
+    Guests.predicate =
+      { Guests.src_ip = Some w.(0); dst_ip = Some w.(1); ports = Some w.(2); proto = Some w.(3) };
+    op = Guests.Sum;
+    metric = Guests.Losses;
+  }
+
+let flow_count =
+  { Guests.predicate = Guests.match_any; op = Guests.Count; metric = Guests.Packets }

@@ -1,0 +1,44 @@
+(** Verifiable queries over the committed CLog state (Section 4.2).
+
+    A query is compiled to guest parameters, executed inside the zkVM
+    against the Merkle-authenticated entries, and returns a receipt
+    whose journal carries the root it ran against, the exact query, the
+    result and the match count — everything a client needs, with no
+    entry data exposed. *)
+
+type result_row = {
+  receipt : Zkflow_zkproof.Receipt.t;
+  journal : Guests.query_journal;
+  cycles : int;
+  execute_s : float;
+  prove_s : float;
+}
+
+val reference : Clog.t -> Guests.query_params -> int * int
+(** Host-side evaluation [(result, matches)] — the value the guest must
+    reproduce; used for cross-checks and tests. *)
+
+val execute :
+  clog:Clog.t -> Guests.query_params ->
+  (Zkflow_zkvm.Machine.result, string) result
+(** Guest run without proving. *)
+
+val prove :
+  ?params:Zkflow_zkproof.Params.t ->
+  clog:Clog.t ->
+  Guests.query_params ->
+  (result_row, string) result
+(** Execute, prove, parse and cross-check against {!reference}. *)
+
+(** Convenience constructors for common audit queries. *)
+
+val sum_hops_between :
+  src:Zkflow_netflow.Ipaddr.t -> dst:Zkflow_netflow.Ipaddr.t -> Guests.query_params
+(** The paper's example: SELECT SUM(hop_count) WHERE src_ip = … AND
+    dst_ip = …. *)
+
+val loss_of_flow : Zkflow_netflow.Flowkey.t -> Guests.query_params
+(** Total losses for one exact 5-tuple. *)
+
+val flow_count : Guests.query_params
+(** COUNT over all flows. *)

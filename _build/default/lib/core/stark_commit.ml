@@ -1,0 +1,31 @@
+module F = Zkflow_field.Babybear
+
+type commitment = F.t
+
+let entry_limbs (e : Clog.entry) =
+  Array.concat
+    (List.map
+       (fun w -> [| F.of_int (w lsr 16); F.of_int (w land 0xffff) |])
+       (Array.to_list (Clog.entry_words e)))
+
+let limbs_of_clog clog =
+  Array.concat (List.map entry_limbs (Array.to_list (Clog.entries clog)))
+
+let commit clog = Zkflow_stark.Airs.absorb_chain_commit ~limbs:(limbs_of_clog clog)
+
+let prove ?queries clog =
+  let limbs = limbs_of_clog clog in
+  let claim = Zkflow_stark.Airs.absorb_chain_commit ~limbs in
+  let air = Zkflow_stark.Airs.absorb_chain ~limbs ~claim in
+  match
+    Zkflow_stark.Stark.prove ?queries air (Zkflow_stark.Airs.absorb_chain_trace ~limbs)
+  with
+  | Ok proof -> Ok (claim, proof)
+  | Error e -> Error e
+
+let verify ?queries clog ~claim proof =
+  let limbs = limbs_of_clog clog in
+  Zkflow_stark.Stark.verify ?queries (Zkflow_stark.Airs.absorb_chain ~limbs ~claim) proof
+
+let verify_limbs ?queries ~limbs ~claim proof =
+  Zkflow_stark.Stark.verify ?queries (Zkflow_stark.Airs.absorb_chain ~limbs ~claim) proof

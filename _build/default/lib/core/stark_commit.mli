@@ -1,0 +1,43 @@
+(** Specialized-proof-system CLog commitments — a working prototype of
+    the paper's Section 7 direction ("switching to more specialized
+    proof systems" for the hashing that dominates aggregation).
+
+    Instead of rebuilding a SHA-256 Merkle tree inside the zkVM, the
+    CLog entries are absorbed limb-by-limb into an algebraic sponge
+    whose every step is one STARK trace row; the {!Zkflow_stark} prover
+    then argues the whole commitment in one polynomial IOP with no
+    virtual-machine overhead. The limbs are public in this prototype
+    (boundary-pinned), so it demonstrates the {e performance} shape,
+    not confidentiality — a production variant would absorb committed
+    values. Benchmarked against the zkVM path in
+    `bench/main.exe ablations`. *)
+
+type commitment = Zkflow_field.Babybear.t
+
+val commit : Clog.t -> commitment
+(** The algebraic commitment to the CLog (entries in canonical order,
+    length-prefixed, zero-padded). *)
+
+val limbs_of_clog : Clog.t -> Zkflow_field.Babybear.t array
+(** The public limb sequence (two 16-bit limbs per entry word). *)
+
+val prove :
+  ?queries:int -> Clog.t -> (commitment * Zkflow_stark.Stark.proof, string) result
+(** Commit and produce the STARK proof. *)
+
+val verify :
+  ?queries:int ->
+  Clog.t ->
+  claim:commitment ->
+  Zkflow_stark.Stark.proof ->
+  (unit, string) result
+(** Re-derives the limb statement from the CLog and checks the proof. *)
+
+val verify_limbs :
+  ?queries:int ->
+  limbs:Zkflow_field.Babybear.t array ->
+  claim:commitment ->
+  Zkflow_stark.Stark.proof ->
+  (unit, string) result
+(** Verification from the raw limb statement (what a remote verifier
+    that only holds the public limbs would run). *)

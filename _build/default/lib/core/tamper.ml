@@ -1,0 +1,119 @@
+module D = Zkflow_hash.Digest32
+module Record = Zkflow_netflow.Record
+module Gen = Zkflow_netflow.Gen
+module Export = Zkflow_netflow.Export
+module Receipt = Zkflow_zkproof.Receipt
+
+type outcome = { scenario : string; detected : bool; detail : string }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-28s %s  %s" o.scenario
+    (if o.detected then "DETECTED" else "MISSED  ")
+    o.detail
+
+let params = Zkflow_zkproof.Params.make ~queries:16
+let rng () = Zkflow_util.Rng.create 0x7a17L
+
+let fresh_batch ?(router_id = 0) n =
+  Gen.records (rng ()) Gen.default_profile ~router_id ~count:n
+
+(* Commit honestly, then hand the prover a modified batch. *)
+let batch_substitution ~scenario ~mutate =
+  let honest = fresh_batch 8 in
+  let claimed = Export.batch_hash honest in
+  let tampered = mutate honest in
+  match Aggregate.prove_round ~params ~prev:Clog.empty [ (claimed, tampered) ] with
+  | Error detail -> { scenario; detected = true; detail }
+  | Ok _ ->
+    {
+      scenario;
+      detected = false;
+      detail = "prover produced an attestation over modified data";
+    }
+
+let record_edit_after_commit () =
+  batch_substitution ~scenario:"edit record post-commit" ~mutate:(fun b ->
+      let t = Array.copy b in
+      t.(3) <-
+        Record.make ~key:t.(3).Record.key
+          { t.(3).Record.metrics with Record.losses = 0 };
+      t)
+
+let record_drop_after_commit () =
+  batch_substitution ~scenario:"drop record post-commit" ~mutate:(fun b ->
+      Array.sub b 0 (Array.length b - 1))
+
+let record_inject_after_commit () =
+  batch_substitution ~scenario:"inject record post-commit" ~mutate:(fun b ->
+      Array.append b [| (fresh_batch ~router_id:9 1).(0) |])
+
+let forge_prev_root () =
+  let scenario = "forge previous CLog" in
+  let clog = Clog.apply_batch Clog.empty (fresh_batch 5) in
+  let batch = fresh_batch ~router_id:1 3 in
+  let input =
+    Guests.aggregation_input ~prev:clog
+      ~batches:[ (Export.batch_hash batch, batch) ]
+  in
+  (* Doctor one previous entry's metrics in the input stream while
+     keeping the honestly-claimed root: words 9.. hold the entries. *)
+  input.(9 + 5) <- input.(9 + 5) lxor 0xff;
+  let program = Lazy.force Guests.aggregation_program in
+  match Zkflow_zkvm.Machine.run ~trace:true program ~input with
+  | exception Zkflow_zkvm.Machine.Trap _ ->
+    { scenario; detected = true; detail = "guest trapped" }
+  | run when run.Zkflow_zkvm.Machine.exit_code = 1 ->
+    {
+      scenario;
+      detected = true;
+      detail = "aggregation guest: previous Merkle root mismatch (exit 1)";
+    }
+  | run when run.Zkflow_zkvm.Machine.exit_code <> 0 ->
+    {
+      scenario;
+      detected = true;
+      detail =
+        Printf.sprintf "guest refused with exit %d" run.Zkflow_zkvm.Machine.exit_code;
+    }
+  | _ ->
+    { scenario; detected = false; detail = "guest accepted doctored previous state" }
+
+let forge_query_state () =
+  let scenario = "query against stale root" in
+  let clog1 = Clog.apply_batch Clog.empty (fresh_batch 5) in
+  let clog2 = Clog.apply_batch clog1 (fresh_batch ~router_id:1 5) in
+  (* Operator proves the query against the stale clog1 but the client
+     pins clog2's root. *)
+  match Query.prove ~params ~clog:clog1 Query.flow_count with
+  | Error e -> { scenario; detected = true; detail = e }
+  | Ok row -> (
+    match
+      Verifier_client.verify_query ~expected_root:(Clog.root clog2) row.Query.receipt
+    with
+    | Error detail -> { scenario; detected = true; detail }
+    | Ok _ -> { scenario; detected = false; detail = "client accepted stale root" })
+
+let forge_journal_result () =
+  let scenario = "alter result in journal" in
+  let clog = Clog.apply_batch Clog.empty (fresh_batch 5) in
+  match Query.prove ~params ~clog Query.flow_count with
+  | Error e -> { scenario; detected = true; detail = e }
+  | Ok row -> (
+    let receipt = row.Query.receipt in
+    let claim = receipt.Receipt.claim in
+    let journal = Array.copy claim.Receipt.journal in
+    journal.(18) <- journal.(18) + 1;
+    let forged = { receipt with Receipt.claim = { claim with Receipt.journal } } in
+    match Verifier_client.verify_query ~expected_root:(Clog.root clog) forged with
+    | Error detail -> { scenario; detected = true; detail }
+    | Ok _ -> { scenario; detected = false; detail = "client accepted forged result" })
+
+let all () =
+  [
+    record_edit_after_commit ();
+    record_drop_after_commit ();
+    record_inject_after_commit ();
+    forge_prev_root ();
+    forge_query_state ();
+    forge_journal_result ();
+  ]

@@ -1,0 +1,38 @@
+(** Fault-injection scenarios for the Figure 3 / Section 5 analysis:
+    each function sets up an honest deployment, applies one adversarial
+    action, and reports where the pipeline caught it. Used by the
+    tamper benchmark and the tamper-detection example. *)
+
+type outcome = {
+  scenario : string;
+  detected : bool;
+  detail : string; (** where/how detection happened (or why not) *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val record_edit_after_commit : unit -> outcome
+(** Operator edits one RLog metric in the store after the router
+    published the window commitment: the aggregation guest's hash
+    check must fail (exit 2), so no attestation exists. *)
+
+val record_drop_after_commit : unit -> outcome
+(** Operator deletes an embarrassing record after commitment. *)
+
+val record_inject_after_commit : unit -> outcome
+(** Operator injects a fabricated record after commitment. *)
+
+val forge_prev_root : unit -> outcome
+(** Operator feeds round k a doctored previous CLog: the in-guest
+    Merkle rebuild must mismatch the claimed root (exit 1). *)
+
+val forge_query_state : unit -> outcome
+(** Operator answers a query against a stale/doctored CLog root: the
+    client's root-linkage check must reject the receipt. *)
+
+val forge_journal_result : unit -> outcome
+(** Operator alters the query result in a receipt's journal: receipt
+    verification itself must fail (Fiat–Shamir binds the journal). *)
+
+val all : unit -> outcome list
+(** Every scenario above, in order. *)

@@ -1,0 +1,85 @@
+module D = Zkflow_hash.Digest32
+module Receipt = Zkflow_zkproof.Receipt
+module Verify = Zkflow_zkproof.Verify
+module Board = Zkflow_commitlog.Board
+module Commitment = Zkflow_commitlog.Commitment
+
+type verified_chain = { final_root : D.t; round_count : int }
+
+let ( let* ) = Result.bind
+
+let verify_round ?expected_prev ~board ~epoch receipt =
+  let program = Lazy.force Guests.aggregation_program in
+  let* () = Verify.verify ~program receipt in
+  let* journal =
+    Guests.parse_aggregation_journal receipt.Receipt.claim.Receipt.journal
+  in
+  let* () =
+    match expected_prev with
+    | None -> Ok ()
+    | Some root ->
+      if D.equal root journal.Guests.prev_root then Ok ()
+      else Error "client: aggregation round does not chain from expected root"
+  in
+  (* Every router digest the guest consumed must be a commitment that
+     was actually published for this epoch. *)
+  let published = Board.routers board in
+  let* () =
+    if List.length published <> List.length journal.Guests.router_digests then
+      Error "client: round covers a different router set than the board"
+    else Ok ()
+  in
+  let rec check_routers routers digests =
+    match (routers, digests) with
+    | [], [] -> Ok ()
+    | router_id :: rs, digest :: ds -> (
+      match Board.lookup board ~router_id ~epoch with
+      | None ->
+        Error (Printf.sprintf "client: router %d published nothing for epoch %d" router_id epoch)
+      | Some c ->
+        if D.equal c.Commitment.batch digest then check_routers rs ds
+        else
+          Error
+            (Printf.sprintf "client: router %d digest differs from the board" router_id))
+    | _ -> Error "client: router digest arity mismatch"
+  in
+  let* () = check_routers published journal.Guests.router_digests in
+  Ok journal
+
+let verify_chain ~board rounds =
+  let rec go prev count = function
+    | [] -> Ok { final_root = prev; round_count = count }
+    | (epoch, receipt) :: rest ->
+      let* journal = verify_round ~expected_prev:prev ~board ~epoch receipt in
+      go journal.Guests.new_root (count + 1) rest
+  in
+  go Clog.empty_root 0 rounds
+
+let verify_query ~expected_root receipt =
+  let program = Lazy.force Guests.query_program in
+  let* () = Verify.verify ~program receipt in
+  let* journal = Guests.parse_query_journal receipt.Receipt.claim.Receipt.journal in
+  if D.equal journal.Guests.root expected_root then Ok journal
+  else Error "client: query ran against a different CLog root"
+
+let verify_disclosure ~expected_root (d : Prover_service.disclosure) =
+  let* () =
+    if List.length d.Prover_service.indices = List.length d.Prover_service.entries
+    then Ok ()
+    else Error "client: disclosure arity mismatch"
+  in
+  let* () =
+    if d.Prover_service.indices = Zkflow_merkle.Multiproof.indices d.Prover_service.proof
+    then Ok ()
+    else Error "client: disclosure indices do not match the proof"
+  in
+  let leaf_hashes =
+    Array.of_list (List.map Clog.leaf_digest d.Prover_service.entries)
+  in
+  if Zkflow_merkle.Multiproof.verify ~root:expected_root d.Prover_service.proof leaf_hashes
+  then Ok d.Prover_service.entries
+  else Error "client: disclosure does not authenticate against the CLog root"
+
+let check_sla ~expected_root receipt ~predicate =
+  let* journal = verify_query ~expected_root receipt in
+  Ok (predicate ~result:journal.Guests.result ~matches:journal.Guests.matches)

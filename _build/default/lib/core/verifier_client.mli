@@ -1,0 +1,63 @@
+(** The client-side verifier (Figure 1, right half).
+
+    A client holds only public material — the two guest image IDs, the
+    commitment {!Zkflow_commitlog.Board}, and the receipts the operator
+    hands over. It never sees RLogs or CLogs. Verification checks, per
+    Section 4.2:
+
+    + every aggregation receipt is cryptographically valid and runs the
+      pinned aggregation guest;
+    + the rounds chain: round k's [prev_root] equals round k−1's
+      [new_root], starting from the empty root;
+    + every router digest a round consumed equals the commitment that
+      router published on the board for that epoch;
+    + a query receipt is valid, runs the pinned query guest, and its
+      journal root equals the latest aggregated root — then its result
+      can be trusted. *)
+
+type verified_chain = {
+  final_root : Zkflow_hash.Digest32.t;
+  round_count : int;
+}
+
+val verify_round :
+  ?expected_prev:Zkflow_hash.Digest32.t ->
+  board:Zkflow_commitlog.Board.t ->
+  epoch:int ->
+  Zkflow_zkproof.Receipt.t ->
+  (Guests.agg_journal, string) result
+(** Verify one aggregation receipt: proof validity, image ID, board
+    cross-check for [epoch], and (when given) the [expected_prev]
+    linkage. *)
+
+val verify_chain :
+  board:Zkflow_commitlog.Board.t ->
+  (int * Zkflow_zkproof.Receipt.t) list ->
+  (verified_chain, string) result
+(** Verify a whole history of [(epoch, receipt)] rounds, oldest first,
+    threading the root linkage from the empty CLog. *)
+
+val verify_query :
+  expected_root:Zkflow_hash.Digest32.t ->
+  Zkflow_zkproof.Receipt.t ->
+  (Guests.query_journal, string) result
+(** Verify a query receipt against the aggregated root the client just
+    established via {!verify_chain}. Returns the journal, whose
+    [result]/[matches] are then trustworthy. *)
+
+val verify_disclosure :
+  expected_root:Zkflow_hash.Digest32.t ->
+  Prover_service.disclosure ->
+  (Clog.entry list, string) result
+(** Check a selective disclosure against the aggregated root the client
+    already verified: the batched Merkle proof must authenticate
+    exactly the claimed entries at the claimed positions. Returns the
+    now-trustworthy entries. *)
+
+val check_sla :
+  expected_root:Zkflow_hash.Digest32.t ->
+  Zkflow_zkproof.Receipt.t ->
+  predicate:(result:int -> matches:int -> bool) ->
+  (bool, string) result
+(** Convenience for SLA-style audits: verify, then evaluate a client-
+    chosen predicate over the attested result. *)

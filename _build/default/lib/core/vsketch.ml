@@ -1,0 +1,148 @@
+module D = Zkflow_hash.Digest32
+module Flowkey = Zkflow_netflow.Flowkey
+module Zirc = Zkflow_lang.Zirc
+
+let width = 1024
+let depth = 4
+let mask32 = 0xffffffff
+
+(* Per-row seeds and the multiplicative mixing constants shared
+   verbatim between the host implementation and the generated guest. *)
+let seeds = [| 0x9e3779b9; 0x85ebca6b; 0xc2b2ae35; 0x27d4eb2f |]
+let c1 = 2654435761
+let c2 = 2246822519
+let c3 = 3266489917
+
+let m32 a b = Int64.to_int (Int64.logand (Int64.mul (Int64.of_int a) (Int64.of_int b)) 0xFFFFFFFFL)
+
+let bucket ~row key =
+  let k = Flowkey.to_words key in
+  let h = k.(0) in
+  let h = m32 h c1 lxor k.(1) in
+  let h = m32 h c2 lxor k.(2) in
+  let h = m32 h c3 lxor k.(3) in
+  let h = h lxor seeds.(row) in
+  let h = m32 h c1 in
+  let h = h lxor (h lsr 16) in
+  h land (width - 1)
+
+type t = { cells : int array }
+
+let create () = { cells = Array.make (width * depth) 0 }
+
+let add t ?(count = 1) key =
+  if count <= 0 then invalid_arg "Vsketch.add: count must be positive";
+  for row = 0 to depth - 1 do
+    let i = (row * width) + bucket ~row key in
+    t.cells.(i) <- (t.cells.(i) + count) land mask32
+  done
+
+let estimate t key =
+  let best = ref mask32 in
+  for row = 0 to depth - 1 do
+    let v = t.cells.((row * width) + bucket ~row key) in
+    if v < !best then best := v
+  done;
+  !best
+
+let to_words t = Array.copy t.cells
+
+let commitment t =
+  D.hash_bytes (Zkflow_zkvm.Machine.journal_bytes t.cells)
+
+(* ---- guest memory map (word addresses) ---- *)
+
+let comm_at = 0x200
+let computed_at = 0x300
+let key_at = 0x100
+let cells_at = 0x1000
+let cell_count = width * depth
+
+let query_program : Zirc.program =
+  let open Zirc in
+  let var v = Var v in
+  (* left-deep mixing chain keeps expression depth at 2 *)
+  let mix row =
+    let k i = Load (Int (key_at + i)) in
+    (* h = ((k0*c1 ^ k1)*c2 ^ k2)*c3 ^ k3 ^ seed, then * c1; the
+       left-deep shape keeps Zirc's register stack at depth 2 *)
+    Bin
+      ( Mul,
+        Bin
+          ( Xor,
+            Bin
+              ( Xor,
+                Bin (Mul, Bin (Xor, Bin (Mul, Bin (Xor, Bin (Mul, k 0, Int c1), k 1), Int c2), k 2), Int c3),
+                k 3 ),
+            Int seeds.(row) ),
+        Int c1 )
+  in
+  let per_row row =
+    let h = Printf.sprintf "h%d" row in
+    let idx = Printf.sprintf "i%d" row in
+    let cell = Printf.sprintf "c%d" row in
+    [
+      Let (h, mix row);
+      Let (idx, Bin (And, Bin (Xor, var h, Bin (Shr, var h, Int 16)), Int (width - 1)));
+      Let (cell, Load (Bin (Add, Int (cells_at + (row * width)), var idx)));
+      If (Bin (Lt, var cell, var "est"), [ Set ("est", var cell) ], []);
+    ]
+  in
+  [
+    Read_words { dst = Int comm_at; count = Int 8 };
+    Read_words { dst = Int cells_at; count = Int cell_count };
+    Read_words { dst = Int key_at; count = Int 4 };
+    Sha { src = Int cells_at; words = Int cell_count; dst = Int computed_at };
+    If (Cmp8 (Int computed_at, Int comm_at), [], [ Halt (Int 1) ]);
+    Commit_words { src = Int comm_at; count = Int 8 };
+    Commit_words { src = Int key_at; count = Int 4 };
+    Let ("est", Int mask32);
+  ]
+  @ List.concat_map per_row [ 0; 1; 2; 3 ]
+  @ [ Commit (Var "est") ]
+
+let compiled = lazy (Zirc.compile query_program)
+
+let query_input t key =
+  Array.concat
+    [
+      Zkflow_zkvm.Guestlib.words_of_digest (D.to_bytes (commitment t));
+      t.cells;
+      Flowkey.to_words key;
+    ]
+
+type attested = { commitment : D.t; key : Flowkey.t; estimate : int }
+
+let parse_journal journal =
+  if Array.length journal <> 13 then Error "vsketch journal: need 13 words"
+  else begin
+    let commitment =
+      D.of_bytes (Zkflow_zkvm.Guestlib.digest_of_words (Array.sub journal 0 8))
+    in
+    match Flowkey.of_words (Array.sub journal 8 4) with
+    | Error e -> Error e
+    | Ok key -> Ok { commitment; key; estimate = journal.(12) }
+  end
+
+let ( let* ) = Result.bind
+
+let prove ?params t key =
+  let* program = Lazy.force compiled in
+  let* receipt, run =
+    Zkflow_zkproof.Prove.prove ?params program ~input:(query_input t key)
+  in
+  let* attested = parse_journal run.Zkflow_zkvm.Machine.journal in
+  let* () =
+    if attested.estimate = estimate t key then Ok ()
+    else Error "vsketch: guest estimate diverges from host"
+  in
+  Ok (receipt, attested)
+
+let verify ~expected_commitment receipt =
+  let* program = Lazy.force compiled in
+  let* () = Zkflow_zkproof.Verify.verify ~program receipt in
+  let* attested =
+    parse_journal receipt.Zkflow_zkproof.Receipt.claim.Zkflow_zkproof.Receipt.journal
+  in
+  if D.equal attested.commitment expected_commitment then Ok attested
+  else Error "vsketch: receipt is for a different sketch commitment"

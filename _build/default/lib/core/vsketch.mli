@@ -1,0 +1,73 @@
+(** Verifiable sketches: the paper's "can use any logging or sketching
+    algorithm" claim, realized end to end.
+
+    A count-min sketch whose row-hash functions use only 32-bit
+    multiply/xor/shift — so the {e exact} same bucket computation runs
+    on the host (building the sketch) and inside the zkVM (answering
+    queries). A router commits to the sketch cells like it commits to
+    RLogs; {!query_program} generates a Zirc guest that re-hashes the
+    cells against the claimed commitment and computes the count-min
+    estimate for a queried flow, yielding a receipt that attests
+    "estimate e for flow f under sketch commitment c" without exposing
+    any other cell.
+
+    Fixed geometry (width {!width} × depth {!depth}) keeps guest and
+    host trivially in sync. *)
+
+val width : int
+(** 1024 (a power of two; bucket masking). *)
+
+val depth : int
+(** 4 rows. *)
+
+type t
+(** A mutable sketch. *)
+
+val create : unit -> t
+
+val add : t -> ?count:int -> Zkflow_netflow.Flowkey.t -> unit
+(** Count-min update (32-bit wrap, like the guest). *)
+
+val estimate : t -> Zkflow_netflow.Flowkey.t -> int
+(** Min over the key's cells — never underestimates. *)
+
+val bucket : row:int -> Zkflow_netflow.Flowkey.t -> int
+(** The row-hash (exposed so tests can pin guest/host agreement). *)
+
+val to_words : t -> int array
+(** All cells, row-major: the committed encoding. *)
+
+val commitment : t -> Zkflow_hash.Digest32.t
+(** SHA-256 over {!to_words} (big-endian words). *)
+
+val query_program : Zkflow_lang.Zirc.program
+(** The generated guest. Input stream: the claimed commitment
+    (8 words), the [width·depth] cell words, then the 4 flow-key words.
+    Journal: commitment (8 words), key (4 words), estimate. Exit 1 on
+    commitment mismatch. *)
+
+val query_input : t -> Zkflow_netflow.Flowkey.t -> int array
+(** Marshals the guest input for a key. *)
+
+type attested = {
+  commitment : Zkflow_hash.Digest32.t;
+  key : Zkflow_netflow.Flowkey.t;
+  estimate : int;
+}
+
+val parse_journal : int array -> (attested, string) result
+
+val prove :
+  ?params:Zkflow_zkproof.Params.t ->
+  t ->
+  Zkflow_netflow.Flowkey.t ->
+  (Zkflow_zkproof.Receipt.t * attested, string) result
+(** Compile the guest, run, prove; cross-checks the guest's estimate
+    against the host's. *)
+
+val verify :
+  expected_commitment:Zkflow_hash.Digest32.t ->
+  Zkflow_zkproof.Receipt.t ->
+  (attested, string) result
+(** Client side: receipt validity against the pinned generated guest,
+    plus commitment linkage. *)

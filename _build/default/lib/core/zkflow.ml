@@ -1,0 +1,77 @@
+module Clog = Clog
+module Guests = Guests
+module Aggregate = Aggregate
+module Query = Query
+module Prover_service = Prover_service
+module Verifier_client = Verifier_client
+module Tamper = Tamper
+module Db = Zkflow_store.Db
+module Epoch = Zkflow_store.Epoch
+module Board = Zkflow_commitlog.Board
+module Gen = Zkflow_netflow.Gen
+module Topology = Zkflow_netflow.Topology
+module Router = Zkflow_netflow.Router
+
+type deployment = { db : Db.t; board : Board.t; service : Prover_service.t }
+
+let deploy ?proof_params ?(epoch_interval_ms = 5000) () =
+  let db = Db.create ~epoch:(Epoch.make ~interval_ms:epoch_interval_ms) () in
+  let board = Board.create () in
+  let service = Prover_service.create ?proof_params ~db ~board () in
+  { db; board; service }
+
+type simulation = {
+  deployment : deployment;
+  rounds : (int * Aggregate.round) list;
+  packets : int;
+  records : int;
+}
+
+let ( let* ) = Result.bind
+
+let simulate_and_prove ?(seed = 42L) ?(routers = 4) ?(flows = 30)
+    ?(rate_pps = 200.0) ?(duration_ms = 4000) ?(loss_rate = 0.02) () =
+  if routers <= 0 then invalid_arg "simulate_and_prove: routers";
+  (* Fast proving defaults for a quickstart-sized run. *)
+  let deployment =
+    deploy ~proof_params:(Zkflow_zkproof.Params.make ~queries:16) ()
+  in
+  let rng = Zkflow_util.Rng.create seed in
+  let profile = { Gen.default_profile with Gen.flow_count = flows } in
+  let flow_keys = Gen.flows rng profile in
+  let packets =
+    Gen.packets rng profile ~flows:flow_keys ~rate_pps ~duration_ms
+  in
+  let topology =
+    Topology.linear
+      (List.init routers (fun id ->
+           { Zkflow_netflow.Router.id; active_timeout_ms = 60_000; inactive_timeout_ms = 30_000; sampling_interval = 1 }))
+  in
+  let losses = Array.make routers loss_rate in
+  List.iter (Topology.inject topology ~rng ~loss_rate:losses) packets;
+  (* End of run: force-export everything, stamped into the last epoch. *)
+  let now = duration_ms in
+  let records = ref 0 in
+  List.iter
+    (fun (_, recs) ->
+      List.iter
+        (fun r ->
+          incr records;
+          Db.insert deployment.db r)
+        recs)
+    (Topology.flush topology ~now);
+  (* Publish and prove every epoch that has data. *)
+  let epochs = Db.epochs deployment.db in
+  let rec run_epochs acc = function
+    | [] -> Ok (List.rev acc)
+    | epoch :: rest ->
+      let* _ = Prover_service.publish_epoch deployment.service ~epoch in
+      let* round = Prover_service.aggregate_epoch deployment.service ~epoch in
+      run_epochs ((epoch, round) :: acc) rest
+  in
+  let* rounds = run_epochs [] epochs in
+  Ok { deployment; rounds; packets = List.length packets; records = !records }
+
+let verify_simulation sim =
+  Verifier_client.verify_chain ~board:sim.deployment.board
+    (List.map (fun (epoch, round) -> (epoch, round.Aggregate.receipt)) sim.rounds)

@@ -1,0 +1,1 @@
+lib/field/babybear.ml: Array Bytes Char Format Int Int64 Zkflow_util

@@ -1,0 +1,1 @@
+lib/field/babybear.mli: Format Zkflow_util

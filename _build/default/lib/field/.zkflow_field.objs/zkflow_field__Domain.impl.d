@@ -1,0 +1,1 @@
+lib/field/domain.ml: Array Babybear Fp2

@@ -1,0 +1,1 @@
+lib/field/domain.mli: Babybear Fp2

@@ -1,0 +1,1 @@
+lib/field/fp2.ml: Babybear Bytes Format Int32

@@ -1,0 +1,1 @@
+lib/field/fp2.mli: Babybear Format Zkflow_util

@@ -1,0 +1,1 @@
+lib/field/ntt.mli: Babybear

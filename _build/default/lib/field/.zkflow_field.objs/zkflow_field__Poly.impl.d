@@ -1,0 +1,1 @@
+lib/field/poly.ml: Array Babybear Format Fp2 List Ntt

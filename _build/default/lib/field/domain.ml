@@ -1,0 +1,31 @@
+module F = Babybear
+
+type t = { log_size : int; size : int; omega : F.t; shift : F.t }
+
+let coset ~log_size ~shift =
+  if shift = F.zero then invalid_arg "Domain.coset: zero shift";
+  if log_size < 0 || log_size > F.two_adicity then
+    invalid_arg "Domain.coset: log_size out of range";
+  {
+    log_size;
+    size = 1 lsl log_size;
+    omega = F.root_of_unity log_size;
+    shift;
+  }
+
+let subgroup ~log_size = coset ~log_size ~shift:F.one
+let element d i = F.mul d.shift (F.pow d.omega (((i mod d.size) + d.size) mod d.size))
+
+let elements d =
+  let out = Array.make d.size F.zero in
+  let acc = ref d.shift in
+  for i = 0 to d.size - 1 do
+    out.(i) <- !acc;
+    acc := F.mul !acc d.omega
+  done;
+  out
+
+let zerofier_eval d x = F.sub (F.pow x d.size) (F.pow d.shift d.size)
+
+let zerofier_eval_fp2 d x =
+  Fp2.sub (Fp2.pow x d.size) (Fp2.of_base (F.pow d.shift d.size))

@@ -1,0 +1,29 @@
+(** Evaluation domains: multiplicative cosets [shift · ⟨ω⟩] of power-of-
+    two order, as used for trace and low-degree-extension domains in the
+    STARK. *)
+
+type t = private {
+  log_size : int;
+  size : int;
+  omega : Babybear.t;       (** generator of the size-[size] subgroup *)
+  shift : Babybear.t;       (** coset shift; 1 for the plain subgroup *)
+}
+
+val subgroup : log_size:int -> t
+(** The subgroup domain of size [2^log_size] (shift 1). *)
+
+val coset : log_size:int -> shift:Babybear.t -> t
+(** A shifted coset. [shift] must be non-zero. *)
+
+val element : t -> int -> Babybear.t
+(** [element d i] is [shift · ωⁱ]. Index taken mod [size]. *)
+
+val elements : t -> Babybear.t array
+(** All domain elements in index order. *)
+
+val zerofier_eval : t -> Babybear.t -> Babybear.t
+(** [zerofier_eval d x] is [x^size − shift^size]: the vanishing
+    polynomial of the domain, evaluated at [x] in O(log size). *)
+
+val zerofier_eval_fp2 : t -> Fp2.t -> Fp2.t
+(** Same, at an extension point. *)

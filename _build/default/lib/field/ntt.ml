@@ -1,0 +1,80 @@
+module F = Babybear
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_pow2 n) then invalid_arg "Ntt.log2: not a power of two";
+  let rec go k n = if n = 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let bit_reverse_permute a =
+  let n = Array.length a in
+  let bits = log2 n in
+  for i = 0 to n - 1 do
+    (* Reverse the low [bits] bits of i. *)
+    let j = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then j := !j lor (1 lsl (bits - 1 - b))
+    done;
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end
+  done
+
+(* Iterative Cooley–Tukey, decimation in time. [root] must have order
+   exactly [Array.length a]. *)
+let transform root a =
+  let n = Array.length a in
+  if n = 1 then ()
+  else begin
+    bit_reverse_permute a;
+    let len = ref 2 in
+    while !len <= n do
+      let w_len = F.pow root (n / !len) in
+      let half = !len / 2 in
+      let i = ref 0 in
+      while !i < n do
+        let w = ref F.one in
+        for j = 0 to half - 1 do
+          let u = a.(!i + j) and v = F.mul a.(!i + j + half) !w in
+          a.(!i + j) <- F.add u v;
+          a.(!i + j + half) <- F.sub u v;
+          w := F.mul !w w_len
+        done;
+        i := !i + !len
+      done;
+      len := !len lsl 1
+    done
+  end
+
+let forward coeffs =
+  let n = Array.length coeffs in
+  if not (is_pow2 n) then invalid_arg "Ntt.forward: size not a power of two";
+  let a = Array.copy coeffs in
+  transform (F.root_of_unity (log2 n)) a;
+  a
+
+let inverse evals =
+  let n = Array.length evals in
+  if not (is_pow2 n) then invalid_arg "Ntt.inverse: size not a power of two";
+  let a = Array.copy evals in
+  transform (F.inv (F.root_of_unity (log2 n))) a;
+  let n_inv = F.inv (F.of_int n) in
+  Array.map (fun x -> F.mul x n_inv) a
+
+let scale_coeffs coeffs shift =
+  (* p(shift · x) has coefficients c_i · shift^i. *)
+  let acc = ref F.one in
+  Array.map
+    (fun c ->
+      let r = F.mul c !acc in
+      acc := F.mul !acc shift;
+      r)
+    coeffs
+
+let forward_coset ~shift coeffs = forward (scale_coeffs coeffs shift)
+
+let inverse_coset ~shift evals =
+  scale_coeffs (inverse evals) (F.inv shift)

@@ -1,0 +1,132 @@
+module F = Babybear
+
+type t = F.t array (* invariant: no trailing zero *)
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = F.zero do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_coeffs a = normalize (Array.copy a)
+let coeffs p = Array.copy p
+let zero = [||]
+let one = [| F.one |]
+let constant c = if c = F.zero then zero else [| c |]
+let x = [| F.zero; F.one |]
+let degree p = Array.length p - 1
+let is_zero p = Array.length p = 0
+let equal a b = a = b
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get p i = if i < Array.length p then p.(i) else F.zero in
+  normalize (Array.init n (fun i -> F.add (get a i) (get b i)))
+
+let sub a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get p i = if i < Array.length p then p.(i) else F.zero in
+  normalize (Array.init n (fun i -> F.sub (get a i) (get b i)))
+
+let scale k p =
+  if k = F.zero then zero else normalize (Array.map (F.mul k) p)
+
+let naive_mul a b =
+  let out = Array.make (Array.length a + Array.length b - 1) F.zero in
+  Array.iteri
+    (fun i ai ->
+      Array.iteri (fun j bj -> out.(i + j) <- F.add out.(i + j) (F.mul ai bj)) b)
+    a;
+  out
+
+let ntt_cutoff = 64
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else if Array.length a < ntt_cutoff || Array.length b < ntt_cutoff then
+    normalize (naive_mul a b)
+  else begin
+    let out_len = Array.length a + Array.length b - 1 in
+    let size = ref 1 in
+    while !size < out_len do size := !size lsl 1 done;
+    let pad p = Array.init !size (fun i -> if i < Array.length p then p.(i) else F.zero) in
+    let fa = Ntt.forward (pad a) and fb = Ntt.forward (pad b) in
+    let prod = Array.map2 F.mul fa fb in
+    normalize (Array.sub (Ntt.inverse prod) 0 out_len)
+  end
+
+let eval p pt =
+  let acc = ref F.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := F.add (F.mul !acc pt) p.(i)
+  done;
+  !acc
+
+let eval_fp2 p pt =
+  let acc = ref Fp2.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Fp2.add (Fp2.mul !acc pt) (Fp2.of_base p.(i))
+  done;
+  !acc
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if degree a < degree b then (zero, a)
+  else begin
+    let r = Array.copy a in
+    let db = degree b and da = degree a in
+    let lead_inv = F.inv b.(degree b) in
+    let q = Array.make (da - db + 1) F.zero in
+    for i = da - db downto 0 do
+      let c = F.mul r.(i + db) lead_inv in
+      q.(i) <- c;
+      if c <> F.zero then
+        for j = 0 to db do
+          r.(i + j) <- F.sub r.(i + j) (F.mul c b.(j))
+        done
+    done;
+    (normalize q, normalize r)
+  end
+
+let div_by_linear p a =
+  (* Synthetic division by (X - a); the remainder p(a) is dropped. *)
+  let n = Array.length p in
+  if n <= 1 then zero
+  else begin
+    let q = Array.make (n - 1) F.zero in
+    let carry = ref F.zero in
+    for i = n - 1 downto 1 do
+      carry := F.add p.(i) (F.mul !carry a);
+      q.(i - 1) <- !carry
+    done;
+    normalize q
+  end
+
+let vanishing xs =
+  Array.fold_left (fun acc xi -> mul acc [| F.neg xi; F.one |]) one xs
+
+let interpolate pts =
+  let xs = List.map fst pts in
+  let distinct = List.sort_uniq compare xs in
+  if List.length distinct <> List.length xs then
+    invalid_arg "Poly.interpolate: duplicate abscissae";
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let basis =
+        List.fold_left
+          (fun b (xj, _) ->
+            if xj = xi then b
+            else scale (F.inv (F.sub xi xj)) (mul b [| F.neg xj; F.one |]))
+          one pts
+      in
+      add acc (scale yi basis))
+    zero pts
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if c <> F.zero then
+          if i = 0 then Format.fprintf ppf "%d" c
+          else Format.fprintf ppf " + %d·X^%d" c i)
+      p

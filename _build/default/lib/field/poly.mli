@@ -1,0 +1,60 @@
+(** Dense univariate polynomials over BabyBear.
+
+    A polynomial is its coefficient array, lowest degree first; the
+    representation is kept normalised (no trailing zero coefficient)
+    by the smart constructors here. *)
+
+type t
+(** An immutable polynomial. *)
+
+val of_coeffs : Babybear.t array -> t
+(** [of_coeffs a] normalises (strips trailing zeros) and wraps [a]. *)
+
+val coeffs : t -> Babybear.t array
+(** A copy of the (normalised) coefficient vector; [zero] yields
+    [[||]]. *)
+
+val zero : t
+val one : t
+
+val constant : Babybear.t -> t
+val x : t
+(** The monomial X. *)
+
+val degree : t -> int
+(** [degree zero] is [-1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Babybear.t -> t -> t
+
+val mul : t -> t -> t
+(** Product; uses the NTT above the naive-multiplication cutoff. *)
+
+val eval : t -> Babybear.t -> Babybear.t
+(** Horner evaluation. *)
+
+val eval_fp2 : t -> Fp2.t -> Fp2.t
+(** Evaluation at an extension-field point. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q·b + r], [degree r < degree b].
+    Raises [Division_by_zero] when [b] is zero. *)
+
+val div_by_linear : t -> Babybear.t -> t
+(** [div_by_linear p a] is the quotient [(p − p(a)) / (X − a)] — the
+    exact quotient of [p - constant (eval p a)]; used when opening
+    committed polynomials. *)
+
+val interpolate : (Babybear.t * Babybear.t) list -> t
+(** Lagrange interpolation through distinct points. Raises
+    [Invalid_argument] on duplicate abscissae. Quadratic; use the NTT
+    for structured domains. *)
+
+val vanishing : Babybear.t array -> t
+(** [vanishing xs] is ∏ (X − xᵢ). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hash/chain.ml: Bytes Digest32 List Sha256

@@ -1,0 +1,1 @@
+lib/hash/chain.mli: Digest32

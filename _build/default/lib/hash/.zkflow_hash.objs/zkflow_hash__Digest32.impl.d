@@ -1,0 +1,1 @@
+lib/hash/digest32.ml: Bytes Format Sha256 String Zkflow_util

@@ -1,0 +1,1 @@
+lib/hash/digest32.mli: Format

@@ -1,0 +1,1 @@
+lib/hash/hmac.ml: Buffer Bytes Char Sha256 Zkflow_util

@@ -1,0 +1,1 @@
+lib/hash/transcript.ml: Array Buffer Bytes Digest32 Int64 Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/hash/transcript.mli: Digest32

@@ -1,0 +1,14 @@
+type t = Digest32.t
+
+let domain = Bytes.of_string "zkflow.chain"
+let genesis = Digest32.hash_string "zkflow.chain.genesis"
+let of_digest d = d
+
+let extend t item =
+  Digest32.of_bytes
+    (Sha256.digest_concat [ domain; Digest32.unsafe_to_bytes t; item ])
+
+let extend_digest t d = extend t (Digest32.unsafe_to_bytes d)
+let head t = t
+let of_list items = List.fold_left extend genesis items
+let equal = Digest32.equal

@@ -1,0 +1,33 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let mac_concat ~key parts =
+  let key = normalize_key key in
+  let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) key
+  and opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
+  let inner = Sha256.digest_concat (ipad :: parts) in
+  Sha256.digest_concat [ opad; inner ]
+
+let mac ~key msg = mac_concat ~key [ msg ]
+
+let verify ~key msg ~tag =
+  Zkflow_util.Bytesx.equal_constant_time (mac ~key msg) tag
+
+let expand ~key ~info n =
+  if n > 255 * 32 then invalid_arg "Hmac.expand: output too long";
+  let info = Bytes.of_string info in
+  let buf = Buffer.create n in
+  let prev = ref Bytes.empty in
+  let counter = ref 1 in
+  while Buffer.length buf < n do
+    let block = mac_concat ~key [ !prev; info; Bytes.make 1 (Char.chr !counter) ] in
+    prev := block;
+    incr counter;
+    Buffer.add_bytes buf block
+  done;
+  Bytes.sub (Buffer.to_bytes buf) 0 n

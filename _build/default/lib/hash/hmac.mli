@@ -1,0 +1,18 @@
+(** HMAC-SHA256 (RFC 2104). Used for the designated-verifier seal in
+    the zk proof wrap and for simulated TEE attestation keys. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. Keys longer than the
+    64-byte block are hashed first, per the RFC. *)
+
+val mac_concat : key:bytes -> bytes list -> bytes
+(** [mac_concat ~key parts] authenticates the concatenation of [parts]
+    without materialising it. *)
+
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** [verify ~key msg ~tag] recomputes and compares in constant time. *)
+
+val expand : key:bytes -> info:string -> int -> bytes
+(** [expand ~key ~info n] derives [n] pseudo-random bytes from [key]
+    using counter-mode HMAC (an HKDF-expand shaped construction).
+    Raises [Invalid_argument] if [n > 255 * 32]. *)

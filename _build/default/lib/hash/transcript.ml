@@ -1,0 +1,44 @@
+type t = { mutable state : bytes }
+
+let frame label payload =
+  let buf = Buffer.create (String.length label + Bytes.length payload + 16) in
+  Buffer.add_string buf (string_of_int (String.length label));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf label;
+  Buffer.add_string buf (string_of_int (Bytes.length payload));
+  Buffer.add_char buf ':';
+  Buffer.add_bytes buf payload;
+  Buffer.to_bytes buf
+
+let create ~domain =
+  { state = Sha256.digest (frame "zkflow.transcript.domain" (Bytes.of_string domain)) }
+
+let absorb_bytes t ~label b =
+  t.state <- Sha256.digest_concat [ t.state; frame label b ]
+
+let absorb_digest t ~label d = absorb_bytes t ~label (Digest32.to_bytes d)
+
+let absorb_int t ~label n =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int n);
+  absorb_bytes t ~label b
+
+let challenge_digest t ~label =
+  let out = Sha256.digest_concat [ t.state; frame ("chal:" ^ label) Bytes.empty ] in
+  t.state <- Sha256.digest_concat [ t.state; out ];
+  Digest32.of_bytes out
+
+let challenge_int t ~label ~bound =
+  if bound <= 0 then invalid_arg "Transcript.challenge_int: bound must be positive";
+  (* Rejection sampling over 63-bit draws keeps the result unbiased. *)
+  let rec go () =
+    let d = Digest32.unsafe_to_bytes (challenge_digest t ~label) in
+    let v = Int64.to_int (Bytes.get_int64_be d 0) land max_int in
+    let limit = max_int - (max_int mod bound) in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let challenge_ints t ~label ~bound ~count =
+  Array.init count (fun i ->
+      challenge_int t ~label:(Printf.sprintf "%s.%d" label i) ~bound)

@@ -1,0 +1,1 @@
+lib/lang/zirc.ml: Array Bytes Format Hashtbl Int32 Int64 List Option Printf Zkflow_hash Zkflow_zkvm

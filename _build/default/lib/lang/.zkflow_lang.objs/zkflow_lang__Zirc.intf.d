@@ -1,0 +1,1 @@
+lib/lang/zirc.mli: Format Zkflow_zkvm

@@ -1,0 +1,1 @@
+lib/lang/zirc_parse.ml: Array Format List Printf String Zirc

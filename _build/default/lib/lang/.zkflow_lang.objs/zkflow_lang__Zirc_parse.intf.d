@@ -1,0 +1,1 @@
+lib/lang/zirc_parse.mli: Zirc

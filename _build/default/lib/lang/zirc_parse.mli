@@ -1,0 +1,32 @@
+(** Concrete syntax for {!Zirc}.
+
+    A small C-like surface, one statement per construct:
+
+    {v
+    // count entries above a loss threshold
+    let m = read_word();
+    read_words(0x100000, m * 8);
+    let i = 0; let hits = 0;
+    while i < m {
+      if mem[0x100000 + i*8 + 7] * 100 > mem[0x100000 + i*8 + 4] {
+        hits = hits + 1;
+      } else { }
+      i = i + 1;
+    }
+    commit(hits);
+    v}
+
+    Integers are decimal or 0x-hex; [//] comments to end of line;
+    operators follow C precedence ([*] over [+ -] over shifts over
+    [& ^ |] over comparisons; [<s] is the signed less-than). Builtins:
+    [read_word()], [input_avail()], [cmp8(a,b)] in expressions;
+    [commit(e)], [debug(e)], [halt(e)], [sha(src,words,dst)],
+    [read_words(dst,n)], [commit_words(src,n)],
+    [leaf_hashes(entries,n,out,scratch)], [merkle_root(leaves,n)] as
+    statements. *)
+
+val parse : string -> (Zirc.program, string) result
+(** Parse a full program. Errors carry line/column. *)
+
+val parse_file : string -> (Zirc.program, string) result
+(** Read and parse a file. *)

@@ -1,0 +1,1 @@
+lib/merkle/multiproof.ml: Array Buffer Bytes List Tree Zkflow_hash Zkflow_util

@@ -1,0 +1,1 @@
+lib/merkle/multiproof.mli: Tree Zkflow_hash

@@ -1,0 +1,1 @@
+lib/merkle/proof.ml: Array Buffer Bytes Zkflow_hash Zkflow_util

@@ -1,0 +1,1 @@
+lib/merkle/smt.ml: Array Bytes Char Hashtbl Proof Zkflow_hash

@@ -1,0 +1,1 @@
+lib/merkle/smt.mli: Proof Zkflow_hash

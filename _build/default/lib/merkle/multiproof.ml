@@ -1,0 +1,114 @@
+module D = Zkflow_hash.Digest32
+
+type t = { depth : int; indices : int list; helpers : D.t array }
+
+(* One reduction step: combine the known nodes at a level, consuming a
+   helper digest whenever a sibling is not among the known nodes.
+   [next_helper sibling_idx] supplies helper digests — the prover reads
+   them from the tree and records them; the verifier pops them from the
+   proof in the same deterministic order. *)
+let reduce_level ~next_helper entries =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (idx, h) :: rest ->
+      if idx land 1 = 0 then begin
+        match rest with
+        | (idx', h') :: rest' when idx' = idx + 1 ->
+          go ((idx / 2, D.combine h h') :: acc) rest'
+        | _ -> go ((idx / 2, D.combine h (next_helper (idx lxor 1))) :: acc) rest
+      end
+      else go ((idx / 2, D.combine (next_helper (idx lxor 1)) h) :: acc) rest
+  in
+  go [] entries
+
+let prove tree indices =
+  (match indices with [] -> invalid_arg "Multiproof.prove: empty index set" | _ -> ());
+  let sorted = List.sort_uniq compare indices in
+  if List.length sorted <> List.length indices then
+    invalid_arg "Multiproof.prove: duplicate indices";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Tree.size tree then
+        invalid_arg "Multiproof.prove: index out of range")
+    sorted;
+  let depth = Tree.depth tree in
+  let helpers = ref [] in
+  let nodes = ref (List.map (fun i -> (i, Tree.leaf tree i)) sorted) in
+  for level = 0 to depth - 1 do
+    let next_helper sibling_idx =
+      let node = Tree.node tree ~level sibling_idx in
+      helpers := node :: !helpers;
+      node
+    in
+    nodes := reduce_level ~next_helper !nodes
+  done;
+  { depth; indices = sorted; helpers = Array.of_list (List.rev !helpers) }
+
+let indices t = t.indices
+let helper_count t = Array.length t.helpers
+
+exception Malformed of string
+
+let compute_root t leaf_hashes =
+  if Array.length leaf_hashes <> List.length t.indices then
+    Error "multiproof: leaf count mismatch"
+  else begin
+    let pos = ref 0 in
+    let next_helper _ =
+      if !pos >= Array.length t.helpers then raise (Malformed "multiproof: helper underrun");
+      let h = t.helpers.(!pos) in
+      incr pos;
+      h
+    in
+    let nodes = ref (List.mapi (fun k i -> (i, leaf_hashes.(k))) t.indices) in
+    match
+      for _ = 1 to t.depth do
+        nodes := reduce_level ~next_helper !nodes
+      done
+    with
+    | () -> begin
+      match !nodes with
+      | [ (0, root) ] when !pos = Array.length t.helpers -> Ok root
+      | [ (0, _) ] -> Error "multiproof: unused helpers"
+      | _ -> Error "multiproof: did not reduce to a single root"
+    end
+    | exception Malformed msg -> Error msg
+  end
+
+let verify ~root t leaf_hashes =
+  match compute_root t leaf_hashes with
+  | Ok r -> D.equal r root
+  | Error _ -> false
+
+let encode t =
+  let buf = Buffer.create 64 in
+  Zkflow_util.Varint.write buf t.depth;
+  Zkflow_util.Varint.write buf (List.length t.indices);
+  List.iter (Zkflow_util.Varint.write buf) t.indices;
+  Zkflow_util.Varint.write buf (Array.length t.helpers);
+  Array.iter (fun d -> Buffer.add_bytes buf (D.unsafe_to_bytes d)) t.helpers;
+  Buffer.to_bytes buf
+
+let decode b off =
+  match
+    let depth, off = Zkflow_util.Varint.read b off in
+    let n, off = Zkflow_util.Varint.read b off in
+    let rec read_indices acc off k =
+      if k = 0 then (List.rev acc, off)
+      else
+        let v, off = Zkflow_util.Varint.read b off in
+        read_indices (v :: acc) off (k - 1)
+    in
+    let indices, off = read_indices [] off n in
+    let hn, off = Zkflow_util.Varint.read b off in
+    if depth > 64 || hn > Bytes.length b / 32 then Error "multiproof: implausible sizes"
+    else if off + (32 * hn) > Bytes.length b then Error "multiproof: truncated"
+    else begin
+      let helpers =
+        Array.init hn (fun i -> D.of_bytes (Bytes.sub b (off + (32 * i)) 32))
+      in
+      Ok ({ depth; indices; helpers }, off + (32 * hn))
+    end
+  with
+  | result -> result
+  | exception Invalid_argument msg -> Error msg

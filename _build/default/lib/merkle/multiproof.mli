@@ -1,0 +1,34 @@
+(** Batched Merkle inclusion proofs.
+
+    Proves membership of several leaves of one tree with a single,
+    deduplicated set of helper digests — the aggregation guest uses this
+    to authenticate all CLog entries touched in a round with sublinear
+    proof material (Section 4.1). *)
+
+type t
+(** A multiproof for a fixed set of leaf indices. *)
+
+val prove : Tree.t -> int list -> t
+(** [prove tree indices] builds a proof for the given (distinct) leaf
+    indices. Raises [Invalid_argument] on out-of-range or duplicate
+    indices, or on an empty list. *)
+
+val indices : t -> int list
+(** The proven indices, ascending. *)
+
+val helper_count : t -> int
+(** Number of helper digests carried (for size accounting). *)
+
+val compute_root :
+  t -> Zkflow_hash.Digest32.t array -> (Zkflow_hash.Digest32.t, string) result
+(** [compute_root t leaf_hashes] folds the proof with the claimed leaf
+    hashes (aligned with [indices t], ascending) and returns the implied
+    root. [Error _] when the helper stream is malformed or the leaf
+    count mismatches. *)
+
+val verify :
+  root:Zkflow_hash.Digest32.t -> t -> Zkflow_hash.Digest32.t array -> bool
+(** [verify ~root t leaf_hashes] checks the implied root. *)
+
+val encode : t -> bytes
+val decode : bytes -> int -> (t * int, string) result

@@ -1,0 +1,49 @@
+module D = Zkflow_hash.Digest32
+
+type t = { index : int; siblings : D.t array }
+
+let compute_root t leaf_hash =
+  let acc = ref leaf_hash and idx = ref t.index in
+  Array.iter
+    (fun sib ->
+      acc := if !idx land 1 = 0 then D.combine !acc sib else D.combine sib !acc;
+      idx := !idx lsr 1)
+    t.siblings;
+  !acc
+
+let verify ~root ~leaf_hash t = D.equal root (compute_root t leaf_hash)
+
+(* Leaf rule duplicated from Tree to avoid a dependency cycle; kept in
+   sync by the tests. *)
+let leaf_domain = Bytes.of_string "zkflow.lf.v1"
+
+let verify_data ~root data t =
+  let leaf_hash =
+    D.of_bytes (Zkflow_hash.Sha256.digest_concat [ leaf_domain; data ])
+  in
+  verify ~root ~leaf_hash t
+
+let depth t = Array.length t.siblings
+
+let encode t =
+  let buf = Buffer.create (8 + (32 * Array.length t.siblings)) in
+  Zkflow_util.Varint.write buf t.index;
+  Zkflow_util.Varint.write buf (Array.length t.siblings);
+  Array.iter (fun d -> Buffer.add_bytes buf (D.unsafe_to_bytes d)) t.siblings;
+  Buffer.to_bytes buf
+
+let decode b off =
+  match
+    let index, off = Zkflow_util.Varint.read b off in
+    let count, off = Zkflow_util.Varint.read b off in
+    if count > 64 then Error "Merkle proof: implausible depth"
+    else if off + (32 * count) > Bytes.length b then Error "Merkle proof: truncated"
+    else begin
+      let siblings =
+        Array.init count (fun i -> D.of_bytes (Bytes.sub b (off + (32 * i)) 32))
+      in
+      Ok ({ index; siblings }, off + (32 * count))
+    end
+  with
+  | result -> result
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,28 @@
+(** Merkle inclusion proofs.
+
+    A proof carries the leaf index and the sibling digests from leaf
+    level to the root; the index's bits determine on which side each
+    sibling lies. *)
+
+type t = { index : int; siblings : Zkflow_hash.Digest32.t array }
+
+val compute_root : t -> Zkflow_hash.Digest32.t -> Zkflow_hash.Digest32.t
+(** [compute_root proof leaf_hash] folds the path and returns the
+    implied root. *)
+
+val verify :
+  root:Zkflow_hash.Digest32.t -> leaf_hash:Zkflow_hash.Digest32.t -> t -> bool
+(** [verify ~root ~leaf_hash proof] checks the implied root matches. *)
+
+val verify_data : root:Zkflow_hash.Digest32.t -> bytes -> t -> bool
+(** [verify_data ~root data proof] hashes [data] with the leaf rule of
+    {!Tree} first. *)
+
+val depth : t -> int
+(** Path length. *)
+
+val encode : t -> bytes
+(** Wire encoding: varint index, varint count, then siblings. *)
+
+val decode : bytes -> int -> (t * int, string) result
+(** [decode b off] parses a proof, returning it and the next offset. *)

@@ -1,0 +1,104 @@
+module D = Zkflow_hash.Digest32
+
+(* All levels live in one flat buffer of 32-byte slots: the padded leaf
+   level first, then each parent level, ending with the root. For a
+   padded size p that is 2p − 1 slots; keeping digests unboxed matters
+   because the proof layer builds trees over millions of trace rows. *)
+type t = {
+  buf : Bytes.t;
+  level_off : int array; (* slot offset of each level; length depth+1 *)
+  size : int;            (* real (unpadded) leaf count *)
+  depth : int;
+}
+
+let leaf_domain = Bytes.of_string "zkflow.lf.v1"
+
+let leaf_hash data =
+  D.of_bytes (Zkflow_hash.Sha256.digest_concat [ leaf_domain; data ])
+
+let empty_leaf = D.hash_string "zkflow.empty-leaf"
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (k * 2) in
+  if n <= 1 then 1 else go 1
+
+let log2 p =
+  let rec go k v = if v = 1 then k else go (k + 1) (v / 2) in
+  go 0 p
+
+let build_levels buf level_off depth =
+  (* Parents hash the 64 contiguous bytes of their two children. *)
+  for level = 0 to depth - 1 do
+    let src = level_off.(level) and dst = level_off.(level + 1) in
+    let width = level_off.(level + 1) - level_off.(level) in
+    for i = 0 to (width / 2) - 1 do
+      let h =
+        Zkflow_hash.Sha256.digest_sub buf ~pos:(32 * (src + (2 * i))) ~len:64
+      in
+      Bytes.blit h 0 buf (32 * (dst + i)) 32
+    done
+  done
+
+let of_leaf_hashes hs =
+  let n = Array.length hs in
+  let padded = next_pow2 n in
+  let depth = log2 padded in
+  let level_off = Array.make (depth + 1) 0 in
+  let off = ref 0 and width = ref padded in
+  for level = 0 to depth do
+    level_off.(level) <- !off;
+    off := !off + !width;
+    width := !width / 2
+  done;
+  let buf = Bytes.create (32 * ((2 * padded) - 1)) in
+  for i = 0 to padded - 1 do
+    let d = if i < n then hs.(i) else empty_leaf in
+    Bytes.blit (D.unsafe_to_bytes d) 0 buf (32 * i) 32
+  done;
+  build_levels buf level_off depth;
+  { buf; level_off; size = n; depth }
+
+let of_leaves data = of_leaf_hashes (Array.map leaf_hash data)
+
+let read_slot t slot = D.of_bytes (Bytes.sub t.buf (32 * slot) 32)
+let root t = read_slot t t.level_off.(t.depth)
+let size t = t.size
+let depth t = t.depth
+
+let node t ~level i =
+  if level < 0 || level > t.depth then invalid_arg "Tree.node: level out of range";
+  let width = 1 lsl (t.depth - level) in
+  if i < 0 || i >= width then invalid_arg "Tree.node: index out of range";
+  read_slot t (t.level_off.(level) + i)
+
+let leaf t i =
+  if i < 0 || i >= t.size then invalid_arg "Tree.leaf: index out of range";
+  read_slot t i
+
+let prove t i =
+  if i < 0 || i >= max 1 t.size then invalid_arg "Tree.prove: index out of range";
+  let siblings = Array.make t.depth empty_leaf in
+  let idx = ref i in
+  for level = 0 to t.depth - 1 do
+    siblings.(level) <- read_slot t (t.level_off.(level) + (!idx lxor 1));
+    idx := !idx lsr 1
+  done;
+  { Proof.index = i; siblings }
+
+let root_of_leaf_hashes hs =
+  let n = Array.length hs in
+  let padded = next_pow2 n in
+  let buf = Bytes.create (32 * padded) in
+  for i = 0 to padded - 1 do
+    let d = if i < n then hs.(i) else empty_leaf in
+    Bytes.blit (D.unsafe_to_bytes d) 0 buf (32 * i) 32
+  done;
+  let width = ref padded in
+  while !width > 1 do
+    for i = 0 to (!width / 2) - 1 do
+      let h = Zkflow_hash.Sha256.digest_sub buf ~pos:(64 * i) ~len:64 in
+      Bytes.blit h 0 buf (32 * i) 32
+    done;
+    width := !width / 2
+  done;
+  D.of_bytes (Bytes.sub buf 0 32)

@@ -1,0 +1,50 @@
+(** Dense binary Merkle trees over 32-byte digests.
+
+    The tree over [n] leaves is padded to the next power of two with a
+    distinguished empty-leaf digest, so roots are well-defined for any
+    [n ≥ 0]. Leaves are hashed with a leaf-domain tag before entering
+    the tree, preventing leaf/node confusion attacks. This is the
+    authenticated structure over CLog entries from Section 4.1 of the
+    paper. *)
+
+type t
+(** An immutable Merkle tree retaining all levels (O(n) storage). *)
+
+val leaf_hash : bytes -> Zkflow_hash.Digest32.t
+(** [leaf_hash data] is SHA-256 of ["zkflow.lf.v1" ‖ data] (the 12-byte tag is word-aligned so zkVM guests can reproduce it). *)
+
+val empty_leaf : Zkflow_hash.Digest32.t
+(** The digest used for padding positions beyond the last real leaf. *)
+
+val of_leaves : bytes array -> t
+(** [of_leaves data] builds the tree over [Array.map leaf_hash data]. *)
+
+val of_leaf_hashes : Zkflow_hash.Digest32.t array -> t
+(** Builds the tree over already-hashed leaves (e.g. recomputed inside
+    the zkVM guest). *)
+
+val root : t -> Zkflow_hash.Digest32.t
+(** The Merkle root; the root of the empty tree is
+    [Digest32.zero]-independent but fixed. *)
+
+val size : t -> int
+(** Number of real (unpadded) leaves. *)
+
+val depth : t -> int
+(** Height of the padded tree; 0 for trees of ≤ 1 leaf. *)
+
+val leaf : t -> int -> Zkflow_hash.Digest32.t
+(** [leaf t i] is the (hashed) leaf at index [i]. Raises
+    [Invalid_argument] when out of range. *)
+
+val prove : t -> int -> Proof.t
+(** [prove t i] is the inclusion proof for leaf [i]. *)
+
+val node : t -> level:int -> int -> Zkflow_hash.Digest32.t
+(** [node t ~level i] is the digest at position [i] of the given level
+    of the padded tree (level 0 = leaves, level [depth t] = root).
+    Raises [Invalid_argument] when out of range. *)
+
+val root_of_leaf_hashes : Zkflow_hash.Digest32.t array -> Zkflow_hash.Digest32.t
+(** [root_of_leaf_hashes hs] computes only the root, without retaining
+    the tree. Matches [root (of_leaf_hashes hs)]. *)

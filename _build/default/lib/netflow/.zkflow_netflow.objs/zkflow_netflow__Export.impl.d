@@ -1,0 +1,1 @@
+lib/netflow/export.ml: Array Bytes Int32 List Record Zkflow_hash Zkflow_util

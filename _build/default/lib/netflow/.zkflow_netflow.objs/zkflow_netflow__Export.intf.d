@@ -1,0 +1,1 @@
+lib/netflow/export.mli: Record Zkflow_hash

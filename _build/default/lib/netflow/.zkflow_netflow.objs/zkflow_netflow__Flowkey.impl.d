@@ -1,0 +1,1 @@
+lib/netflow/flowkey.ml: Array Bytes Format Int32 Ipaddr Printf Stdlib Zkflow_hash

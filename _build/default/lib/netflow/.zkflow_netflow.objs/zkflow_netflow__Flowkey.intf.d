@@ -1,0 +1,1 @@
+lib/netflow/flowkey.mli: Format Ipaddr Zkflow_hash

@@ -1,0 +1,1 @@
+lib/netflow/gen.ml: Array Flowkey Hashtbl Ipaddr List Packet Record Zkflow_util

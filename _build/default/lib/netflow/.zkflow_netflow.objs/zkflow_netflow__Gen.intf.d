@@ -1,0 +1,1 @@
+lib/netflow/gen.mli: Flowkey Ipaddr Packet Record Zkflow_util

@@ -1,0 +1,1 @@
+lib/netflow/ipaddr.ml: Format List Printf String Zkflow_util

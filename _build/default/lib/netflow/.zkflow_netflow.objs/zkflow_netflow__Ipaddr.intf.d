@@ -1,0 +1,1 @@
+lib/netflow/ipaddr.mli: Format Zkflow_util

@@ -1,0 +1,1 @@
+lib/netflow/packet.ml: Flowkey Format

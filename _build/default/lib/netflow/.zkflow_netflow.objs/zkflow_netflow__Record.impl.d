@@ -1,0 +1,1 @@
+lib/netflow/record.ml: Array Bytes Flowkey Format Int32 List Printf

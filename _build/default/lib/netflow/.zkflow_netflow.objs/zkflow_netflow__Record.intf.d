@@ -1,0 +1,1 @@
+lib/netflow/record.mli: Flowkey Format

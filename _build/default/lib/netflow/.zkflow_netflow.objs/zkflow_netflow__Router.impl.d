@@ -1,0 +1,1 @@
+lib/netflow/router.ml: Flowkey Hashtbl List Packet Record

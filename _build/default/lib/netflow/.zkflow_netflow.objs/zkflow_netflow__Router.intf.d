@@ -1,0 +1,1 @@
+lib/netflow/router.mli: Packet Record

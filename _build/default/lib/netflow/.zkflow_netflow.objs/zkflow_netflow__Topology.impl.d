@@ -1,0 +1,1 @@
+lib/netflow/topology.ml: Array Flowkey List Packet Router Zkflow_util

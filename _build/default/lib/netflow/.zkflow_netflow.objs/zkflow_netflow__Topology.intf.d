@@ -1,0 +1,1 @@
+lib/netflow/topology.mli: Flowkey Packet Record Router Zkflow_util

@@ -1,0 +1,1 @@
+lib/netflow/v5.ml: Array Bytes Char Flowkey Int32 List Printf Record

@@ -1,0 +1,1 @@
+lib/netflow/v5.mli: Record

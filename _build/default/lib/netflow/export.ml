@@ -1,0 +1,25 @@
+let batch_to_bytes records =
+  Zkflow_util.Bytesx.concat (Array.to_list (Array.map Record.to_bytes records))
+
+let batch_of_bytes ?(router_id = 0) b =
+  let len = Bytes.length b in
+  if len mod 32 <> 0 then Error "export: batch length not a multiple of 32"
+  else begin
+    let n = len / 32 in
+    let rec go i acc =
+      if i = n then Ok (Array.of_list (List.rev acc))
+      else begin
+        let words =
+          Array.init 8 (fun k ->
+              Int32.to_int (Bytes.get_int32_be b ((32 * i) + (4 * k))) land 0xffffffff)
+        in
+        match Record.of_words ~router_id words with
+        | Ok r -> go (i + 1) (r :: acc)
+        | Error e -> Error e
+      end
+    in
+    go 0 []
+  end
+
+let batch_hash records = Zkflow_hash.Digest32.hash_bytes (batch_to_bytes records)
+let batch_words records = Record.array_to_words records

@@ -1,0 +1,20 @@
+(** Batch export encoding: the exact bytes a router commits to.
+
+    A batch is the concatenation of the 32-byte record encodings in
+    order. Both the host commitment layer and the zkVM guest hash these
+    bytes, so the encoding must stay byte-identical across the two. *)
+
+val batch_to_bytes : Record.t array -> bytes
+
+val batch_of_bytes : ?router_id:int -> bytes -> (Record.t array, string) result
+(** Inverse; fails unless the length is a multiple of 32 and every
+    record decodes. *)
+
+val batch_hash : Record.t array -> Zkflow_hash.Digest32.t
+(** SHA-256 of [batch_to_bytes] — the per-window router commitment of
+    the paper's Section 3. *)
+
+val batch_words : Record.t array -> int array
+(** The batch as guest words (what the prover feeds the zkVM). The
+    invariant [Machine.journal_bytes (batch_words b) =
+    batch_to_bytes b] is what lets in-guest hashes match commitments. *)

@@ -1,0 +1,54 @@
+type t = {
+  src_ip : Ipaddr.t;
+  dst_ip : Ipaddr.t;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+let make ~src_ip ~dst_ip ~src_port ~dst_port ~proto =
+  let check name v bound =
+    if v < 0 || v > bound then
+      invalid_arg (Printf.sprintf "Flowkey.make: %s out of range" name)
+  in
+  check "src_ip" src_ip 0xffffffff;
+  check "dst_ip" dst_ip 0xffffffff;
+  check "src_port" src_port 0xffff;
+  check "dst_port" dst_port 0xffff;
+  check "proto" proto 0xff;
+  { src_ip; dst_ip; src_port; dst_port; proto }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let word_size = 4
+
+let to_words k =
+  [| k.src_ip; k.dst_ip; (k.src_port lsl 16) lor k.dst_port; k.proto |]
+
+let of_words w =
+  if Array.length w <> word_size then Error "flowkey: need 4 words"
+  else if Array.exists (fun x -> x < 0 || x > 0xffffffff) w then
+    Error "flowkey: word out of range"
+  else if w.(3) > 0xff then Error "flowkey: proto out of range"
+  else
+    Ok
+      {
+        src_ip = w.(0);
+        dst_ip = w.(1);
+        src_port = w.(2) lsr 16;
+        dst_port = w.(2) land 0xffff;
+        proto = w.(3);
+      }
+
+let to_bytes k =
+  let b = Bytes.create 16 in
+  Array.iteri
+    (fun i w -> Bytes.set_int32_be b (4 * i) (Int32.of_int w))
+    (to_words k);
+  b
+
+let hash k = Zkflow_hash.Digest32.hash_bytes (to_bytes k)
+
+let pp ppf k =
+  Format.fprintf ppf "%a:%d→%a:%d/%d" Ipaddr.pp k.src_ip k.src_port Ipaddr.pp
+    k.dst_ip k.dst_port k.proto

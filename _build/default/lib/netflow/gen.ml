@@ -1,0 +1,77 @@
+module Rng = Zkflow_util.Rng
+
+type profile = {
+  flow_count : int;
+  zipf_s : float;
+  src_prefix : Ipaddr.t;
+  src_bits : int;
+  dst_prefix : Ipaddr.t;
+  dst_bits : int;
+  mean_packet_size : int;
+}
+
+let default_profile =
+  {
+    flow_count = 1000;
+    zipf_s = 1.1;
+    src_prefix = Ipaddr.of_octets 10 0 0 0;
+    src_bits = 8;
+    dst_prefix = Ipaddr.of_octets 203 0 113 0;
+    dst_bits = 24;
+    mean_packet_size = 800;
+  }
+
+let flows rng profile =
+  let seen = Hashtbl.create profile.flow_count in
+  let rec fresh () =
+    let proto = if Rng.bool rng then 6 (* TCP *) else 17 (* UDP *) in
+    let key =
+      Flowkey.make
+        ~src_ip:(Ipaddr.random_in_subnet rng ~prefix:profile.src_prefix ~bits:profile.src_bits)
+        ~dst_ip:(Ipaddr.random_in_subnet rng ~prefix:profile.dst_prefix ~bits:profile.dst_bits)
+        ~src_port:(1024 + Rng.int rng (65536 - 1024))
+        ~dst_port:(if Rng.bool rng then 443 else 80)
+        ~proto
+    in
+    if Hashtbl.mem seen key then fresh ()
+    else begin
+      Hashtbl.replace seen key ();
+      key
+    end
+  in
+  Array.init profile.flow_count (fun _ -> fresh ())
+
+let packet_size rng profile =
+  let m = profile.mean_packet_size in
+  max 64 (m / 2 + Rng.int rng (max 1 m))
+
+let packets rng profile ~flows:flow_arr ~rate_pps ~duration_ms =
+  if Array.length flow_arr = 0 then invalid_arg "Gen.packets: no flows";
+  if rate_pps <= 0.0 then invalid_arg "Gen.packets: rate must be positive";
+  let rec go acc t_ms =
+    if t_ms >= float_of_int duration_ms then List.rev acc
+    else begin
+      let key = flow_arr.(Rng.zipf rng ~n:(Array.length flow_arr) ~s:profile.zipf_s - 1) in
+      let p = Packet.make ~key ~size:(packet_size rng profile) ~ts:(int_of_float t_ms) in
+      let gap_s = Rng.exponential rng rate_pps in
+      go (p :: acc) (t_ms +. (gap_s *. 1000.0))
+    end
+  in
+  go [] 0.0
+
+let records rng profile ~router_id ~count =
+  let keys =
+    flows rng { profile with flow_count = max count profile.flow_count }
+  in
+  Array.init count (fun i ->
+      let packets = 1 + Rng.int rng 10_000 in
+      let mean = profile.mean_packet_size in
+      Record.make ~key:keys.(i) ~first_ts:0
+        ~last_ts:(Rng.int rng 5_000)
+        ~router_id
+        {
+          Record.packets;
+          bytes = packets * (mean / 2 + Rng.int rng (max 1 mean)) land 0xffffffff;
+          hop_count = packets;
+          losses = Rng.int rng (1 + (packets / 100));
+        })

@@ -1,0 +1,45 @@
+(** Synthetic traffic generation.
+
+    Two granularities:
+    - {!packets}: a packet stream with Poisson arrivals and Zipf flow
+      popularity, for driving {!Router} caches through {!Topology} —
+      the realistic path.
+    - {!records}: direct NetFlow-record synthesis, for benchmarks that
+      need "n records per router" without simulating each packet
+      (Figure 4 sweeps to 3000 records). *)
+
+type profile = {
+  flow_count : int;       (** size of the flow population *)
+  zipf_s : float;         (** popularity skew (1.0–1.3 typical) *)
+  src_prefix : Ipaddr.t;
+  src_bits : int;
+  dst_prefix : Ipaddr.t;
+  dst_bits : int;
+  mean_packet_size : int; (** bytes; sizes uniform in ±50 % *)
+}
+
+val default_profile : profile
+(** 1000 flows, s = 1.1, 10.0.0.0/8 → 203.0.113.0/24, 800-byte mean. *)
+
+val flows : Zkflow_util.Rng.t -> profile -> Flowkey.t array
+(** The flow population: distinct 5-tuples drawn from the profile's
+    subnets, TCP/UDP mixed. *)
+
+val packets :
+  Zkflow_util.Rng.t ->
+  profile ->
+  flows:Flowkey.t array ->
+  rate_pps:float ->
+  duration_ms:int ->
+  Packet.t list
+(** Poisson arrivals at [rate_pps] over [duration_ms]; each packet's
+    flow is a Zipf draw over [flows]. Timestamps are non-decreasing. *)
+
+val records :
+  Zkflow_util.Rng.t ->
+  profile ->
+  router_id:int ->
+  count:int ->
+  Record.t array
+(** [count] synthetic records with distinct flow keys and plausible
+    metric magnitudes — the Figure 4 / Table 1 workload unit. *)

@@ -1,0 +1,40 @@
+type t = int
+
+let of_octets a b c d =
+  List.iter
+    (fun o -> if o < 0 || o > 255 then invalid_arg "Ipaddr.of_octets: octet range")
+    [ a; b; c; d ];
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    match List.map int_of_string_opt [ a; b; c; d ] with
+    | [ Some a; Some b; Some c; Some d ]
+      when List.for_all (fun o -> o >= 0 && o <= 255) [ a; b; c; d ] ->
+      Ok (of_octets a b c d)
+    | _ -> Error ("ipaddr: bad octet in " ^ s))
+  | _ -> Error ("ipaddr: expected dotted quad, got " ^ s)
+
+let of_string_exn s =
+  match of_string s with Ok ip -> ip | Error e -> invalid_arg e
+
+let to_string ip =
+  Printf.sprintf "%d.%d.%d.%d" ((ip lsr 24) land 0xff) ((ip lsr 16) land 0xff)
+    ((ip lsr 8) land 0xff) (ip land 0xff)
+
+let in_subnet ip ~prefix ~bits =
+  if bits < 0 || bits > 32 then invalid_arg "Ipaddr.in_subnet: bits";
+  if bits = 0 then true
+  else
+    let mask = lnot ((1 lsl (32 - bits)) - 1) land 0xffffffff in
+    ip land mask = prefix land mask
+
+let random_in_subnet rng ~prefix ~bits =
+  if bits < 0 || bits > 32 then invalid_arg "Ipaddr.random_in_subnet: bits";
+  let host_bits = 32 - bits in
+  let mask = lnot ((1 lsl host_bits) - 1) land 0xffffffff in
+  let host = if host_bits = 0 then 0 else Zkflow_util.Rng.int rng (1 lsl host_bits) in
+  (prefix land mask) lor host
+
+let pp ppf ip = Format.pp_print_string ppf (to_string ip)

@@ -1,0 +1,23 @@
+(** IPv4 addresses as non-negative 32-bit ints. *)
+
+type t = int
+
+val of_string : string -> (t, string) result
+(** Parses dotted-quad notation. *)
+
+val of_string_exn : string -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is a.b.c.d. Raises [Invalid_argument] when an
+    octet is outside [0, 255]. *)
+
+val in_subnet : t -> prefix:t -> bits:int -> bool
+(** [in_subnet ip ~prefix ~bits] tests membership in prefix/bits. *)
+
+val random_in_subnet : Zkflow_util.Rng.t -> prefix:t -> bits:int -> t
+(** A uniform host address inside the subnet. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+type t = { key : Flowkey.t; size : int; ts : int }
+
+let make ~key ~size ~ts =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  if ts < 0 then invalid_arg "Packet.make: negative timestamp";
+  { key; size; ts }
+
+let pp ppf p = Format.fprintf ppf "%a %dB @%dms" Flowkey.pp p.key p.size p.ts

@@ -1,0 +1,12 @@
+(** A minimal packet model: what a router's NetFlow engine sees. *)
+
+type t = {
+  key : Flowkey.t;
+  size : int;   (** bytes on the wire *)
+  ts : int;     (** ms since simulation start *)
+}
+
+val make : key:Flowkey.t -> size:int -> ts:int -> t
+(** Validates [size > 0] and [ts >= 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type metrics = { packets : int; bytes : int; hop_count : int; losses : int }
+
+type t = {
+  key : Flowkey.t;
+  metrics : metrics;
+  first_ts : int;
+  last_ts : int;
+  router_id : int;
+}
+
+let mask32 = 0xffffffff
+
+let make ~key ?(first_ts = 0) ?(last_ts = 0) ?(router_id = 0) metrics =
+  let check name v =
+    if v < 0 || v > mask32 then
+      invalid_arg (Printf.sprintf "Record.make: %s out of range" name)
+  in
+  check "packets" metrics.packets;
+  check "bytes" metrics.bytes;
+  check "hop_count" metrics.hop_count;
+  check "losses" metrics.losses;
+  { key; metrics; first_ts; last_ts; router_id }
+
+let zero_metrics = { packets = 0; bytes = 0; hop_count = 0; losses = 0 }
+
+let add_metrics a b =
+  {
+    packets = (a.packets + b.packets) land mask32;
+    bytes = (a.bytes + b.bytes) land mask32;
+    hop_count = (a.hop_count + b.hop_count) land mask32;
+    losses = (a.losses + b.losses) land mask32;
+  }
+
+let word_size = 8
+
+let to_words t =
+  Array.append (Flowkey.to_words t.key)
+    [| t.metrics.packets; t.metrics.bytes; t.metrics.hop_count; t.metrics.losses |]
+
+let metrics_of_words w =
+  if Array.length w <> 4 then Error "record: need 4 metric words"
+  else if Array.exists (fun x -> x < 0 || x > mask32) w then
+    Error "record: metric out of range"
+  else Ok { packets = w.(0); bytes = w.(1); hop_count = w.(2); losses = w.(3) }
+
+let of_words ?(router_id = 0) w =
+  if Array.length w <> word_size then Error "record: need 8 words"
+  else
+    match Flowkey.of_words (Array.sub w 0 4) with
+    | Error e -> Error e
+    | Ok key -> (
+      match metrics_of_words (Array.sub w 4 4) with
+      | Error e -> Error e
+      | Ok metrics -> Ok { key; metrics; first_ts = 0; last_ts = 0; router_id })
+
+let to_bytes t =
+  let ws = to_words t in
+  let b = Bytes.create (4 * word_size) in
+  Array.iteri (fun i w -> Bytes.set_int32_be b (4 * i) (Int32.of_int w)) ws;
+  b
+
+let array_to_words records =
+  Array.concat (List.map to_words (Array.to_list records))
+
+let pp ppf t =
+  Format.fprintf ppf "%a pkts=%d bytes=%d hops=%d loss=%d [r%d %d–%dms]"
+    Flowkey.pp t.key t.metrics.packets t.metrics.bytes t.metrics.hop_count
+    t.metrics.losses t.router_id t.first_ts t.last_ts

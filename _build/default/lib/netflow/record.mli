@@ -1,0 +1,48 @@
+(** NetFlow records — the RLogs of the paper.
+
+    A record is one router's per-flow counters for an export window.
+    The guest-visible form is exactly {!word_size} 32-bit words (key
+    plus metrics), so host and zkVM hash identical bytes. Host-side
+    metadata (timestamps, router id) is kept alongside but is not part
+    of the committed encoding. *)
+
+type metrics = {
+  packets : int;   (** packets observed *)
+  bytes : int;     (** bytes observed (truncated to 32 bits) *)
+  hop_count : int; (** cumulative hop count contribution *)
+  losses : int;    (** packets dropped at this vantage point *)
+}
+
+type t = {
+  key : Flowkey.t;
+  metrics : metrics;
+  first_ts : int;  (** ms since simulation start; metadata only *)
+  last_ts : int;
+  router_id : int; (** originating vantage point; metadata only *)
+}
+
+val make :
+  key:Flowkey.t -> ?first_ts:int -> ?last_ts:int -> ?router_id:int ->
+  metrics -> t
+(** Validates metric ranges (each must fit 32 bits). *)
+
+val zero_metrics : metrics
+
+val add_metrics : metrics -> metrics -> metrics
+(** Component-wise sum with 32-bit wrap — the aggregation policy of
+    Algorithm 1 line 19 ("e.g., sum"), matching guest arithmetic. *)
+
+val word_size : int
+(** 8: 4 key words + 4 metric words. *)
+
+val to_words : t -> int array
+val metrics_of_words : int array -> (metrics, string) result
+val of_words : ?router_id:int -> int array -> (t, string) result
+
+val to_bytes : t -> bytes
+(** 32 bytes, words big-endian: the committed encoding. *)
+
+val array_to_words : t array -> int array
+(** Concatenated guest encoding of a batch. *)
+
+val pp : Format.formatter -> t -> unit

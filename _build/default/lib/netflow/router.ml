@@ -1,0 +1,104 @@
+type config = {
+  id : int;
+  active_timeout_ms : int;
+  inactive_timeout_ms : int;
+  sampling_interval : int;
+}
+
+let default_config ~id =
+  { id; active_timeout_ms = 60_000; inactive_timeout_ms = 15_000; sampling_interval = 1 }
+
+type entry = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable losses : int;
+  first_ts : int;
+  mutable last_ts : int;
+}
+
+type t = {
+  config : config;
+  cache : (Flowkey.t, entry) Hashtbl.t;
+  mutable seen : int; (* packets observed, for systematic sampling *)
+}
+
+let create config =
+  if config.sampling_interval < 1 then
+    invalid_arg "Router.create: sampling_interval must be >= 1";
+  { config; cache = Hashtbl.create 256; seen = 0 }
+
+let id t = t.config.id
+
+(* Systematic 1-in-N sampling: take packets number N, 2N, 3N, … *)
+let sampled t =
+  t.seen <- t.seen + 1;
+  t.seen mod t.config.sampling_interval = 0
+
+let touch t (p : Packet.t) =
+  match Hashtbl.find_opt t.cache p.Packet.key with
+  | Some e ->
+    if p.Packet.ts < e.last_ts then
+      invalid_arg "Router: packet timestamps must be non-decreasing per flow";
+    e.last_ts <- p.Packet.ts;
+    e
+  | None ->
+    let e =
+      { packets = 0; bytes = 0; losses = 0; first_ts = p.Packet.ts; last_ts = p.Packet.ts }
+    in
+    Hashtbl.replace t.cache p.Packet.key e;
+    e
+
+let observe t p =
+  if sampled t then begin
+    let e = touch t p in
+    let n = t.config.sampling_interval in
+    e.packets <- e.packets + n;
+    e.bytes <- e.bytes + (n * p.Packet.size)
+  end
+
+let drop t p =
+  if sampled t then begin
+    (* The dropped packet was still seen by this hop before being lost. *)
+    let e = touch t p in
+    let n = t.config.sampling_interval in
+    e.packets <- e.packets + n;
+    e.bytes <- e.bytes + (n * p.Packet.size);
+    e.losses <- e.losses + n
+  end
+
+let record_of t key e =
+  (* hop_count: every packet seen here traversed exactly this one hop,
+     so the per-router contribution is the packet count; summing across
+     routers in aggregation yields total hop traversals per flow. *)
+  Record.make ~key ~first_ts:e.first_ts ~last_ts:e.last_ts ~router_id:t.config.id
+    {
+      Record.packets = e.packets land 0xffffffff;
+      bytes = e.bytes land 0xffffffff;
+      hop_count = e.packets land 0xffffffff;
+      losses = e.losses land 0xffffffff;
+    }
+
+let expire t ~now =
+  let expired =
+    Hashtbl.fold
+      (fun key e acc ->
+        let too_old = now - e.first_ts >= t.config.active_timeout_ms in
+        let idle = now - e.last_ts >= t.config.inactive_timeout_ms in
+        if too_old || idle then (key, e) :: acc else acc)
+      t.cache []
+  in
+  List.map
+    (fun (key, e) ->
+      Hashtbl.remove t.cache key;
+      record_of t key e)
+    (List.sort (fun (a, _) (b, _) -> Flowkey.compare a b) expired)
+
+let flush t ~now =
+  ignore now;
+  let all = Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.cache [] in
+  Hashtbl.reset t.cache;
+  List.map
+    (fun (key, e) -> record_of t key e)
+    (List.sort (fun (a, _) (b, _) -> Flowkey.compare a b) all)
+
+let active_flows t = Hashtbl.length t.cache

@@ -1,0 +1,39 @@
+(** A simulated router's NetFlow engine: a flow cache with active and
+    inactive timeouts, exporting {!Record.t}s — the per-vantage-point
+    RLog source of the paper's evaluation setup (Section 6: routers
+    generating telemetry in parallel). *)
+
+type config = {
+  id : int;                 (** router / vantage-point id *)
+  active_timeout_ms : int;  (** export long-lived flows after this *)
+  inactive_timeout_ms : int;(** export idle flows after this *)
+  sampling_interval : int;
+      (** systematic 1-in-N packet sampling (sFlow-style): the engine
+          accounts every Nth packet and scales counters by N, so
+          exported metrics are unbiased estimates. 1 = unsampled. *)
+}
+
+val default_config : id:int -> config
+(** 60 s active, 15 s inactive, unsampled — common NetFlow defaults. *)
+
+type t
+
+val create : config -> t
+val id : t -> int
+
+val observe : t -> Packet.t -> unit
+(** Accounts one forwarded packet. Raises [Invalid_argument] if time
+    goes backwards for the same flow. *)
+
+val drop : t -> Packet.t -> unit
+(** Accounts one packet dropped at this router (a loss observation);
+    the packet does not continue downstream. *)
+
+val expire : t -> now:int -> Record.t list
+(** Removes and returns records for flows that hit a timeout at
+    [now]. *)
+
+val flush : t -> now:int -> Record.t list
+(** Exports every cached flow (end of simulation / forced export). *)
+
+val active_flows : t -> int

@@ -1,0 +1,36 @@
+type t = { routers : Router.t array; route : Flowkey.t -> int list }
+
+let routed configs ~route =
+  if configs = [] then invalid_arg "Topology: no routers";
+  { routers = Array.of_list (List.map Router.create configs); route }
+
+let linear configs =
+  let all = List.mapi (fun i _ -> i) configs in
+  routed configs ~route:(fun _ -> all)
+
+let router_count t = Array.length t.routers
+let router_ids t = Array.map Router.id t.routers
+
+let inject t ~rng ~loss_rate (p : Packet.t) =
+  if Array.length loss_rate <> Array.length t.routers then
+    invalid_arg "Topology.inject: loss_rate arity";
+  let rec walk = function
+    | [] -> ()
+    | idx :: rest ->
+      if idx < 0 || idx >= Array.length t.routers then
+        invalid_arg "Topology.inject: route index out of range";
+      let r = t.routers.(idx) in
+      if Zkflow_util.Rng.float rng 1.0 < loss_rate.(idx) then Router.drop r p
+      else begin
+        Router.observe r p;
+        walk rest
+      end
+  in
+  walk (t.route p.Packet.key)
+
+let expire t ~now =
+  Array.to_list
+    (Array.map (fun r -> (Router.id r, Router.expire r ~now)) t.routers)
+
+let flush t ~now =
+  Array.to_list (Array.map (fun r -> (Router.id r, Router.flush r ~now)) t.routers)

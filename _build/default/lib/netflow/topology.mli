@@ -1,0 +1,29 @@
+(** Multi-router topologies: flows traverse a path of vantage points,
+    each running its own NetFlow engine — the paper's Figure 1 setting
+    where the same flow is observed (and committed) at several routers
+    and aggregation later combines the per-router RLogs. *)
+
+type t
+
+val linear : Router.config list -> t
+(** A chain: every packet traverses all routers in order. Raises
+    [Invalid_argument] on an empty list. *)
+
+val routed : Router.config list -> route:(Flowkey.t -> int list) -> t
+(** Generic: [route key] gives the ordered router indices the flow's
+    packets traverse. *)
+
+val router_count : t -> int
+val router_ids : t -> int array
+
+val inject :
+  t -> rng:Zkflow_util.Rng.t -> loss_rate:float array -> Packet.t -> unit
+(** Sends one packet along its path. At each hop it is dropped with
+    that router's [loss_rate] (counted as a loss there, not seen
+    further downstream). [loss_rate] is per router index. *)
+
+val expire : t -> now:int -> (int * Record.t list) list
+(** Per-router timeout exports at [now]: [(router_id, records)]. *)
+
+val flush : t -> now:int -> (int * Record.t list) list
+(** Force-export everything, per router. *)

@@ -1,0 +1,121 @@
+type header = {
+  sys_uptime_ms : int;
+  unix_secs : int;
+  flow_sequence : int;
+  engine_id : int;
+  sampling_interval : int;
+}
+
+let header_bytes = 24
+let record_bytes = 48
+let max_records = 30
+let version = 5
+
+let set16 b off v = Bytes.set_uint16_be b off (v land 0xffff)
+let set32 b off v = Bytes.set_int32_be b off (Int32.of_int (v land 0xffffffff))
+let get16 = Bytes.get_uint16_be
+let get32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+
+let encode_header h ~count buf =
+  set16 buf 0 version;
+  set16 buf 2 count;
+  set32 buf 4 h.sys_uptime_ms;
+  set32 buf 8 h.unix_secs;
+  set32 buf 12 0 (* unix_nsecs *);
+  set32 buf 16 h.flow_sequence;
+  Bytes.set buf 20 '\000' (* engine_type *);
+  Bytes.set buf 21 (Char.chr (h.engine_id land 0xff));
+  set16 buf 22 h.sampling_interval
+
+let encode_record (r : Record.t) buf off =
+  let k = r.Record.key in
+  set32 buf (off + 0) k.Flowkey.src_ip;
+  set32 buf (off + 4) k.Flowkey.dst_ip;
+  set32 buf (off + 8) 0 (* nexthop *);
+  set16 buf (off + 12) 0 (* input if *);
+  set16 buf (off + 14) 0 (* output if *);
+  set32 buf (off + 16) r.Record.metrics.Record.packets;
+  set32 buf (off + 20) r.Record.metrics.Record.bytes;
+  set32 buf (off + 24) r.Record.first_ts;
+  set32 buf (off + 28) r.Record.last_ts;
+  set16 buf (off + 32) k.Flowkey.src_port;
+  set16 buf (off + 34) k.Flowkey.dst_port;
+  Bytes.set buf (off + 36) '\000' (* pad1 *);
+  Bytes.set buf (off + 37) '\000' (* tcp_flags *);
+  Bytes.set buf (off + 38) (Char.chr (k.Flowkey.proto land 0xff));
+  Bytes.set buf (off + 39) '\000' (* tos *);
+  set16 buf (off + 40) 0 (* src_as *);
+  set16 buf (off + 42) 0 (* dst_as *);
+  Bytes.set buf (off + 44) '\000';
+  Bytes.set buf (off + 45) '\000';
+  set16 buf (off + 46) 0 (* pad2 *)
+
+let encode_datagram h records =
+  let n = Array.length records in
+  if n > max_records then
+    Error (Printf.sprintf "v5: %d records exceed the %d per-datagram limit" n max_records)
+  else begin
+    let buf = Bytes.make (header_bytes + (record_bytes * n)) '\000' in
+    encode_header h ~count:n buf;
+    Array.iteri (fun i r -> encode_record r buf (header_bytes + (record_bytes * i))) records;
+    Ok buf
+  end
+
+let decode_record ~engine_id buf off =
+  let src_ip = get32 buf (off + 0) in
+  let dst_ip = get32 buf (off + 4) in
+  let packets = get32 buf (off + 16) in
+  let octets = get32 buf (off + 20) in
+  let first_ts = get32 buf (off + 24) in
+  let last_ts = get32 buf (off + 28) in
+  let src_port = get16 buf (off + 32) in
+  let dst_port = get16 buf (off + 34) in
+  let proto = Char.code (Bytes.get buf (off + 38)) in
+  let key = Flowkey.make ~src_ip ~dst_ip ~src_port ~dst_port ~proto in
+  Record.make ~key ~first_ts ~last_ts ~router_id:engine_id
+    { Record.packets; bytes = octets; hop_count = packets; losses = 0 }
+
+let decode_datagram buf =
+  let len = Bytes.length buf in
+  if len < header_bytes then Error "v5: datagram shorter than header"
+  else if get16 buf 0 <> version then
+    Error (Printf.sprintf "v5: unsupported version %d" (get16 buf 0))
+  else begin
+    let count = get16 buf 2 in
+    if count > max_records then Error "v5: record count exceeds protocol limit"
+    else if len <> header_bytes + (record_bytes * count) then
+      Error
+        (Printf.sprintf "v5: length %d does not match %d records" len count)
+    else begin
+      let header =
+        {
+          sys_uptime_ms = get32 buf 4;
+          unix_secs = get32 buf 8;
+          flow_sequence = get32 buf 16;
+          engine_id = Char.code (Bytes.get buf 21);
+          sampling_interval = get16 buf 22;
+        }
+      in
+      match
+        Array.init count (fun i ->
+            decode_record ~engine_id:header.engine_id buf
+              (header_bytes + (record_bytes * i)))
+      with
+      | records -> Ok (header, records)
+      | exception Invalid_argument msg -> Error ("v5: " ^ msg)
+    end
+  end
+
+let datagrams_of_batch h records =
+  let n = Array.length records in
+  let rec go off seq acc =
+    if off >= n then List.rev acc
+    else begin
+      let count = min max_records (n - off) in
+      let chunk = Array.sub records off count in
+      match encode_datagram { h with flow_sequence = seq } chunk with
+      | Ok dg -> go (off + count) (seq + count) (dg :: acc)
+      | Error e -> invalid_arg e (* unreachable: count <= max_records *)
+    end
+  in
+  go 0 h.flow_sequence []

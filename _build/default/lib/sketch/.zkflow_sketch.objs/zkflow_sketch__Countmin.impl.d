@@ -1,0 +1,1 @@
+lib/sketch/countmin.ml: Array Hashing

@@ -1,0 +1,1 @@
+lib/sketch/countsketch.ml: Array Hashing Int

@@ -1,0 +1,1 @@
+lib/sketch/countsketch.mli:

@@ -1,0 +1,1 @@
+lib/sketch/hashing.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/sketch/hyperloglog.ml: Array Float Hashing Int64

@@ -1,0 +1,35 @@
+type t = { width : int; depth : int; cells : int array array }
+
+let create ~width ~depth =
+  if width <= 0 || depth <= 0 then invalid_arg "Countmin.create: dimensions";
+  { width; depth; cells = Array.make_matrix depth width 0 }
+
+let add t ?(count = 1) key =
+  if count <= 0 then invalid_arg "Countmin.add: count must be positive";
+  for row = 0 to t.depth - 1 do
+    let b = Hashing.bucket ~seed:row ~width:t.width key in
+    t.cells.(row).(b) <- t.cells.(row).(b) + count
+  done
+
+let estimate t key =
+  let best = ref max_int in
+  for row = 0 to t.depth - 1 do
+    let b = Hashing.bucket ~seed:row ~width:t.width key in
+    if t.cells.(row).(b) < !best then best := t.cells.(row).(b)
+  done;
+  !best
+
+let width t = t.width
+let depth t = t.depth
+let memory_words t = t.width * t.depth
+
+let merge a b =
+  if a.width <> b.width || a.depth <> b.depth then
+    invalid_arg "Countmin.merge: dimension mismatch";
+  {
+    width = a.width;
+    depth = a.depth;
+    cells =
+      Array.init a.depth (fun r ->
+          Array.init a.width (fun c -> a.cells.(r).(c) + b.cells.(r).(c)));
+  }

@@ -1,0 +1,25 @@
+(** Count-min sketch (Cormode–Muthukrishnan): biased-up frequency
+    estimates in sublinear space. One of the interchangeable logging
+    backends the paper's introduction references ("any logging or
+    sketching algorithm"). *)
+
+type t
+
+val create : width:int -> depth:int -> t
+(** Error ≈ 2·N/width with probability 1 − 2^(−depth). *)
+
+val add : t -> ?count:int -> bytes -> unit
+(** [count] defaults to 1 and may be any positive weight. *)
+
+val estimate : t -> bytes -> int
+(** Never underestimates the true count. *)
+
+val width : t -> int
+val depth : t -> int
+val memory_words : t -> int
+(** Counter cells, for space/accuracy tables. *)
+
+val merge : t -> t -> t
+(** Cell-wise sum; both sketches must share dimensions (raises
+    [Invalid_argument] otherwise). Merging preserves estimates over
+    the union stream. *)

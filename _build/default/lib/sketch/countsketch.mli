@@ -1,0 +1,16 @@
+(** Count sketch (Charikar–Chen–Farach-Colton): unbiased frequency
+    estimates via signed counters and a median across rows. *)
+
+type t
+
+val create : width:int -> depth:int -> t
+(** [depth] should be odd so the median is a cell value. *)
+
+val add : t -> ?count:int -> bytes -> unit
+val estimate : t -> bytes -> int
+(** Unbiased; can under- or over-estimate. *)
+
+val memory_words : t -> int
+
+val merge : t -> t -> t
+(** Cell-wise sum; dimensions must match. *)

@@ -1,0 +1,25 @@
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash64 ~seed b =
+  let acc = ref (mix (Int64.of_int (seed * 2 + 1))) in
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    acc := mix (Int64.logxor !acc (Bytes.get_int64_le b !i));
+    i := !i + 8
+  done;
+  while !i < n do
+    acc := mix (Int64.logxor !acc (Int64.of_int (Char.code (Bytes.get b !i))));
+    incr i
+  done;
+  mix (Int64.logxor !acc (Int64.of_int n))
+
+let bucket ~seed ~width b =
+  if width <= 0 then invalid_arg "Hashing.bucket: width must be positive";
+  Int64.to_int (hash64 ~seed b) land max_int mod width
+
+let sign ~seed b = if Int64.logand (hash64 ~seed:(seed + 7919) b) 1L = 0L then 1 else -1

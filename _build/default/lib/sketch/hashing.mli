@@ -1,0 +1,10 @@
+(** Seeded non-cryptographic hashing for sketch row functions. *)
+
+val hash64 : seed:int -> bytes -> int64
+(** A splitmix-style mixed hash of the key under [seed]. *)
+
+val bucket : seed:int -> width:int -> bytes -> int
+(** In [\[0, width)]. Raises [Invalid_argument] if [width <= 0]. *)
+
+val sign : seed:int -> bytes -> int
+(** ±1, balanced. *)

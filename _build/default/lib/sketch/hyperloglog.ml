@@ -1,0 +1,50 @@
+type t = { precision : int; registers : int array }
+
+let create ~precision =
+  if precision < 4 || precision > 16 then invalid_arg "Hyperloglog.create: precision";
+  { precision; registers = Array.make (1 lsl precision) 0 }
+
+let add t key =
+  let h = Hashing.hash64 ~seed:0x411 key in
+  let m = Array.length t.registers in
+  let idx = Int64.to_int (Int64.shift_right_logical h (64 - t.precision)) in
+  let rest = Int64.shift_left h t.precision in
+  (* rank = position of the leftmost 1 in the remaining bits, 1-based *)
+  let rec rank bits i =
+    if i > 64 - t.precision then (64 - t.precision) + 1
+    else if Int64.logand bits Int64.min_int <> 0L then i
+    else rank (Int64.shift_left bits 1) (i + 1)
+  in
+  let r = rank rest 1 in
+  ignore m;
+  if r > t.registers.(idx) then t.registers.(idx) <- r
+
+let alpha m =
+  match m with
+  | 16 -> 0.673
+  | 32 -> 0.697
+  | 64 -> 0.709
+  | _ -> 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+let estimate t =
+  let m = Array.length t.registers in
+  let sum =
+    Array.fold_left (fun acc r -> acc +. (1.0 /. Float.pow 2.0 (float_of_int r))) 0.0
+      t.registers
+  in
+  let raw = alpha m *. float_of_int m *. float_of_int m /. sum in
+  if raw <= 2.5 *. float_of_int m then begin
+    let zeros = Array.fold_left (fun acc r -> if r = 0 then acc + 1 else acc) 0 t.registers in
+    if zeros > 0 then float_of_int m *. log (float_of_int m /. float_of_int zeros)
+    else raw
+  end
+  else raw
+
+let merge a b =
+  if a.precision <> b.precision then invalid_arg "Hyperloglog.merge: precision mismatch";
+  {
+    precision = a.precision;
+    registers = Array.init (Array.length a.registers) (fun i -> max a.registers.(i) b.registers.(i));
+  }
+
+let memory_bytes t = Array.length t.registers

@@ -1,0 +1,16 @@
+(** HyperLogLog distinct counting (Flajolet et al.): cardinality
+    estimates with ≈ 1.04/√(2^precision) relative error. *)
+
+type t
+
+val create : precision:int -> t
+(** [precision] ∈ [4, 16]: 2^precision single-byte registers. *)
+
+val add : t -> bytes -> unit
+val estimate : t -> float
+(** Includes the small-range (linear counting) correction. *)
+
+val merge : t -> t -> t
+(** Register-wise max; precisions must match. *)
+
+val memory_bytes : t -> int

@@ -1,0 +1,51 @@
+type slot = { key : bytes; count : int; error : int }
+
+type t = { capacity : int; mutable slots : slot list (* small k: list is fine *) }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spacesaving.create: capacity";
+  { capacity; slots = [] }
+
+let add t ?(count = 1) key =
+  if count <= 0 then invalid_arg "Spacesaving.add: count must be positive";
+  let rec bump = function
+    | [] -> None
+    | s :: rest when Bytes.equal s.key key ->
+      Some ({ s with count = s.count + count } :: rest)
+    | s :: rest -> Option.map (fun r -> s :: r) (bump rest)
+  in
+  match bump t.slots with
+  | Some slots -> t.slots <- slots
+  | None ->
+    if List.length t.slots < t.capacity then
+      t.slots <- { key = Bytes.copy key; count; error = 0 } :: t.slots
+    else begin
+      (* Evict the minimum and inherit its count as error. *)
+      let min_slot =
+        List.fold_left (fun m s -> if s.count < m.count then s else m)
+          (List.hd t.slots) t.slots
+      in
+      let replaced = ref false in
+      t.slots <-
+        List.map
+          (fun s ->
+            if (not !replaced) && s == min_slot then begin
+              replaced := true;
+              { key = Bytes.copy key; count = min_slot.count + count; error = min_slot.count }
+            end
+            else s)
+          t.slots
+    end
+
+let estimate t key =
+  match List.find_opt (fun s -> Bytes.equal s.key key) t.slots with
+  | Some s -> s.count
+  | None -> 0
+
+let heavy_hitters t ~threshold =
+  t.slots
+  |> List.filter (fun s -> s.count >= threshold)
+  |> List.sort (fun a b -> Int.compare b.count a.count)
+  |> List.map (fun s -> (Bytes.copy s.key, s.count))
+
+let tracked t = List.length t.slots

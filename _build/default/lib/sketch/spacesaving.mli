@@ -1,0 +1,16 @@
+(** Space-saving (Metwally et al.): top-k heavy hitters with
+    deterministic error ≤ N/capacity. *)
+
+type t
+
+val create : capacity:int -> t
+
+val add : t -> ?count:int -> bytes -> unit
+
+val estimate : t -> bytes -> int
+(** Upper-bound estimate; 0 when untracked and the table is not full. *)
+
+val heavy_hitters : t -> threshold:int -> (bytes * int) list
+(** Tracked keys whose estimate ≥ [threshold], descending. *)
+
+val tracked : t -> int

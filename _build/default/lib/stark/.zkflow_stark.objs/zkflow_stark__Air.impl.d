@@ -1,0 +1,1 @@
+lib/stark/air.ml: Array List Printf Zkflow_field

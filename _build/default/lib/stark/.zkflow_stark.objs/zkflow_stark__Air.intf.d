@@ -1,0 +1,1 @@
+lib/stark/air.mli: Zkflow_field

@@ -1,0 +1,1 @@
+lib/stark/airs.ml: Air Array Zkflow_field

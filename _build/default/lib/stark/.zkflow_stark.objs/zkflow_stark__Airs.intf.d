@@ -1,0 +1,1 @@
+lib/stark/airs.mli: Air Zkflow_field

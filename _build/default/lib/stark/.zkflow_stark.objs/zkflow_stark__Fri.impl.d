@@ -1,0 +1,1 @@
+lib/stark/fri.ml: Array List Printf Result Zkflow_field Zkflow_hash Zkflow_merkle

@@ -1,0 +1,1 @@
+lib/stark/fri.mli: Zkflow_field Zkflow_hash Zkflow_merkle

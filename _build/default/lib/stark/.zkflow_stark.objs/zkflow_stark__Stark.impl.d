@@ -1,0 +1,1 @@
+lib/stark/stark.ml: Air Array Buffer Bytes Fri Int32 List Printf Result Zkflow_field Zkflow_hash Zkflow_merkle

@@ -1,0 +1,1 @@
+lib/stark/stark.mli: Air Fri Zkflow_field Zkflow_hash Zkflow_merkle

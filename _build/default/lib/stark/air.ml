@@ -1,0 +1,62 @@
+module F = Zkflow_field.Babybear
+
+type t = {
+  name : string;
+  width : int;
+  transition : F.t array -> F.t array -> F.t array;
+  constraint_count : int;
+  transition_degree : int;
+  boundary : (int * int * F.t) list;
+  public_columns : (int * F.t array) list;
+}
+
+let resolve_boundary t ~trace_length =
+  List.map
+    (fun (row, col, v) -> ((if row < 0 then trace_length + row else row), col, v))
+    t.boundary
+
+let check_trace t trace =
+  let n = Array.length trace in
+  if n = 0 then Error "air: empty trace"
+  else if Array.exists (fun row -> Array.length row <> t.width) trace then
+    Error "air: row width mismatch"
+  else begin
+    let violation = ref None in
+    for i = 0 to n - 2 do
+      if !violation = None then begin
+        let cs = t.transition trace.(i) trace.(i + 1) in
+        if Array.length cs <> t.constraint_count then
+          violation := Some (Printf.sprintf "air: constraint count at row %d" i)
+        else
+          Array.iteri
+            (fun j c ->
+              if c <> F.zero && !violation = None then
+                violation :=
+                  Some (Printf.sprintf "air: constraint %d violated at row %d" j i))
+            cs
+      end
+    done;
+    List.iter
+      (fun (row, col, v) ->
+        if !violation = None then
+          if row < 0 || row >= n then
+            violation := Some (Printf.sprintf "air: boundary row %d out of range" row)
+          else if trace.(row).(col) <> v then
+            violation :=
+              Some (Printf.sprintf "air: boundary (%d, %d) violated" row col))
+      (resolve_boundary t ~trace_length:n);
+    List.iter
+      (fun (col, values) ->
+        if !violation = None then
+          if Array.length values <> n then
+            violation := Some (Printf.sprintf "air: public column %d length" col)
+          else
+            Array.iteri
+              (fun row v ->
+                if !violation = None && trace.(row).(col) <> v then
+                  violation :=
+                    Some (Printf.sprintf "air: public column %d violated at row %d" col row))
+              values)
+      t.public_columns;
+    match !violation with None -> Ok () | Some msg -> Error msg
+  end

@@ -1,0 +1,38 @@
+(** Algebraic intermediate representation (AIR).
+
+    An AIR describes a computation as a table of [width] BabyBear
+    columns whose consecutive rows satisfy polynomial transition
+    constraints, plus boundary constraints pinning specific cells. The
+    STARK prover commits to the low-degree extension of the columns and
+    argues constraint satisfaction via FRI; this is the "specialized
+    proof system" of the paper's Section 7, traded against the
+    general-purpose zkVM. *)
+
+type t = {
+  name : string;
+  width : int;  (** number of columns *)
+  transition : Zkflow_field.Babybear.t array -> Zkflow_field.Babybear.t array -> Zkflow_field.Babybear.t array;
+      (** [transition row next] evaluates every transition constraint;
+          all must be 0 on consecutive trace rows. Must be polynomial
+          in its inputs with total degree ≤ [transition_degree]. *)
+  constraint_count : int;
+  transition_degree : int;
+  boundary : (int * int * Zkflow_field.Babybear.t) list;
+      (** [(row, col, value)] cells fixed by the statement. Row indices
+          may be negative to count from the end ([-1] = last row). *)
+  public_columns : (int * Zkflow_field.Babybear.t array) list;
+      (** [(col, values)] columns fixed {e in full} by the statement
+          (e.g. the absorbed message limbs). Cheaper than one boundary
+          quotient per cell: the verifier interpolates the public
+          values once and spot-checks equality with the committed
+          column at the FRI query points. [values] must have the trace
+          length. *)
+}
+
+val check_trace : t -> Zkflow_field.Babybear.t array array -> (unit, string) result
+(** [check_trace air trace] directly checks every constraint on a
+    concrete trace (rows = time steps). Used by tests and by the prover
+    as a guard before committing. *)
+
+val resolve_boundary : t -> trace_length:int -> (int * int * Zkflow_field.Babybear.t) list
+(** Boundary rows with negative indices resolved. *)

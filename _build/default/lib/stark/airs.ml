@@ -1,0 +1,138 @@
+module F = Zkflow_field.Babybear
+
+let fibonacci ~claim =
+  {
+    Air.name = "fibonacci";
+    width = 2;
+    transition =
+      (fun row next ->
+        [| F.sub next.(0) row.(1); F.sub next.(1) (F.add row.(0) row.(1)) |]);
+    constraint_count = 2;
+    transition_degree = 1;
+    boundary = [ (0, 0, F.one); (0, 1, F.one); (-1, 0, claim) ];
+    public_columns = [];
+  }
+
+let fibonacci_trace n =
+  let trace = Array.make_matrix n 2 F.one in
+  for i = 1 to n - 1 do
+    trace.(i).(0) <- trace.(i - 1).(1);
+    trace.(i).(1) <- F.add trace.(i - 1).(0) trace.(i - 1).(1)
+  done;
+  trace
+
+let fibonacci_value n =
+  let t = fibonacci_trace n in
+  t.(n - 1).(0)
+
+let counter ~length =
+  {
+    Air.name = "counter";
+    width = 1;
+    transition = (fun row next -> [| F.sub next.(0) (F.add row.(0) F.one) |]);
+    constraint_count = 1;
+    transition_degree = 1;
+    boundary = [ (0, 0, F.zero); (-1, 0, F.of_int (length - 1)) ];
+    public_columns = [];
+  }
+
+let counter_trace n = Array.init n (fun i -> [| F.of_int i |])
+
+(* Mini-rescue round constants: an affine recurrence keeps the AIR
+   position-independent while varying the constant per round. *)
+let rc_a = 1103515245
+let rc_b = 12345
+let rc0 = 0x2718281
+
+let mini_rescue ~x0 ~y0 ~claim =
+  {
+    Air.name = "mini-rescue";
+    width = 3;
+    transition =
+      (fun row next ->
+        let cube = F.mul row.(0) (F.mul row.(0) row.(0)) in
+        [|
+          F.sub next.(0) (F.add row.(1) (F.add cube row.(2)));
+          F.sub next.(1) row.(0);
+          F.sub next.(2) (F.add (F.mul (F.of_int rc_a) row.(2)) (F.of_int rc_b));
+        |]);
+    constraint_count = 3;
+    transition_degree = 3;
+    boundary = [ (0, 0, x0); (0, 1, y0); (0, 2, F.of_int rc0); (-1, 0, claim) ];
+    public_columns = [];
+  }
+
+let mini_rescue_trace ~x0 ~y0 n =
+  let trace = Array.make_matrix n 3 F.zero in
+  trace.(0) <- [| x0; y0; F.of_int rc0 |];
+  for i = 1 to n - 1 do
+    let x = trace.(i - 1).(0) and y = trace.(i - 1).(1) and rc = trace.(i - 1).(2) in
+    trace.(i).(0) <- F.add y (F.add (F.mul x (F.mul x x)) rc);
+    trace.(i).(1) <- x;
+    trace.(i).(2) <- F.add (F.mul (F.of_int rc_a) rc) (F.of_int rc_b)
+  done;
+  trace
+
+let mini_rescue_final trace = trace.(Array.length trace - 1).(0)
+let rounds_per_hash = 8
+
+(* ---- absorb chain ---- *)
+
+let chain_iv_x = 0x5eed01
+let chain_iv_y = 0x5eed02
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (2 * k) in
+  go 1
+
+(* Length-prefix the limbs (collision resistance across lengths), then
+   zero-pad so the trace is a power of two. Returns the m-column
+   (length rows − 1; the final row's m is never absorbed). *)
+let chain_schedule limbs =
+  let with_len = Array.append [| F.of_int (Array.length limbs) |] limbs in
+  let rows = next_pow2 (max 8 (Array.length with_len + 1)) in
+  let m = Array.make (rows - 1) F.zero in
+  Array.blit with_len 0 m 0 (Array.length with_len);
+  (m, rows)
+
+let absorb_step ~x ~y ~rc ~m =
+  let cube = F.mul x (F.mul x x) in
+  ( F.add y (F.add cube (F.add rc m)),
+    x,
+    F.add (F.mul (F.of_int rc_a) rc) (F.of_int rc_b) )
+
+let absorb_chain_trace ~limbs =
+  let m, rows = chain_schedule limbs in
+  let trace = Array.make_matrix rows 4 F.zero in
+  trace.(0) <- [| F.of_int chain_iv_x; F.of_int chain_iv_y; F.of_int rc0; m.(0) |];
+  for i = 1 to rows - 1 do
+    let x = trace.(i - 1).(0) and y = trace.(i - 1).(1) and rc = trace.(i - 1).(2) in
+    let x', y', rc' = absorb_step ~x ~y ~rc ~m:trace.(i - 1).(3) in
+    trace.(i) <- [| x'; y'; rc'; (if i < rows - 1 then m.(i) else F.zero) |]
+  done;
+  trace
+
+let absorb_chain_commit ~limbs =
+  let trace = absorb_chain_trace ~limbs in
+  trace.(Array.length trace - 1).(0)
+
+let absorb_chain ~limbs ~claim =
+  let m, rows = chain_schedule limbs in
+  (* the full m column: scheduled limbs plus a 0 in the (unabsorbed)
+     final row *)
+  let m_col = Array.append m [| F.zero |] in
+  assert (Array.length m_col = rows);
+  {
+    Air.name = "absorb-chain";
+    width = 4;
+    transition =
+      (fun row next ->
+        let x', y', rc' = absorb_step ~x:row.(0) ~y:row.(1) ~rc:row.(2) ~m:row.(3) in
+        [| F.sub next.(0) x'; F.sub next.(1) y'; F.sub next.(2) rc' |]);
+    constraint_count = 3;
+    transition_degree = 3;
+    boundary =
+      [ (0, 0, F.of_int chain_iv_x); (0, 1, F.of_int chain_iv_y);
+        (0, 2, F.of_int rc0); (-1, 0, claim) ];
+    public_columns = [ (3, m_col) ];
+  }

@@ -1,0 +1,64 @@
+(** Ready-made AIRs and trace generators.
+
+    [mini_rescue] is the ablation workload for the paper's Section 7:
+    an algebraic (degree-3) permutation whose rounds are one trace row
+    each, standing in for the specialized hash arithmetizations
+    (Rescue/Poseidon) that production STARKs use for Merkle hashing. *)
+
+val fibonacci : claim:Zkflow_field.Babybear.t -> Air.t
+(** Width-2 Fibonacci AIR; [claim] is the value of column 0 in the last
+    row. *)
+
+val fibonacci_trace : int -> Zkflow_field.Babybear.t array array
+(** [fibonacci_trace n] — n rows starting (1, 1). *)
+
+val fibonacci_value : int -> Zkflow_field.Babybear.t
+(** Column 0 of the last row of [fibonacci_trace n]. *)
+
+val counter : length:int -> Air.t
+(** Width-1 increment-by-one AIR from 0 to [length − 1]. *)
+
+val counter_trace : int -> Zkflow_field.Babybear.t array array
+
+val mini_rescue :
+  x0:Zkflow_field.Babybear.t ->
+  y0:Zkflow_field.Babybear.t ->
+  claim:Zkflow_field.Babybear.t ->
+  Air.t
+(** Width-3 hash-chain AIR: each row applies
+    x' = y + x³ + rc, y' = x, rc' = A·rc + B. [claim] pins the final x. *)
+
+val mini_rescue_trace :
+  x0:Zkflow_field.Babybear.t ->
+  y0:Zkflow_field.Babybear.t ->
+  int ->
+  Zkflow_field.Babybear.t array array
+
+val mini_rescue_final : Zkflow_field.Babybear.t array array -> Zkflow_field.Babybear.t
+(** Final x of a mini-rescue trace. *)
+
+val rounds_per_hash : int
+(** 8 — the nominal number of permutation rounds per "hash" when
+    converting trace length to hashes/second in the ablation. *)
+
+(** {2 Absorb chain}
+
+    A sponge-like commitment AIR: every row absorbs one public message
+    limb [m] into the mini-rescue state
+    (x' = y + x³ + rc + m, y' = x, rc' = A·rc + B). The limbs are
+    pinned by boundary constraints, so the statement is "the final x is
+    the chain commitment of exactly these limbs" — the specialized
+    replacement for in-zkVM Merkle hashing that the paper's Section 7
+    anticipates. Traces are padded with zero limbs to a power of two
+    (absorbing 0 is part of the definition). *)
+
+val absorb_chain : limbs:Zkflow_field.Babybear.t array -> claim:Zkflow_field.Babybear.t -> Air.t
+(** The AIR for a given public limb sequence; the trace length is the
+    padded limb count + 1 (state rows), itself padded to a power of
+    two ≥ 8 with zero limbs. *)
+
+val absorb_chain_trace : limbs:Zkflow_field.Babybear.t array -> Zkflow_field.Babybear.t array array
+(** The honest trace for {!absorb_chain}. *)
+
+val absorb_chain_commit : limbs:Zkflow_field.Babybear.t array -> Zkflow_field.Babybear.t
+(** The commitment value (final x of the honest trace). *)

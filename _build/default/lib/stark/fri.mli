@@ -1,0 +1,58 @@
+(** FRI: fast Reed–Solomon interactive oracle proof of proximity,
+    made non-interactive by Fiat–Shamir.
+
+    Proves that a vector of F_p² values over a multiplicative coset is
+    (close to) the evaluation table of a polynomial of degree below a
+    bound, by repeated random folding: each round commits to the
+    current layer, draws ζ, and halves the domain via
+    f'(x²) = (f(x) + f(−x))/2 + ζ·(f(x) − f(−x))/(2x). The final,
+    small layer is sent in full; queries spot-check every fold. *)
+
+type query_step = {
+  pos : Zkflow_field.Fp2.t;  (** f(x) *)
+  neg : Zkflow_field.Fp2.t;  (** f(−x) *)
+  pos_path : Zkflow_merkle.Proof.t;
+  neg_path : Zkflow_merkle.Proof.t;
+}
+
+type query = { index : int; steps : query_step array }
+
+type proof = {
+  layer_roots : Zkflow_hash.Digest32.t array; (** one per folded layer *)
+  final : Zkflow_field.Fp2.t array;           (** final layer, in full *)
+  queries : query array;
+}
+
+val final_size : int
+(** Folding stops when the layer is this small (16). *)
+
+val prove :
+  transcript:Zkflow_hash.Transcript.t ->
+  domain:Zkflow_field.Domain.t ->
+  degree_bound:int ->
+  queries:int ->
+  Zkflow_field.Fp2.t array ->
+  proof
+(** [prove ~transcript ~domain ~degree_bound ~queries values] argues
+    [values] (length [domain.size], a power of two) is an evaluation
+    table of degree < [degree_bound]. The transcript must already have
+    absorbed everything that binds [values] (the caller's layer-0
+    commitment). *)
+
+val layer0_root : proof -> Zkflow_hash.Digest32.t
+(** The commitment to the input layer; callers cross-check their own
+    consistency conditions against the query openings of this layer. *)
+
+val query_layer0 : query -> (int * Zkflow_field.Fp2.t) * (int * Zkflow_field.Fp2.t)
+(** [(i, f(xᵢ)), (i + m/2, f(−xᵢ))] — the two input-layer cells this
+    query authenticates. *)
+
+val verify :
+  transcript:Zkflow_hash.Transcript.t ->
+  domain:Zkflow_field.Domain.t ->
+  degree_bound:int ->
+  queries:int ->
+  proof ->
+  (unit, string) result
+(** Re-derives the challenges and checks every fold, path and the
+    final layer's degree. The transcript must mirror the prover's. *)

@@ -1,0 +1,45 @@
+(** The mini-STARK: commit to an execution trace's low-degree
+    extension, fold all AIR constraints into one composition polynomial
+    with Fiat–Shamir randomizers, and prove its low degree with
+    {!Fri}.
+
+    This is a genuine polynomial-IOP argument (unlike the zkVM layer's
+    spot-check surrogate) but intentionally omits production
+    refinements such as DEEP sampling and zero-knowledge blinding; it
+    exists to quantify the paper's Section 7 claim that specialized
+    proof systems beat a general-purpose zkVM on fixed workloads such
+    as Merkle hashing. *)
+
+type trace_opening = {
+  index : int;
+  leaf : bytes; (** the [width] column values at this LDE point *)
+  path : Zkflow_merkle.Proof.t;
+}
+
+type proof = {
+  trace_length : int;
+  blowup : int;
+  trace_root : Zkflow_hash.Digest32.t;
+  fri : Fri.proof;
+  trace_openings : trace_opening array array;
+      (** per FRI query: the 4 trace rows needed to recompute the
+          composition at the query's two points. *)
+}
+
+val default_queries : int
+(** 30. *)
+
+val prove :
+  ?queries:int ->
+  Air.t ->
+  Zkflow_field.Babybear.t array array ->
+  (proof, string) result
+(** [prove air trace] — [trace] is an array of rows, its length a
+    power of two ≥ 8. Fails if the trace violates the AIR. *)
+
+val verify : ?queries:int -> Air.t -> proof -> (unit, string) result
+(** Checks the proof against the AIR (whose boundary list is the public
+    statement) and its claimed trace length. *)
+
+val proof_size_bytes : proof -> int
+(** Wire-size estimate of the proof, for the ablation tables. *)

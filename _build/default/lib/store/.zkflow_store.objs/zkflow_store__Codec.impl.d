@@ -1,0 +1,1 @@
+lib/store/codec.ml: Array Bytes Int32 Zkflow_netflow Zkflow_util

@@ -1,0 +1,1 @@
+lib/store/db.ml: Array Codec Epoch Hashtbl Int List Option Printf Table Wal Zkflow_netflow

@@ -1,0 +1,1 @@
+lib/store/db.mli: Epoch Zkflow_netflow

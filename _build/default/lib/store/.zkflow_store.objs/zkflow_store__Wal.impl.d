@@ -1,0 +1,1 @@
+lib/store/wal.ml: Bytes Int32 List Printexc Sys

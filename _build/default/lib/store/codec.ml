@@ -1,0 +1,27 @@
+module Wire = Zkflow_util.Wire
+module Record = Zkflow_netflow.Record
+
+let record_to_row r =
+  let w = Wire.writer () in
+  Wire.w_bytes w (Record.to_bytes r);
+  Wire.w_int w r.Record.first_ts;
+  Wire.w_int w r.Record.last_ts;
+  Wire.w_int w r.Record.router_id;
+  Wire.contents w
+
+let record_of_row b =
+  Wire.decode b (fun r ->
+      let committed = Wire.r_bytes r in
+      let first_ts = Wire.r_int r in
+      let last_ts = Wire.r_int r in
+      let router_id = Wire.r_int r in
+      if Bytes.length committed <> 32 then raise (Wire.Decode "record row: core size");
+      let words =
+        Array.init 8 (fun k ->
+            Int32.to_int (Bytes.get_int32_be committed (4 * k)) land 0xffffffff)
+      in
+      match Record.of_words ~router_id words with
+      | Ok core ->
+        Record.make ~key:core.Record.key ~first_ts ~last_ts ~router_id
+          core.Record.metrics
+      | Error e -> raise (Wire.Decode e))

@@ -1,0 +1,6 @@
+(** Storage codec for NetFlow records, including the host-side metadata
+    (timestamps, router id) that the committed 32-byte wire form
+    deliberately omits. *)
+
+val record_to_row : Zkflow_netflow.Record.t -> bytes
+val record_of_row : bytes -> (Zkflow_netflow.Record.t, string) result

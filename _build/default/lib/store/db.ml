@@ -1,0 +1,83 @@
+module Record = Zkflow_netflow.Record
+
+type t = {
+  epoch : Epoch.policy;
+  windows : (int * int, Table.t) Hashtbl.t; (* (router, epoch) -> rows *)
+  wal : Wal.t option;
+}
+
+let create ?wal_path ~epoch () =
+  { epoch; windows = Hashtbl.create 64; wal = Option.map Wal.open_log wal_path }
+
+let epoch_policy t = t.epoch
+
+let table t ~router_id ~epoch =
+  match Hashtbl.find_opt t.windows (router_id, epoch) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Table.create ~name:(Printf.sprintf "rlogs.r%d.e%d" router_id epoch) in
+    Hashtbl.replace t.windows (router_id, epoch) tbl;
+    tbl
+
+let insert t record =
+  let epoch = Epoch.of_ts t.epoch record.Record.last_ts in
+  let row = Codec.record_to_row record in
+  ignore (Table.append (table t ~router_id:record.Record.router_id ~epoch) row);
+  Option.iter (fun w -> Wal.append w row) t.wal
+
+let insert_batch t records = List.iter (insert t) records
+
+let window t ~router_id ~epoch =
+  match Hashtbl.find_opt t.windows (router_id, epoch) with
+  | None -> [||]
+  | Some tbl ->
+    Array.init (Table.length tbl) (fun i ->
+        match Table.get tbl i with
+        | Some row -> (
+          match Codec.record_of_row row with
+          | Ok r -> r
+          | Error e -> failwith ("Db.window: corrupt row: " ^ e))
+        | None -> assert false)
+
+let routers t =
+  Hashtbl.fold (fun (r, _) _ acc -> r :: acc) t.windows []
+  |> List.sort_uniq Int.compare
+
+let epochs t =
+  Hashtbl.fold (fun (_, e) _ acc -> e :: acc) t.windows []
+  |> List.sort_uniq Int.compare
+
+let record_count t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Table.length tbl) t.windows 0
+
+let tamper t ~router_id ~epoch ~pos f =
+  match Hashtbl.find_opt t.windows (router_id, epoch) with
+  | None -> Error "tamper: no such window"
+  | Some tbl -> (
+    match Table.get tbl pos with
+    | None -> Error "tamper: position out of range"
+    | Some row -> (
+      match Codec.record_of_row row with
+      | Error e -> Error e
+      | Ok r ->
+        Table.unsafe_overwrite tbl pos (Codec.record_to_row (f r));
+        Ok ()))
+
+let recover ~wal_path ~epoch =
+  match Wal.replay wal_path with
+  | Error e -> Error e
+  | Ok rows ->
+    let t = { epoch; windows = Hashtbl.create 64; wal = None } in
+    let rec go = function
+      | [] -> Ok t
+      | row :: rest -> (
+        match Codec.record_of_row row with
+        | Error e -> Error ("recover: " ^ e)
+        | Ok r ->
+          let e = Epoch.of_ts t.epoch r.Record.last_ts in
+          ignore (Table.append (table t ~router_id:r.Record.router_id ~epoch:e) row);
+          go rest)
+    in
+    go rows
+
+let sync t = Option.iter Wal.sync t.wal

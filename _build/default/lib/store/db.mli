@@ -1,0 +1,47 @@
+(** The shared telemetry store — the role PostgreSQL plays in the
+    paper's testbed: every simulated router writes its records here,
+    partitioned by (router, epoch) so the commitment and aggregation
+    layers can fetch exactly one integrity window at a time.
+
+    The store is honest-by-default but {i untrusted}: {!tamper} mutates
+    history exactly like a malicious operator would, and nothing here
+    prevents it — detection comes from the published commitments. *)
+
+type t
+
+val create : ?wal_path:string -> epoch:Epoch.policy -> unit -> t
+(** In-memory store; with [wal_path], appends are also journaled and
+    {!recover} can rebuild the store from disk. *)
+
+val epoch_policy : t -> Epoch.policy
+
+val insert : t -> Zkflow_netflow.Record.t -> unit
+(** Files the record under its router id and the epoch of its
+    [last_ts]. *)
+
+val insert_batch : t -> Zkflow_netflow.Record.t list -> unit
+
+val window : t -> router_id:int -> epoch:int -> Zkflow_netflow.Record.t array
+(** All records of one router's integrity window, in insertion order
+    ([||] when empty). *)
+
+val routers : t -> int list
+(** Router ids present, ascending. *)
+
+val epochs : t -> int list
+(** Epochs present (any router), ascending. *)
+
+val record_count : t -> int
+
+val tamper :
+  t -> router_id:int -> epoch:int -> pos:int ->
+  (Zkflow_netflow.Record.t -> Zkflow_netflow.Record.t) ->
+  (unit, string) result
+(** Adversary hook: rewrites the [pos]-th record of a window in place
+    (Figure 3's post-commitment modification). *)
+
+val recover : wal_path:string -> epoch:Epoch.policy -> (t, string) result
+(** Rebuilds a store from its WAL. *)
+
+val sync : t -> unit
+(** Flushes the WAL, if any. *)

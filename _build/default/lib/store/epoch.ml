@@ -1,0 +1,14 @@
+type policy = { interval_ms : int }
+
+let default = { interval_ms = 5000 }
+
+let make ~interval_ms =
+  if interval_ms <= 0 then invalid_arg "Epoch.make: interval must be positive";
+  { interval_ms }
+
+let of_ts p ts =
+  if ts < 0 then invalid_arg "Epoch.of_ts: negative timestamp";
+  ts / p.interval_ms
+
+let start_ms p e = e * p.interval_ms
+let end_ms p e = (e + 1) * p.interval_ms

@@ -1,0 +1,20 @@
+(** Commitment windows ("integrity windows" in the paper: each router
+    commits a hash of its log every 5 seconds). An epoch is the index
+    of such a window. *)
+
+type policy = { interval_ms : int }
+
+val default : policy
+(** 5000 ms, the paper's setting. *)
+
+val make : interval_ms:int -> policy
+(** Raises [Invalid_argument] unless positive. *)
+
+val of_ts : policy -> int -> int
+(** [of_ts p ts_ms] is the epoch containing timestamp [ts_ms]. *)
+
+val start_ms : policy -> int -> int
+(** First millisecond of an epoch. *)
+
+val end_ms : policy -> int -> int
+(** Exclusive end of an epoch. *)

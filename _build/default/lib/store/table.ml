@@ -1,0 +1,31 @@
+type t = { name : string; mutable rows : bytes array; mutable len : int }
+
+let create ~name = { name; rows = Array.make 64 Bytes.empty; len = 0 }
+let name t = t.name
+
+let append t row =
+  if t.len = Array.length t.rows then begin
+    let bigger = Array.make (2 * t.len) Bytes.empty in
+    Array.blit t.rows 0 bigger 0 t.len;
+    t.rows <- bigger
+  end;
+  t.rows.(t.len) <- Bytes.copy row;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let get t i = if i < 0 || i >= t.len then None else Some (Bytes.copy t.rows.(i))
+let length t = t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f i t.rows.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i row -> acc := f !acc i row) t;
+  !acc
+
+let unsafe_overwrite t i row =
+  if i < 0 || i >= t.len then invalid_arg "Table.unsafe_overwrite: out of range";
+  t.rows.(i) <- Bytes.copy row

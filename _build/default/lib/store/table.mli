@@ -1,0 +1,25 @@
+(** An append-only table of byte rows with stable sequence numbers —
+    the storage primitive under {!Db}. Rows are immutable once
+    appended; this is what makes post-hoc tampering detectable rather
+    than prevented (detection is the commitment layer's job). *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val append : t -> bytes -> int
+(** Returns the row's sequence number (0-based, dense). *)
+
+val get : t -> int -> bytes option
+val length : t -> int
+
+val iter : (int -> bytes -> unit) -> t -> unit
+(** In sequence order. *)
+
+val fold : ('a -> int -> bytes -> 'a) -> 'a -> t -> 'a
+
+val unsafe_overwrite : t -> int -> bytes -> unit
+(** Test/adversary hook: simulates a malicious storage operator editing
+    history (the Figure 3 tampering scenario). Raises
+    [Invalid_argument] when out of range. *)

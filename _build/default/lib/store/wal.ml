@@ -1,0 +1,42 @@
+type t = { path : string; oc : out_channel }
+
+let open_log path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc }
+
+let append t row =
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length row));
+  output_bytes t.oc header;
+  output_bytes t.oc row
+
+let sync t = flush t.oc
+let close t = close_out t.oc
+
+let replay path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in_bin path in
+    let size = in_channel_length ic in
+    let rec go acc pos =
+      if pos + 4 > size then List.rev acc
+      else begin
+        let header = Bytes.create 4 in
+        really_input ic header 0 4;
+        let len = Int32.to_int (Bytes.get_int32_be header 0) in
+        if len < 0 || pos + 4 + len > size then List.rev acc (* torn tail *)
+        else begin
+          let row = Bytes.create len in
+          really_input ic row 0 len;
+          go (row :: acc) (pos + 4 + len)
+        end
+      end
+    in
+    match go [] 0 with
+    | rows ->
+      close_in ic;
+      Ok rows
+    | exception e ->
+      close_in_noerr ic;
+      Error (Printexc.to_string e)
+  end

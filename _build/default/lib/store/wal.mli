@@ -1,0 +1,17 @@
+(** File-backed write-ahead log: length-prefixed rows, replayable at
+    startup. Gives {!Db} optional durability, standing in for the
+    paper's PostgreSQL persistence. *)
+
+type t
+
+val open_log : string -> t
+(** Opens (creating if needed) for appending. *)
+
+val append : t -> bytes -> unit
+val sync : t -> unit
+val close : t -> unit
+
+val replay : string -> (bytes list, string) result
+(** Reads every intact row; a torn tail (partial final row) is treated
+    as a crash artifact and dropped, not an error. Missing file ⇒
+    [Ok []]. *)

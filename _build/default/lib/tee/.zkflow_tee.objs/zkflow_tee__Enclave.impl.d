@@ -1,0 +1,1 @@
+lib/tee/enclave.ml: Bytes Char Zkflow_hash Zkflow_util

@@ -1,0 +1,1 @@
+lib/tee/enclave.mli: Zkflow_hash

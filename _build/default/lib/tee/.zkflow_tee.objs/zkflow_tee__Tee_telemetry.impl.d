@@ -1,0 +1,1 @@
+lib/tee/tee_telemetry.ml: Bytes Enclave Hashtbl Int Int32 List Option Printf Zkflow_hash Zkflow_netflow

@@ -1,0 +1,1 @@
+lib/tee/tee_telemetry.mli: Enclave Zkflow_hash Zkflow_netflow

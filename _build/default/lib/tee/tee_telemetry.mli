@@ -1,0 +1,38 @@
+(** The TEE-based verifiable-telemetry baseline (TrustSketch-shaped):
+    an enclave on every vantage point ingests that router's records at
+    capture time and answers queries with attested reports.
+
+    Contrast with the ZKP pipeline: integrity holds from the moment of
+    capture (stronger in that respect), but every router needs TEE
+    hardware, the relying party must trust the vendor's attestation
+    root, and reports reveal the queried values to whoever can request
+    them. The benchmark harness measures deployment count and
+    per-record/per-report costs against the software-only design. *)
+
+type t
+
+val deploy : Enclave.platform -> router_ids:int list -> code_id:string -> t
+(** One enclave per vantage point ([router_ids] must be non-empty and
+    duplicate-free). *)
+
+val code_measurement : t -> Zkflow_hash.Digest32.t
+val enclave_count : t -> int
+
+val ingest : t -> Zkflow_netflow.Record.t -> (unit, string) result
+(** Routes the record to its router's enclave; fails when that router
+    has no TEE deployed — the coverage gap the paper highlights. *)
+
+val flow_report :
+  t -> router_id:int -> Zkflow_netflow.Flowkey.t -> (Enclave.report, string) result
+(** Attested per-flow counters (packets, bytes, hop_count, losses) as
+    the report payload, 16 bytes big-endian. *)
+
+val decode_report_metrics : bytes -> (Zkflow_netflow.Record.metrics, string) result
+
+val verify_report :
+  attestation_key:bytes ->
+  expected_measurement:Zkflow_hash.Digest32.t ->
+  Enclave.report ->
+  bool
+(** Re-exported from {!Enclave} for client code symmetry with the ZKP
+    verifier. *)

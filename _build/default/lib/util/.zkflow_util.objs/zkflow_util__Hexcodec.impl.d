@@ -1,0 +1,1 @@
+lib/util/hexcodec.ml: Buffer Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/util/wire.ml: Array Buffer Bytes List Varint

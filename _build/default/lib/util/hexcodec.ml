@@ -1,0 +1,33 @@
+let encode b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let encode_string s = encode (Bytes.of_string s)
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "hex: odd length"
+  else begin
+    let out = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok out
+      else
+        match nibble s.[i], nibble s.[i + 1] with
+        | Some hi, Some lo ->
+          Bytes.set out (i / 2) (Char.chr ((hi lsl 4) lor lo));
+          go (i + 2)
+        | _ -> Error (Printf.sprintf "hex: bad character at offset %d" i)
+    in
+    go 0
+  end
+
+let decode_exn s =
+  match decode s with Ok b -> b | Error msg -> invalid_arg ("Hexcodec." ^ msg)

@@ -1,0 +1,15 @@
+(** Hexadecimal encoding and decoding. *)
+
+val encode : bytes -> string
+(** [encode b] is the lowercase hex rendering of [b]. *)
+
+val encode_string : string -> string
+(** [encode_string s] is [encode] over the bytes of [s]. *)
+
+val decode : string -> (bytes, string) result
+(** [decode s] parses lowercase or uppercase hex. Returns [Error _] on
+    odd length or non-hex characters. *)
+
+val decode_exn : string -> bytes
+(** [decode_exn s] is [decode s], raising [Invalid_argument] on error.
+    Use only on trusted constants (e.g. test vectors). *)

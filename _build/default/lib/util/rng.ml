@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let u = float t 1.0 in
+  -.log (1.0 -. u) /. rate
+
+(* Cumulative Zipf weights are cached per (n, s): sampling is then a
+   binary search over the cumulative array. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf_cdf n s =
+  match Hashtbl.find_opt zipf_cache (n, s) with
+  | Some cdf -> cdf
+  | None ->
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for k = 1 to n do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int k) s);
+      cdf.(k - 1) <- !acc
+    done;
+    let total = !acc in
+    Array.iteri (fun i v -> cdf.(i) <- v /. total) cdf;
+    Hashtbl.replace zipf_cache (n, s) cdf;
+    cdf
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let cdf = zipf_cdf n s in
+  let u = float t 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  1 + search 0 (n - 1)
+
+let bytes t n =
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (next_int64 t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set out (!i + j) (Char.chr (Int64.to_int !v land 0xff));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done;
+  out
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

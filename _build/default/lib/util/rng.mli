@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component in zkflow (traffic generation, sampling,
+    fault injection) takes an explicit [Rng.t] so that simulations and
+    benchmarks are reproducible from a seed. Not cryptographically
+    secure; cryptographic randomness in zkflow is always derived from
+    Fiat–Shamir transcripts instead. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. Useful
+    for giving each simulated router its own stream. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples an exponential inter-arrival time with
+    the given [rate] (mean [1. /. rate]). *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in [\[1, n\]] from a Zipf distribution
+    with exponent [s], by inversion over the precomputed harmonic sum.
+    Used for flow-popularity synthesis. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)

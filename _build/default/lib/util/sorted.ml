@@ -1,0 +1,34 @@
+let is_sorted ~cmp a =
+  let n = Array.length a in
+  let rec go i = i >= n - 1 || (cmp a.(i) a.(i + 1) <= 0 && go (i + 1)) in
+  go 0
+
+let lower_bound ~cmp a key =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cmp a.(mid) key >= 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length a)
+
+let bsearch ~cmp a key =
+  let i = lower_bound ~cmp a key in
+  if i < Array.length a && cmp a.(i) key = 0 then Some i else None
+
+let merge_uniq ~cmp ~combine a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = ref [] and i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let c = cmp a.(!i) b.(!j) in
+    if c < 0 then begin out := a.(!i) :: !out; incr i end
+    else if c > 0 then begin out := b.(!j) :: !out; incr j end
+    else begin
+      out := combine a.(!i) b.(!j) :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  while !i < na do out := a.(!i) :: !out; incr i done;
+  while !j < nb do out := b.(!j) :: !out; incr j done;
+  Array.of_list (List.rev !out)

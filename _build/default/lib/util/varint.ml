@@ -1,0 +1,26 @@
+let write buf v =
+  if v < 0 then invalid_arg "Varint.write: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read b off =
+  let len = Bytes.length b in
+  let rec go off shift acc =
+    if off >= len then invalid_arg "Varint.read: truncated";
+    if shift > 62 then invalid_arg "Varint.read: overflow";
+    let c = Char.code (Bytes.get b off) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go off 0 0
+
+let size v =
+  if v < 0 then invalid_arg "Varint.size: negative";
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1

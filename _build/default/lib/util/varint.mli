@@ -1,0 +1,14 @@
+(** LEB128-style variable-length integer encoding used by the storage
+    codecs. Values are non-negative and fit in an OCaml [int]. *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf v] appends the varint encoding of [v]. Raises
+    [Invalid_argument] if [v < 0]. *)
+
+val read : bytes -> int -> int * int
+(** [read b off] decodes a varint at [off] and returns
+    [(value, next_offset)]. Raises [Invalid_argument] on truncated or
+    oversized (> 63-bit) input. *)
+
+val size : int -> int
+(** [size v] is the number of bytes [write] emits for [v]. *)

@@ -1,0 +1,1 @@
+lib/zkproof/checker.ml: Array Bytes Format Int32 Int64 List Result Zkflow_hash Zkflow_zkvm

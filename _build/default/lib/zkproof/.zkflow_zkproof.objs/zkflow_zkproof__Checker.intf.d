@@ -1,0 +1,1 @@
+lib/zkproof/checker.mli: Zkflow_hash Zkflow_zkvm

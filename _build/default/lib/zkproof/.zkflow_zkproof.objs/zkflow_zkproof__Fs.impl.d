@@ -1,0 +1,1 @@
+lib/zkproof/fs.ml: Receipt Zkflow_field Zkflow_hash

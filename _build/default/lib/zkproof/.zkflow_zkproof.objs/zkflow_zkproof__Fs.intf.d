@@ -1,0 +1,1 @@
+lib/zkproof/fs.mli: Receipt Zkflow_field Zkflow_hash

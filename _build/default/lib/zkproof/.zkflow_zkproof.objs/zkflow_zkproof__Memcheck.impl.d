@@ -1,0 +1,1 @@
+lib/zkproof/memcheck.ml: Array Zkflow_field Zkflow_zkvm

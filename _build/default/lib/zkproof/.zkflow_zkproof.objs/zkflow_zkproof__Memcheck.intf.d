@@ -1,0 +1,1 @@
+lib/zkproof/memcheck.mli: Zkflow_field Zkflow_zkvm

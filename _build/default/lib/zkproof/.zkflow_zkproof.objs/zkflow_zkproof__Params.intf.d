@@ -1,0 +1,1 @@
+lib/zkproof/params.mli:

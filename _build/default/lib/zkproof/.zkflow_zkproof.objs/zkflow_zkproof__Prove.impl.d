@@ -1,0 +1,1 @@
+lib/zkproof/prove.ml: Array Checker Fs Memcheck Option Params Printf Receipt Zkflow_field Zkflow_hash Zkflow_merkle Zkflow_zkvm

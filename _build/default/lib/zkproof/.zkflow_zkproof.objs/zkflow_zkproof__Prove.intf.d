@@ -1,0 +1,1 @@
+lib/zkproof/prove.mli: Params Receipt Zkflow_zkvm

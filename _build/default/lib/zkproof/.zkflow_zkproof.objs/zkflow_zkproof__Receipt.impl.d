@@ -1,0 +1,1 @@
+lib/zkproof/receipt.ml: Array Bytes Int32 List Params Zkflow_hash Zkflow_merkle Zkflow_util

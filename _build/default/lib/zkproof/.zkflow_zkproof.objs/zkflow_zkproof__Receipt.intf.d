@@ -1,0 +1,1 @@
+lib/zkproof/receipt.mli: Params Zkflow_hash Zkflow_merkle

@@ -1,0 +1,1 @@
+lib/zkproof/verify.ml: Array Bytes Checker Format Fs List Memcheck Params Receipt Result Zkflow_field Zkflow_hash Zkflow_merkle Zkflow_zkvm

@@ -1,0 +1,1 @@
+lib/zkproof/verify.mli: Receipt Zkflow_zkvm

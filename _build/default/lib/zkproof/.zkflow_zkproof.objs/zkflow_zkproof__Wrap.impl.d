@@ -1,0 +1,1 @@
+lib/zkproof/wrap.ml: Bytes Receipt Verify Zkflow_hash Zkflow_util

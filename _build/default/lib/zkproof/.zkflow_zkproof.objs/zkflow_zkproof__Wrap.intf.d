@@ -1,0 +1,1 @@
+lib/zkproof/wrap.mli: Receipt Zkflow_hash Zkflow_zkvm

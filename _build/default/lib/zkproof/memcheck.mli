@@ -1,0 +1,45 @@
+(** Offline memory checking (Blum et al. style) over the unified
+    register/RAM access log.
+
+    The prover commits to the log twice — in execution (time) order and
+    sorted by (address, time) — plus a grand-product column per copy
+    that accumulates ∏ (α − fingerprint(entry)) over the extension
+    field. Equal final products certify (w.h.p. over the Fiat–Shamir
+    α, β) that the two logs hold the same multiset; local adjacency
+    rules on the sorted copy then give read-after-write consistency and
+    zero-initialised memory. *)
+
+val sort : Zkflow_zkvm.Trace.mem_entry array -> Zkflow_zkvm.Trace.mem_entry array
+(** A copy sorted by [Trace.mem_order]. *)
+
+val term :
+  alpha:Zkflow_field.Fp2.t ->
+  beta:Zkflow_field.Fp2.t ->
+  Zkflow_zkvm.Trace.mem_entry ->
+  Zkflow_field.Fp2.t
+(** The entry fingerprint α − (addr + β·time + β²·lo16(v) + β³·hi16(v)
+    + β⁴·write). The 32-bit value is split so every coordinate fits the
+    BabyBear field. *)
+
+val products :
+  alpha:Zkflow_field.Fp2.t ->
+  beta:Zkflow_field.Fp2.t ->
+  Zkflow_zkvm.Trace.mem_entry array ->
+  Zkflow_field.Fp2.t array
+(** Running products: element [i] is ∏_{j ≤ i} term(entry_j). *)
+
+val encode_fp2 : Zkflow_field.Fp2.t -> bytes
+(** 8-byte leaf encoding of a grand-product value. *)
+
+val decode_fp2 : bytes -> (Zkflow_field.Fp2.t, string) result
+
+val check_first : Zkflow_zkvm.Trace.mem_entry -> (unit, string) result
+(** The first sorted entry: a read must see 0 (memory starts zeroed). *)
+
+val check_adjacent :
+  Zkflow_zkvm.Trace.mem_entry ->
+  Zkflow_zkvm.Trace.mem_entry ->
+  (unit, string) result
+(** Sorted-order adjacency: non-decreasing keys; a read either repeats
+    the previous value of the same address or sees 0 on a fresh
+    address. *)

@@ -1,0 +1,8 @@
+type t = { queries : int }
+
+let default = { queries = 48 }
+
+let make ~queries =
+  if queries < 1 || queries > 4096 then
+    invalid_arg "Params.make: queries out of range";
+  { queries }

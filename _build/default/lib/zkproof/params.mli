@@ -1,0 +1,14 @@
+(** Proof-system parameters.
+
+    [queries] is the number of Fiat–Shamir spot checks per category
+    (step transitions, sorted-log adjacency, grand-product links). A
+    single inconsistent position escapes one category with probability
+    ≈ (1 − 1/n)^queries, so more queries buy soundness linearly in
+    proof size. 48 is the default used by the benchmarks. *)
+
+type t = { queries : int }
+
+val default : t
+
+val make : queries:int -> t
+(** Raises [Invalid_argument] unless [1 <= queries <= 4096]. *)

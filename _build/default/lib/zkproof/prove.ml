@@ -1,0 +1,153 @@
+module Machine = Zkflow_zkvm.Machine
+module Program = Zkflow_zkvm.Program
+module Trace = Zkflow_zkvm.Trace
+module Tree = Zkflow_merkle.Tree
+module D = Zkflow_hash.Digest32
+module Fp2 = Zkflow_field.Fp2
+
+let open_at tree leaves i =
+  { Receipt.index = i; leaf = leaves.(i); path = Tree.prove tree i }
+
+let prove_result ?(params = Params.default) program (run : Machine.result) =
+  if Array.length run.Machine.rows = 0 then
+    Error "prove: run has no trace (execute with ~trace:true)"
+  else if run.Machine.exit_code <> 0 then
+    Error
+      (Printf.sprintf
+         "prove: guest exited with code %d (in-guest integrity check failed); refusing to attest"
+         run.Machine.exit_code)
+  else begin
+    let claim =
+      {
+        Receipt.image_id = Program.image_id program;
+        exit_code = run.Machine.exit_code;
+        journal = run.Machine.journal;
+      }
+    in
+    let rows = run.Machine.rows and memlog = run.Machine.memlog in
+    let n_rows = Array.length rows and n_mem = Array.length memlog in
+    (* Phase 1 commitments. *)
+    let row_leaves = Array.map Trace.encode_row rows in
+    let rows_tree = Tree.of_leaves row_leaves in
+    let time_leaves = Array.map Trace.encode_mem memlog in
+    let time_tree = Tree.of_leaves time_leaves in
+    let sorted_log = Memcheck.sort memlog in
+    let sorted_leaves = Array.map Trace.encode_mem sorted_log in
+    let sorted_tree = Tree.of_leaves sorted_leaves in
+    let jacc_chain = ref Zkflow_hash.Chain.genesis in
+    let jacc_leaves =
+      Array.map
+        (fun row ->
+          jacc_chain := Checker.jacc_step ~program !jacc_chain row;
+          D.to_bytes (Zkflow_hash.Chain.head !jacc_chain))
+        rows
+    in
+    let jacc_tree = Tree.of_leaves jacc_leaves in
+    (* Phase 2 (inside the transcript callback so ordering is right). *)
+    let z_time_tree = ref None and z_sorted_tree = ref None in
+    let z_time_leaves = ref [||] and z_sorted_leaves = ref [||] in
+    let commit_z ~alpha ~beta =
+      let zt = Memcheck.products ~alpha ~beta memlog in
+      let zs = Memcheck.products ~alpha ~beta sorted_log in
+      z_time_leaves := Array.map Memcheck.encode_fp2 zt;
+      z_sorted_leaves := Array.map Memcheck.encode_fp2 zs;
+      let tt = Tree.of_leaves !z_time_leaves in
+      let ts = Tree.of_leaves !z_sorted_leaves in
+      z_time_tree := Some tt;
+      z_sorted_tree := Some ts;
+      (Tree.root tt, Tree.root ts)
+    in
+    let challenges, root_z_time, root_z_sorted =
+      Fs.derive ~claim ~queries:params.Params.queries ~n_rows ~n_mem
+        ~root_rows:(Tree.root rows_tree) ~root_time:(Tree.root time_tree)
+        ~root_sorted:(Tree.root sorted_tree) ~root_jacc:(Tree.root jacc_tree)
+        ~commit_z
+    in
+    let { Fs.step_idx; sorted_idx; zt_idx; zs_idx; _ } = challenges in
+    let z_time_tree = Option.get !z_time_tree in
+    let z_sorted_tree = Option.get !z_sorted_tree in
+    let z_time_leaves = !z_time_leaves and z_sorted_leaves = !z_sorted_leaves in
+    (* Openings. *)
+    let steps =
+      Array.map
+        (fun i ->
+          let row = rows.(i) in
+          {
+            Receipt.row = open_at rows_tree row_leaves i;
+            next = open_at rows_tree row_leaves (i + 1);
+            mem =
+              Array.init row.Trace.mem_count (fun k ->
+                  open_at time_tree time_leaves (row.Trace.mem_pos + k));
+            jacc = open_at jacc_tree jacc_leaves i;
+            jacc_next = open_at jacc_tree jacc_leaves (i + 1);
+          })
+        step_idx
+    in
+    let sorteds =
+      Array.map
+        (fun j ->
+          {
+            Receipt.first = open_at sorted_tree sorted_leaves j;
+            second = open_at sorted_tree sorted_leaves (j + 1);
+          })
+        sorted_idx
+    in
+    let z_checks tree leaves log_tree log_leaves idx =
+      Array.map
+        (fun j ->
+          {
+            Receipt.z = open_at tree leaves j;
+            z_next = open_at tree leaves (j + 1);
+            entry_next = open_at log_tree log_leaves (j + 1);
+          })
+        idx
+    in
+    let zs_time = z_checks z_time_tree z_time_leaves time_tree time_leaves zt_idx in
+    let zs_sorted =
+      z_checks z_sorted_tree z_sorted_leaves sorted_tree sorted_leaves zs_idx
+    in
+    let boundary =
+      {
+        Receipt.row0 = open_at rows_tree row_leaves 0;
+        last_row = open_at rows_tree row_leaves (n_rows - 1);
+        jacc0 = open_at jacc_tree jacc_leaves 0;
+        jacc_last = open_at jacc_tree jacc_leaves (n_rows - 1);
+        time0 = open_at time_tree time_leaves 0;
+        sorted0 = open_at sorted_tree sorted_leaves 0;
+        z_time0 = open_at z_time_tree z_time_leaves 0;
+        z_sorted0 = open_at z_sorted_tree z_sorted_leaves 0;
+        z_time_last = open_at z_time_tree z_time_leaves (n_mem - 1);
+        z_sorted_last = open_at z_sorted_tree z_sorted_leaves (n_mem - 1);
+      }
+    in
+    Ok
+      {
+        Receipt.claim;
+        seal =
+          {
+            Receipt.params;
+            n_rows;
+            n_mem;
+            root_rows = Tree.root rows_tree;
+            root_time = Tree.root time_tree;
+            root_sorted = Tree.root sorted_tree;
+            root_jacc = Tree.root jacc_tree;
+            root_z_time;
+            root_z_sorted;
+            steps;
+            sorteds;
+            zs_time;
+            zs_sorted;
+            boundary;
+          };
+      }
+  end
+
+let prove ?params program ~input =
+  match Machine.run ~trace:true program ~input with
+  | exception Machine.Trap { cycle; pc; reason } ->
+    Error (Printf.sprintf "prove: guest trapped at cycle %d pc %d: %s" cycle pc reason)
+  | run -> (
+    match prove_result ?params program run with
+    | Ok receipt -> Ok (receipt, run)
+    | Error e -> Error e)

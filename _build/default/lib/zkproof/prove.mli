@@ -1,0 +1,30 @@
+(** Receipt generation: execute a guest and argue its trace.
+
+    [prove] runs the program with tracing on, Merkle-commits the trace
+    rows, the time-ordered and address-sorted access logs and the
+    journal accumulator, derives the memory-check challenges and the
+    spot-check positions by Fiat–Shamir, and assembles the openings
+    into a {!Receipt.t}.
+
+    Proving cost is O(cycles · log cycles) hashing — the analogue of
+    the zkVM proving cost the paper measures in Figure 4. *)
+
+val prove :
+  ?params:Params.t ->
+  Zkflow_zkvm.Program.t ->
+  input:int array ->
+  (Receipt.t * Zkflow_zkvm.Machine.result, string) result
+(** Returns the receipt and the underlying run (for the journal and
+    cycle counts). [Error _] when the guest traps, or when the guest
+    exits non-zero — a non-zero exit is an in-guest integrity-check
+    failure (Figure 3's tampering case), for which no attestation must
+    be issuable. *)
+
+val prove_result :
+  ?params:Params.t ->
+  Zkflow_zkvm.Program.t ->
+  Zkflow_zkvm.Machine.result ->
+  (Receipt.t, string) result
+(** Builds a receipt from an existing traced run (must have been
+    produced with [~trace:true]). Used to separate execution time from
+    proving time in benchmarks. *)

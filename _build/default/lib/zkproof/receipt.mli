@@ -1,0 +1,89 @@
+(** Receipts: the zkVM proof artifact.
+
+    Mirrors RISC Zero's receipt structure: a public {!claim} (image ID,
+    exit code, journal) plus a {!seal} — here, the trace-commitment
+    spot-check argument described in DESIGN.md §2. The seal grows with
+    O(queries · log(cycles)); the claim's journal grows with the
+    guest's committed output (Table 1's "Journal" column); the wrapped
+    form ({!Wrap}) is the constant 256-byte "Proof" column. *)
+
+type claim = {
+  image_id : Zkflow_hash.Digest32.t;
+  exit_code : int;
+  journal : int array; (** committed 32-bit words, in order *)
+}
+
+val journal_digest : claim -> Zkflow_hash.Digest32.t
+(** Chain hash over the journal words (4 bytes big-endian each) — the
+    value the in-proof journal accumulator must reach. *)
+
+val claim_digest : claim -> Zkflow_hash.Digest32.t
+(** Binds image id, exit code and journal; the wrap MACs this. *)
+
+type opening = {
+  index : int;
+  leaf : bytes;                   (** serialized leaf preimage *)
+  path : Zkflow_merkle.Proof.t;
+}
+(** One authenticated leaf of a committed column. *)
+
+type step_check = {
+  row : opening;          (** rows tree, index i *)
+  next : opening;         (** rows tree, index i + 1 *)
+  mem : opening array;    (** time-log entries owned by row i *)
+  jacc : opening;         (** journal accumulator after row i *)
+  jacc_next : opening;    (** after row i + 1 *)
+}
+
+type sorted_check = { first : opening; second : opening }
+(** Adjacent pair of the address-sorted access log. *)
+
+type z_check = {
+  z : opening;            (** grand-product column at j *)
+  z_next : opening;       (** at j + 1 *)
+  entry_next : opening;   (** the log entry at j + 1 *)
+}
+
+type boundary = {
+  row0 : opening;
+  last_row : opening;
+  jacc0 : opening;
+  jacc_last : opening;
+  time0 : opening;
+  sorted0 : opening;
+  z_time0 : opening;
+  z_sorted0 : opening;
+  z_time_last : opening;
+  z_sorted_last : opening;
+}
+
+type seal = {
+  params : Params.t;
+  n_rows : int;
+  n_mem : int;
+  root_rows : Zkflow_hash.Digest32.t;
+  root_time : Zkflow_hash.Digest32.t;
+  root_sorted : Zkflow_hash.Digest32.t;
+  root_jacc : Zkflow_hash.Digest32.t;
+  root_z_time : Zkflow_hash.Digest32.t;
+  root_z_sorted : Zkflow_hash.Digest32.t;
+  steps : step_check array;
+  sorteds : sorted_check array;
+  zs_time : z_check array;
+  zs_sorted : z_check array;
+  boundary : boundary;
+}
+
+type t = { claim : claim; seal : seal }
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+
+val journal_size : t -> int
+(** Journal bytes (Table 1, "Journal"). *)
+
+val seal_size : t -> int
+(** Encoded seal bytes. *)
+
+val size : t -> int
+(** Full encoded receipt bytes (Table 1, "Receipt"). *)

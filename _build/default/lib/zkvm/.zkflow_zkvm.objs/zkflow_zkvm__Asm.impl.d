@@ -1,0 +1,1 @@
+lib/zkvm/asm.ml: Array Hashtbl Isa List Printf Program

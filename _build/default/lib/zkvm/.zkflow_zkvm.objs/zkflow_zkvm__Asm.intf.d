@@ -1,0 +1,1 @@
+lib/zkvm/asm.mli: Isa Program

@@ -1,0 +1,1 @@
+lib/zkvm/guestlib.ml: Array Asm Bytes Int32 List Zkflow_hash Zkflow_merkle

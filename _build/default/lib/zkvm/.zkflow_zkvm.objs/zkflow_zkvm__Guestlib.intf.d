@@ -1,0 +1,1 @@
+lib/zkvm/guestlib.mli: Asm Isa

@@ -1,0 +1,1 @@
+lib/zkvm/isa.ml: Bytes Char Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/zkvm/isa.mli: Format

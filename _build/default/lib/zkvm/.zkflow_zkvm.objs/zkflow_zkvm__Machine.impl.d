@@ -1,0 +1,1 @@
+lib/zkvm/machine.ml: Array Bytes Hashtbl Int32 Int64 Isa List Option Printf Program Trace Zkflow_hash

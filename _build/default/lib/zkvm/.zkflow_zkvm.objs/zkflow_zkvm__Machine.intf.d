@@ -1,0 +1,1 @@
+lib/zkvm/machine.mli: Program Trace

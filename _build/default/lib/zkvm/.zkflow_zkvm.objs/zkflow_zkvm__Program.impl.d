@@ -1,0 +1,1 @@
+lib/zkvm/program.ml: Array Format Isa Zkflow_hash

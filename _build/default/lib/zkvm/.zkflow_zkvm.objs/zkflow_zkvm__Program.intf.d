@@ -1,0 +1,1 @@
+lib/zkvm/program.mli: Format Isa Zkflow_hash

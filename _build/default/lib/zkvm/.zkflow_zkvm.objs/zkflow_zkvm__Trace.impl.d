@@ -1,0 +1,1 @@
+lib/zkvm/trace.ml: Array Bool Buffer Bytes Format Int Zkflow_util

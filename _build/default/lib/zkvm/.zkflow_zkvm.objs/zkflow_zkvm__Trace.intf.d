@@ -1,0 +1,1 @@
+lib/zkvm/trace.mli: Format

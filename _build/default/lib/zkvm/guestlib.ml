@@ -1,0 +1,178 @@
+open Asm
+
+let words_of_bytes b =
+  if Bytes.length b mod 4 <> 0 then invalid_arg "Guestlib.words_of_bytes";
+  Array.init (Bytes.length b / 4) (fun i ->
+      Int32.to_int (Bytes.get_int32_be b (4 * i)) land 0xffffffff)
+
+let words_of_digest d =
+  if Bytes.length d <> 32 then invalid_arg "Guestlib.words_of_digest: need 32 bytes";
+  words_of_bytes d
+
+let digest_of_words ws =
+  if Array.length ws <> 8 then invalid_arg "Guestlib.digest_of_words: need 8 words";
+  let b = Bytes.create 32 in
+  Array.iteri (fun i w -> Bytes.set_int32_be b (4 * i) (Int32.of_int (w land 0xffffffff))) ws;
+  b
+
+let leaf_domain_words = words_of_bytes (Bytes.of_string "zkflow.lf.v1")
+
+let empty_leaf_words =
+  words_of_digest
+    (Zkflow_hash.Digest32.unsafe_to_bytes Zkflow_merkle.Tree.empty_leaf)
+
+let store_constant_words ~base ~off ~tmp ws =
+  block
+    (Array.to_list
+       (Array.mapi (fun i w -> block [ li tmp w; sw tmp base (off + i) ]) ws))
+
+let read_words_fn =
+  block
+    [
+      label "gl_read_words";
+      mv s2 a0;
+      mv s3 a1;
+      label "gl_read_words.loop";
+      beq s3 zero "gl_read_words.done";
+      read_word t0;
+      sw t0 s2 0;
+      addi s2 s2 1;
+      addi s3 s3 (-1);
+      j "gl_read_words.loop";
+      label "gl_read_words.done";
+      ret;
+    ]
+
+let cmp8_fn =
+  block
+    [
+      label "gl_cmp8";
+      li t3 8;
+      mv t4 a0;
+      mv t5 a1;
+      label "gl_cmp8.loop";
+      beq t3 zero "gl_cmp8.eq";
+      lw t0 t4 0;
+      lw t1 t5 0;
+      bne t0 t1 "gl_cmp8.ne";
+      addi t4 t4 1;
+      addi t5 t5 1;
+      addi t3 t3 (-1);
+      j "gl_cmp8.loop";
+      label "gl_cmp8.ne";
+      li a0 0;
+      ret;
+      label "gl_cmp8.eq";
+      li a0 1;
+      ret;
+    ]
+
+let copy_words_fn =
+  block
+    [
+      label "gl_copy_words";
+      label "gl_copy_words.loop";
+      beq a2 zero "gl_copy_words.done";
+      lw t0 a1 0;
+      sw t0 a0 0;
+      addi a0 a0 1;
+      addi a1 a1 1;
+      addi a2 a2 (-1);
+      j "gl_copy_words.loop";
+      label "gl_copy_words.done";
+      ret;
+    ]
+
+let leaf_hashes_fn =
+  let copy_entry =
+    (* entry words s2[0..8) → scratch s5[3..11) *)
+    block
+      (List.init 8 (fun k -> block [ lw t0 s2 k; sw t0 s5 (3 + k) ]))
+  in
+  block
+    [
+      label "gl_leaf_hashes";
+      mv s2 a0;
+      mv s3 a1;
+      mv s4 a2;
+      mv s5 a3;
+      store_constant_words ~base:s5 ~off:0 ~tmp:t0 leaf_domain_words;
+      label "gl_leaf_hashes.loop";
+      beq s3 zero "gl_leaf_hashes.done";
+      copy_entry;
+      li t6 11;
+      sha ~src:s5 ~words:t6 ~dst:s4;
+      addi s2 s2 8;
+      addi s4 s4 8;
+      addi s3 s3 (-1);
+      j "gl_leaf_hashes.loop";
+      label "gl_leaf_hashes.done";
+      ret;
+    ]
+
+let merkle_root_fn =
+  block
+    [
+      label "gl_merkle_root";
+      mv s2 a0;
+      mv s3 a1;
+      (* s4 := next power of two >= count *)
+      li s4 1;
+      label "gl_merkle_root.pow";
+      bgeu s4 s3 "gl_merkle_root.padfill";
+      slli s4 s4 1;
+      j "gl_merkle_root.pow";
+      label "gl_merkle_root.padfill";
+      mv s5 s3;
+      label "gl_merkle_root.fill";
+      bgeu s5 s4 "gl_merkle_root.levels";
+      slli t0 s5 3;
+      add t0 t0 s2;
+      store_constant_words ~base:t0 ~off:0 ~tmp:t1 empty_leaf_words;
+      addi s5 s5 1;
+      j "gl_merkle_root.fill";
+      (* Reduce level by level: pair (2i, 2i+1) → i via one SHA of the
+         16 contiguous words. In-place is safe: dst 8i ≤ src 16i and
+         the ecall reads the whole block before writing. *)
+      label "gl_merkle_root.levels";
+      li t0 1;
+      bgeu t0 s4 "gl_merkle_root.done";
+      srli s5 s4 1;
+      li s6 0;
+      label "gl_merkle_root.pairs";
+      bgeu s6 s5 "gl_merkle_root.next";
+      slli t2 s6 4;
+      add t2 t2 s2;
+      slli t3 s6 3;
+      add t3 t3 s2;
+      li t4 16;
+      sha ~src:t2 ~words:t4 ~dst:t3;
+      addi s6 s6 1;
+      j "gl_merkle_root.pairs";
+      label "gl_merkle_root.next";
+      mv s4 s5;
+      j "gl_merkle_root.levels";
+      label "gl_merkle_root.done";
+      ret;
+    ]
+
+let commit_words_fn =
+  block
+    [
+      label "gl_commit_words";
+      mv s2 a0;
+      mv s3 a1;
+      label "gl_commit_words.loop";
+      beq s3 zero "gl_commit_words.done";
+      lw t0 s2 0;
+      commit t0;
+      addi s2 s2 1;
+      addi s3 s3 (-1);
+      j "gl_commit_words.loop";
+      label "gl_commit_words.done";
+      ret;
+    ]
+
+let all_fns =
+  block
+    [ read_words_fn; cmp8_fn; copy_words_fn; leaf_hashes_fn; merkle_root_fn; commit_words_fn ]

@@ -1,0 +1,97 @@
+type reg = int
+type alu =
+  | ADD | SUB | MUL | AND | OR | XOR | SLL | SRL | SRA | SLT | SLTU
+  | DIVU | REMU
+type branch = BEQ | BNE | BLT | BGE | BLTU | BGEU
+
+type t =
+  | Alu of alu * reg * reg * reg
+  | Alui of alu * reg * reg * int
+  | Lui of reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int
+  | Branch of branch * reg * reg * int
+  | Jal of reg * int
+  | Jalr of reg * reg * int
+  | Ecall
+
+let registers_used = function
+  | Alu (_, rd, rs1, rs2) -> (Some rs1, Some rs2, Some rd)
+  | Alui (_, rd, rs1, _) -> (Some rs1, None, Some rd)
+  | Lui (rd, _) -> (None, None, Some rd)
+  | Lw (rd, rs1, _) -> (Some rs1, None, Some rd)
+  | Sw (rs2, rs1, _) -> (Some rs1, Some rs2, None)
+  | Branch (_, rs1, rs2, _) -> (Some rs1, Some rs2, None)
+  | Jal (rd, _) -> (None, None, Some rd)
+  | Jalr (rd, rs1, _) -> (Some rs1, None, Some rd)
+  | Ecall -> (None, None, None)
+
+let alu_code = function
+  | ADD -> 0 | SUB -> 1 | MUL -> 2 | AND -> 3 | OR -> 4 | XOR -> 5
+  | SLL -> 6 | SRL -> 7 | SRA -> 8 | SLT -> 9 | SLTU -> 10
+  | DIVU -> 11 | REMU -> 12
+
+let branch_code = function
+  | BEQ -> 0 | BNE -> 1 | BLT -> 2 | BGE -> 3 | BLTU -> 4 | BGEU -> 5
+
+(* opcode byte, three register/selector bytes, 8-byte immediate: fixed
+   12... actually 1 + 3 + 8 = 12 bytes. *)
+let encode instr =
+  let b = Bytes.make 12 '\000' in
+  let set ~op ~f1 ~f2 ~f3 ~imm =
+    Bytes.set b 0 (Char.chr op);
+    Bytes.set b 1 (Char.chr (f1 land 0xff));
+    Bytes.set b 2 (Char.chr (f2 land 0xff));
+    Bytes.set b 3 (Char.chr (f3 land 0xff));
+    Bytes.set_int64_be b 4 (Int64.of_int imm)
+  in
+  (match instr with
+   | Alu (op, rd, rs1, rs2) -> set ~op:1 ~f1:(alu_code op) ~f2:rd ~f3:((rs1 lsl 5) lor rs2) ~imm:rs1
+   | Alui (op, rd, rs1, imm) -> set ~op:2 ~f1:(alu_code op) ~f2:rd ~f3:rs1 ~imm
+   | Lui (rd, imm) -> set ~op:3 ~f1:rd ~f2:0 ~f3:0 ~imm
+   | Lw (rd, rs1, imm) -> set ~op:4 ~f1:rd ~f2:rs1 ~f3:0 ~imm
+   | Sw (rs2, rs1, imm) -> set ~op:5 ~f1:rs2 ~f2:rs1 ~f3:0 ~imm
+   | Branch (op, rs1, rs2, tgt) -> set ~op:6 ~f1:(branch_code op) ~f2:rs1 ~f3:rs2 ~imm:tgt
+   | Jal (rd, tgt) -> set ~op:7 ~f1:rd ~f2:0 ~f3:0 ~imm:tgt
+   | Jalr (rd, rs1, imm) -> set ~op:8 ~f1:rd ~f2:rs1 ~f3:0 ~imm
+   | Ecall -> set ~op:9 ~f1:0 ~f2:0 ~f3:0 ~imm:0);
+  b
+
+let reg_name r =
+  match r with
+  | 0 -> "zero" | 1 -> "ra" | 2 -> "sp" | 3 -> "gp" | 4 -> "tp"
+  | 5 -> "t0" | 6 -> "t1" | 7 -> "t2"
+  | 8 -> "s0" | 9 -> "s1"
+  | r when r >= 10 && r <= 17 -> Printf.sprintf "a%d" (r - 10)
+  | r when r >= 18 && r <= 27 -> Printf.sprintf "s%d" (r - 16)
+  | r when r >= 28 && r <= 31 -> Printf.sprintf "t%d" (r - 25)
+  | r -> Printf.sprintf "x%d" r
+
+let alu_name = function
+  | ADD -> "add" | SUB -> "sub" | MUL -> "mul" | AND -> "and" | OR -> "or"
+  | XOR -> "xor" | SLL -> "sll" | SRL -> "srl" | SRA -> "sra"
+  | SLT -> "slt" | SLTU -> "sltu" | DIVU -> "divu" | REMU -> "remu"
+
+let branch_name = function
+  | BEQ -> "beq" | BNE -> "bne" | BLT -> "blt" | BGE -> "bge"
+  | BLTU -> "bltu" | BGEU -> "bgeu"
+
+let pp ppf = function
+  | Alu (op, rd, rs1, rs2) ->
+    Format.fprintf ppf "%s %s, %s, %s" (alu_name op) (reg_name rd)
+      (reg_name rs1) (reg_name rs2)
+  | Alui (op, rd, rs1, imm) ->
+    Format.fprintf ppf "%si %s, %s, %d" (alu_name op) (reg_name rd)
+      (reg_name rs1) imm
+  | Lui (rd, imm) -> Format.fprintf ppf "lui %s, %d" (reg_name rd) imm
+  | Lw (rd, rs1, imm) ->
+    Format.fprintf ppf "lw %s, %d(%s)" (reg_name rd) imm (reg_name rs1)
+  | Sw (rs2, rs1, imm) ->
+    Format.fprintf ppf "sw %s, %d(%s)" (reg_name rs2) imm (reg_name rs1)
+  | Branch (op, rs1, rs2, tgt) ->
+    Format.fprintf ppf "%s %s, %s, @%d" (branch_name op) (reg_name rs1)
+      (reg_name rs2) tgt
+  | Jal (rd, tgt) -> Format.fprintf ppf "jal %s, @%d" (reg_name rd) tgt
+  | Jalr (rd, rs1, imm) ->
+    Format.fprintf ppf "jalr %s, %d(%s)" (reg_name rd) imm (reg_name rs1)
+  | Ecall -> Format.fprintf ppf "ecall"

@@ -1,0 +1,19 @@
+type t = { instrs : Isa.t array; image_id : Zkflow_hash.Digest32.t }
+
+let of_instrs instrs =
+  if Array.length instrs = 0 then invalid_arg "Program.of_instrs: empty program";
+  let ctx = Zkflow_hash.Sha256.init () in
+  Zkflow_hash.Sha256.update_string ctx "zkflow.image";
+  Array.iter (fun i -> Zkflow_hash.Sha256.update ctx (Isa.encode i)) instrs;
+  { instrs; image_id = Zkflow_hash.Digest32.of_bytes (Zkflow_hash.Sha256.finalize ctx) }
+
+let instrs t = t.instrs
+let length t = Array.length t.instrs
+
+let fetch t pc =
+  if pc >= 0 && pc < Array.length t.instrs then Some t.instrs.(pc) else None
+
+let image_id t = t.image_id
+
+let pp ppf t =
+  Array.iteri (fun i instr -> Format.fprintf ppf "%4d: %a@." i Isa.pp instr) t.instrs

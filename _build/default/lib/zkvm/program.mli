@@ -1,0 +1,25 @@
+(** An assembled guest program and its image ID.
+
+    The image ID is the SHA-256 digest of the encoded instruction
+    stream — the analogue of a RISC Zero image ID: verifiers pin the
+    exact guest binary a receipt attests to. *)
+
+type t
+
+val of_instrs : Isa.t array -> t
+(** Wraps an instruction array (entry point is index 0). Raises
+    [Invalid_argument] on an empty program. *)
+
+val instrs : t -> Isa.t array
+(** The instruction array (not copied; treat as read-only). *)
+
+val length : t -> int
+
+val fetch : t -> int -> Isa.t option
+(** [fetch t pc] is the instruction at [pc], if in range. *)
+
+val image_id : t -> Zkflow_hash.Digest32.t
+(** Digest binding the full instruction stream. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing. *)

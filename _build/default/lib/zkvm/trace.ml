@@ -1,0 +1,146 @@
+type sha_block = {
+  block_index : int;
+  total_words : int;
+  src : int;
+  dst : int;
+  block : int array;
+  pre : int array;
+  post : int array;
+}
+
+type kind = Exec | Sha_block of sha_block
+
+type row = {
+  cycle : int;
+  pc : int;
+  next_pc : int;
+  kind : kind;
+  rs1 : int;
+  rs2 : int;
+  rd : int;
+  aux : int array;
+  mem_pos : int;
+  mem_count : int;
+}
+
+type mem_entry = { addr : int; time : int; write : bool; value : int }
+
+let reg_base = 1 lsl 30
+let ram_limit = 1 lsl 28
+let sha_block_count total = ((4 * total) + 72) / 64
+
+let sha_padded_word ~total w =
+  let blocks = sha_block_count total in
+  if w < total then None
+  else if w = total then Some 0x80000000
+  else if w = (16 * blocks) - 1 then Some ((32 * total) land 0xffffffff)
+  else if w = (16 * blocks) - 2 then Some (((32 * total) lsr 32) land 0xffffffff)
+  else Some 0
+
+let put_words buf a =
+  Zkflow_util.Varint.write buf (Array.length a);
+  Array.iter (fun w -> Zkflow_util.Varint.write buf w) a
+
+let encode_row r =
+  let buf = Buffer.create 96 in
+  let v = Zkflow_util.Varint.write buf in
+  v r.cycle;
+  v r.pc;
+  v r.next_pc;
+  (match r.kind with
+   | Exec -> v 0
+   | Sha_block { block_index; total_words; src; dst; block; pre; post } ->
+     v 1;
+     v block_index;
+     v total_words;
+     v src;
+     v dst;
+     put_words buf block;
+     put_words buf pre;
+     put_words buf post);
+  v r.rs1;
+  v r.rs2;
+  v r.rd;
+  put_words buf r.aux;
+  v r.mem_pos;
+  v r.mem_count;
+  Buffer.to_bytes buf
+
+let decode_row b =
+  match
+    let off = ref 0 in
+    let v () =
+      let x, o = Zkflow_util.Varint.read b !off in
+      off := o;
+      x
+    in
+    let words () =
+      let n = v () in
+      if n > 64 then failwith "trace row: implausible array";
+      Array.init n (fun _ -> v ())
+    in
+    let cycle = v () and pc = v () and next_pc = v () in
+    let kind =
+      match v () with
+      | 0 -> Exec
+      | 1 ->
+        let block_index = v () in
+        let total_words = v () in
+        let src = v () in
+        let dst = v () in
+        let block = words () in
+        let pre = words () in
+        let post = words () in
+        if Array.length block <> 16 || Array.length pre <> 8 || Array.length post <> 8
+        then failwith "trace row: bad sha shapes";
+        Sha_block { block_index; total_words; src; dst; block; pre; post }
+      | _ -> failwith "trace row: unknown kind"
+    in
+    let rs1 = v () and rs2 = v () and rd = v () in
+    let aux = words () in
+    let mem_pos = v () and mem_count = v () in
+    if !off <> Bytes.length b then failwith "trace row: trailing bytes";
+    { cycle; pc; next_pc; kind; rs1; rs2; rd; aux; mem_pos; mem_count }
+  with
+  | r -> Ok r
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let encode_mem e =
+  let buf = Buffer.create 16 in
+  Zkflow_util.Varint.write buf e.addr;
+  Zkflow_util.Varint.write buf e.time;
+  Zkflow_util.Varint.write buf (if e.write then 1 else 0);
+  Zkflow_util.Varint.write buf e.value;
+  Buffer.to_bytes buf
+
+let decode_mem b =
+  match
+    let addr, o = Zkflow_util.Varint.read b 0 in
+    let time, o = Zkflow_util.Varint.read b o in
+    let w, o = Zkflow_util.Varint.read b o in
+    let value, o = Zkflow_util.Varint.read b o in
+    if o <> Bytes.length b then failwith "mem entry: trailing bytes";
+    if w > 1 then failwith "mem entry: bad write flag";
+    { addr; time; write = w = 1; value }
+  with
+  | e -> Ok e
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let mem_order a b =
+  match Int.compare a.addr b.addr with
+  | 0 -> (
+    match Int.compare a.time b.time with
+    | 0 ->
+      (* Within one cycle a row reads before it writes, so reads sort
+         first; two same-cycle accesses are never both writes. *)
+      Bool.compare a.write b.write
+    | c -> c)
+  | c -> c
+
+let equal_row a b = a = b
+
+let pp_row ppf r =
+  Format.fprintf ppf "c%d pc=%d→%d rs1=%d rs2=%d rd=%d mem@%d+%d" r.cycle r.pc
+    r.next_pc r.rs1 r.rs2 r.rd r.mem_pos r.mem_count

@@ -1,0 +1,78 @@
+(** Execution traces.
+
+    A trace is the per-cycle record of a guest run, in two synchronized
+    streams:
+    - {!row}: one entry per cycle — the operand values an instruction
+      saw and produced, plus where its memory/register accesses live in
+      the access log;
+    - {!mem_entry}: the flat, time-ordered log of every register and
+      RAM access (registers are addressed at [reg_base + r], so one
+      offline memory-checking argument covers both).
+
+    The proof layer Merkle-commits the serialized forms; a verifier
+    re-executes any single opened row against the program. *)
+
+type sha_block = {
+  block_index : int;   (** 0-based block number within the ecall *)
+  total_words : int;   (** message length of the whole ecall, words *)
+  src : int;           (** message base address (word) *)
+  dst : int;           (** digest destination address (word) *)
+  block : int array;   (** the 16 padded message-schedule words *)
+  pre : int array;     (** 8-word chaining state before this block *)
+  post : int array;    (** 8-word chaining state after this block *)
+}
+(** One SHA-256 compression step of the accelerator ecall. *)
+
+type kind = Exec | Sha_block of sha_block
+
+type row = {
+  cycle : int;
+  pc : int;
+  next_pc : int;
+  kind : kind;
+  rs1 : int;        (** first operand value (0 when unused) *)
+  rs2 : int;        (** second operand value *)
+  rd : int;         (** result value written (0 when none) *)
+  aux : int array;  (** instruction-specific: Lw/Sw \[addr\]; ecall io words *)
+  mem_pos : int;    (** index of this row's first access-log entry *)
+  mem_count : int;  (** number of access-log entries owned by this row *)
+}
+
+type mem_entry = {
+  addr : int;       (** word address; registers live at [reg_base + r] *)
+  time : int;       (** cycle of the owning row *)
+  write : bool;
+  value : int;
+}
+
+val sha_block_count : int -> int
+(** [sha_block_count total] is the number of compression blocks for a
+    word-aligned message of [total] words: ⌈(4·total + 9) / 64⌉. *)
+
+val sha_padded_word : total:int -> int -> int option
+(** [sha_padded_word ~total w] is [None] when padded-word index [w] is
+    a message word ([w < total]), and [Some v] when it is the padding
+    word with value [v] (the 0x80 marker, zeros, or the bit length). *)
+
+val reg_base : int
+(** Base address of the register file in the unified address space
+    (above any legal RAM address). *)
+
+val ram_limit : int
+(** Exclusive upper bound on RAM word addresses (2^28). *)
+
+val encode_row : row -> bytes
+(** Canonical serialization (Merkle leaf preimage). *)
+
+val decode_row : bytes -> (row, string) result
+
+val encode_mem : mem_entry -> bytes
+val decode_mem : bytes -> (mem_entry, string) result
+
+val mem_order : mem_entry -> mem_entry -> int
+(** Order by (addr, time, write): the sort used by the offline memory
+    check. Reads sort before the write of the same cycle, matching
+    execution order within a row. *)
+
+val equal_row : row -> row -> bool
+val pp_row : Format.formatter -> row -> unit

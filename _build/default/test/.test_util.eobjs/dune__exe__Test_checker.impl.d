@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Asm Checker List Machine Printf Trace Zkflow_hash Zkflow_zkproof Zkflow_zkvm

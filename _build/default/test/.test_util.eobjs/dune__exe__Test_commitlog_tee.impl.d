@@ -1,0 +1,1 @@
+test/test_commitlog_tee.ml: Alcotest Array Board Bytes Char Commitment Enclave List Result Tee_telemetry Zkflow_commitlog Zkflow_hash Zkflow_netflow Zkflow_tee Zkflow_util

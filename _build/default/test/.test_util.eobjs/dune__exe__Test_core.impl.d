@@ -1,0 +1,1 @@
+test/test_core.ml: Aggregate Alcotest Array Clog Guests Int64 Lazy List Option Query Result String Vsketch Zkflow_core Zkflow_hash Zkflow_lang Zkflow_netflow Zkflow_util Zkflow_zkproof Zkflow_zkvm

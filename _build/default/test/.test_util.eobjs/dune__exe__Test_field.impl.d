@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Babybear Domain Fp2 Gen List Ntt Poly Printf QCheck QCheck_alcotest Zkflow_field Zkflow_hash Zkflow_util

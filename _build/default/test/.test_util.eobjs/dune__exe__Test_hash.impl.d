@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Chain Char Digest32 Gen Hmac QCheck QCheck_alcotest Sha256 String Zkflow_hash Zkflow_util

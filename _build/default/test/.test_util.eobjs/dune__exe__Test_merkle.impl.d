@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Array Bytes Fun Int64 List Multiproof Printf Proof QCheck QCheck_alcotest Result Smt Tree Zkflow_hash Zkflow_merkle Zkflow_util

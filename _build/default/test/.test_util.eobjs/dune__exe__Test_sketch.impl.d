@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Bytes Countmin Countsketch Fun Hyperloglog List Printf Scanf Spacesaving Zkflow_sketch

@@ -1,0 +1,1 @@
+test/test_stark.ml: Air Airs Alcotest Array Fri Int64 List Printf Result Stark Zkflow_core Zkflow_field Zkflow_hash Zkflow_netflow Zkflow_stark Zkflow_util

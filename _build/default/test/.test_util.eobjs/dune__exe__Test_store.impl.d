@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Bytes Codec Db Epoch Filename Fun List Printf Result Sys Table Wal Zkflow_netflow Zkflow_store Zkflow_util

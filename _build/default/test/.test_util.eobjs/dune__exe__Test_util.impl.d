@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Bytesx Char Fun Gen Hexcodec Int Int32 List QCheck QCheck_alcotest Result Rng Sorted Varint Wire Zkflow_util

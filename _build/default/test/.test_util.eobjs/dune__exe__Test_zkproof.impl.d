@@ -1,0 +1,1 @@
+test/test_zkproof.ml: Alcotest Array Asm Bytes Char Guestlib Machine Memcheck Params Prove Receipt Result String Trace Verify Wrap Zkflow_field Zkflow_hash Zkflow_util Zkflow_zkproof Zkflow_zkvm

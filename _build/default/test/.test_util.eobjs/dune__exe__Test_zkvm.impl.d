@@ -1,0 +1,1 @@
+test/test_zkvm.ml: Alcotest Array Asm Bytes Guestlib Int32 Int64 Isa Machine Printf Program QCheck QCheck_alcotest String Trace Zkflow_hash Zkflow_merkle Zkflow_util Zkflow_zkvm

@@ -1,0 +1,364 @@
+open Zkflow_merkle
+module D = Zkflow_hash.Digest32
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let digest = Alcotest.testable D.pp D.equal
+let leaves n = Array.init n (fun i -> Bytes.of_string (Printf.sprintf "leaf-%d" i))
+
+(* ---- Tree ---- *)
+
+let test_tree_deterministic_root () =
+  let t1 = Tree.of_leaves (leaves 5) and t2 = Tree.of_leaves (leaves 5) in
+  Alcotest.check digest "same root" (Tree.root t1) (Tree.root t2)
+
+let test_tree_root_depends_on_content () =
+  let a = Tree.of_leaves (leaves 4) in
+  let modified = leaves 4 in
+  modified.(2) <- Bytes.of_string "tampered";
+  let b = Tree.of_leaves modified in
+  check_bool "root changes" false (D.equal (Tree.root a) (Tree.root b))
+
+let test_tree_root_depends_on_order () =
+  let l = leaves 4 in
+  let swapped = Array.copy l in
+  swapped.(0) <- l.(1);
+  swapped.(1) <- l.(0);
+  check_bool "order matters" false
+    (D.equal (Tree.root (Tree.of_leaves l)) (Tree.root (Tree.of_leaves swapped)))
+
+let test_tree_sizes_and_depth () =
+  check_int "size 1 depth" 0 (Tree.depth (Tree.of_leaves (leaves 1)));
+  check_int "size 2 depth" 1 (Tree.depth (Tree.of_leaves (leaves 2)));
+  check_int "size 3 depth" 2 (Tree.depth (Tree.of_leaves (leaves 3)));
+  check_int "size 5 depth" 3 (Tree.depth (Tree.of_leaves (leaves 5)));
+  check_int "size recorded" 5 (Tree.size (Tree.of_leaves (leaves 5)))
+
+let test_tree_padding_distinguishes_sizes () =
+  (* A 3-leaf tree must not equal the 4-leaf tree whose 4th leaf is the
+     padding value's preimage-less digest... they share digests only if
+     the 4th real leaf hash equals the padding digest, which leaf
+     domain separation prevents for real data. *)
+  let t3 = Tree.of_leaves (leaves 3) and t4 = Tree.of_leaves (leaves 4) in
+  check_bool "3 vs 4 leaves" false (D.equal (Tree.root t3) (Tree.root t4))
+
+let test_tree_two_leaf_root_is_combine () =
+  let l = leaves 2 in
+  let expected = D.combine (Tree.leaf_hash l.(0)) (Tree.leaf_hash l.(1)) in
+  Alcotest.check digest "combine rule" expected (Tree.root (Tree.of_leaves l))
+
+let test_tree_root_of_leaf_hashes_agrees () =
+  for n = 1 to 17 do
+    let hs = Array.map Tree.leaf_hash (leaves n) in
+    Alcotest.check digest
+      (Printf.sprintf "n=%d" n)
+      (Tree.root (Tree.of_leaf_hashes hs))
+      (Tree.root_of_leaf_hashes hs)
+  done
+
+let test_tree_leaf_accessor () =
+  let t = Tree.of_leaves (leaves 3) in
+  Alcotest.check digest "leaf 0" (Tree.leaf_hash (Bytes.of_string "leaf-0")) (Tree.leaf t 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Tree.leaf: index out of range")
+    (fun () -> ignore (Tree.leaf t 3))
+
+(* ---- Proof ---- *)
+
+let test_proof_roundtrip_all_indices () =
+  List.iter
+    (fun n ->
+      let data = leaves n in
+      let t = Tree.of_leaves data in
+      for i = 0 to n - 1 do
+        let p = Tree.prove t i in
+        check_bool
+          (Printf.sprintf "n=%d i=%d" n i)
+          true
+          (Proof.verify ~root:(Tree.root t) ~leaf_hash:(Tree.leaf t i) p);
+        check_bool "verify_data" true
+          (Proof.verify_data ~root:(Tree.root t) data.(i) p)
+      done)
+    [ 1; 2; 3; 4; 7; 8; 9; 16; 33 ]
+
+let test_proof_rejects_wrong_leaf () =
+  let t = Tree.of_leaves (leaves 8) in
+  let p = Tree.prove t 3 in
+  check_bool "wrong leaf" false
+    (Proof.verify ~root:(Tree.root t) ~leaf_hash:(Tree.leaf t 4) p)
+
+let test_proof_rejects_wrong_root () =
+  let t = Tree.of_leaves (leaves 8) and t2 = Tree.of_leaves (leaves 9) in
+  let p = Tree.prove t 3 in
+  check_bool "wrong root" false
+    (Proof.verify ~root:(Tree.root t2) ~leaf_hash:(Tree.leaf t 3) p)
+
+let test_proof_rejects_tampered_sibling () =
+  let t = Tree.of_leaves (leaves 8) in
+  let p = Tree.prove t 5 in
+  let tampered =
+    { p with Proof.siblings = Array.map Fun.id p.Proof.siblings }
+  in
+  tampered.Proof.siblings.(1) <- D.hash_string "evil";
+  check_bool "tampered path" false
+    (Proof.verify ~root:(Tree.root t) ~leaf_hash:(Tree.leaf t 5) tampered)
+
+let test_proof_encode_decode () =
+  let t = Tree.of_leaves (leaves 10) in
+  let p = Tree.prove t 7 in
+  let b = Proof.encode p in
+  match Proof.decode b 0 with
+  | Error e -> Alcotest.fail e
+  | Ok (p', off) ->
+    check_int "consumed all" (Bytes.length b) off;
+    check_int "index" p.Proof.index p'.Proof.index;
+    check_bool "verifies" true
+      (Proof.verify ~root:(Tree.root t) ~leaf_hash:(Tree.leaf t 7) p')
+
+let test_proof_decode_truncated () =
+  let t = Tree.of_leaves (leaves 10) in
+  let b = Proof.encode (Tree.prove t 7) in
+  let cut = Bytes.sub b 0 (Bytes.length b - 5) in
+  check_bool "truncated rejected" true (Result.is_error (Proof.decode cut 0))
+
+let prop_proof_sound_random_trees =
+  QCheck.Test.make ~name:"proofs verify on random trees" ~count:50
+    QCheck.(pair (int_range 1 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+      let data = Array.init n (fun _ -> Zkflow_util.Rng.bytes rng 20) in
+      let t = Tree.of_leaves data in
+      let i = seed mod n in
+      Proof.verify_data ~root:(Tree.root t) data.(i) (Tree.prove t i))
+
+(* ---- Multiproof ---- *)
+
+let test_multiproof_basic () =
+  let t = Tree.of_leaves (leaves 16) in
+  let idx = [ 1; 5; 6; 12 ] in
+  let mp = Multiproof.prove t idx in
+  let lh = Array.of_list (List.map (Tree.leaf t) idx) in
+  check_bool "verifies" true (Multiproof.verify ~root:(Tree.root t) mp lh)
+
+let test_multiproof_all_leaves_needs_no_helpers () =
+  let t = Tree.of_leaves (leaves 8) in
+  let idx = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let mp = Multiproof.prove t idx in
+  check_int "no helpers" 0 (Multiproof.helper_count mp);
+  let lh = Array.of_list (List.map (Tree.leaf t) idx) in
+  check_bool "verifies" true (Multiproof.verify ~root:(Tree.root t) mp lh)
+
+let test_multiproof_smaller_than_individual () =
+  let t = Tree.of_leaves (leaves 64) in
+  let idx = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let mp = Multiproof.prove t idx in
+  let individual = List.length idx * Tree.depth t in
+  check_bool "dedup effective" true (Multiproof.helper_count mp < individual)
+
+let test_multiproof_rejects_wrong_leaf () =
+  let t = Tree.of_leaves (leaves 16) in
+  let idx = [ 2; 9 ] in
+  let mp = Multiproof.prove t idx in
+  let lh = [| Tree.leaf t 2; Tree.leaf t 10 |] in
+  check_bool "wrong leaf" false (Multiproof.verify ~root:(Tree.root t) mp lh)
+
+let test_multiproof_rejects_count_mismatch () =
+  let t = Tree.of_leaves (leaves 16) in
+  let mp = Multiproof.prove t [ 2; 9 ] in
+  check_bool "count mismatch" false
+    (Multiproof.verify ~root:(Tree.root t) mp [| Tree.leaf t 2 |])
+
+let test_multiproof_input_validation () =
+  let t = Tree.of_leaves (leaves 8) in
+  Alcotest.check_raises "empty" (Invalid_argument "Multiproof.prove: empty index set")
+    (fun () -> ignore (Multiproof.prove t []));
+  Alcotest.check_raises "dup" (Invalid_argument "Multiproof.prove: duplicate indices")
+    (fun () -> ignore (Multiproof.prove t [ 1; 1 ]));
+  Alcotest.check_raises "oob" (Invalid_argument "Multiproof.prove: index out of range")
+    (fun () -> ignore (Multiproof.prove t [ 8 ]))
+
+let test_multiproof_encode_decode () =
+  let t = Tree.of_leaves (leaves 20) in
+  let mp = Multiproof.prove t [ 0; 7; 19 ] in
+  let b = Multiproof.encode mp in
+  match Multiproof.decode b 0 with
+  | Error e -> Alcotest.fail e
+  | Ok (mp', off) ->
+    check_int "consumed" (Bytes.length b) off;
+    let lh = Array.of_list (List.map (Tree.leaf t) [ 0; 7; 19 ]) in
+    check_bool "verifies" true (Multiproof.verify ~root:(Tree.root t) mp' lh)
+
+let prop_multiproof_random_subsets =
+  QCheck.Test.make ~name:"multiproof on random subsets" ~count:60
+    QCheck.(pair (int_range 1 50) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+      let data = Array.init n (fun _ -> Zkflow_util.Rng.bytes rng 16) in
+      let t = Tree.of_leaves data in
+      let k = 1 + Zkflow_util.Rng.int rng n in
+      let all = Array.init n Fun.id in
+      Zkflow_util.Rng.shuffle rng all;
+      let idx = Array.to_list (Array.sub all 0 k) in
+      let mp = Multiproof.prove t idx in
+      let lh =
+        Array.of_list (List.map (Tree.leaf t) (Multiproof.indices mp))
+      in
+      Multiproof.verify ~root:(Tree.root t) mp lh)
+
+(* ---- Smt ---- *)
+
+let kv i = (Bytes.of_string (Printf.sprintf "flow-%d" i), Bytes.of_string (Printf.sprintf "val-%d" i))
+
+let test_smt_empty_root_stable () =
+  Alcotest.check digest "fresh trees agree" (Smt.root (Smt.create ())) Smt.empty_root
+
+let test_smt_set_find () =
+  let t = Smt.create () in
+  let k, v = kv 1 in
+  Smt.set t ~key:k v;
+  Alcotest.(check (option bytes)) "found" (Some v) (Smt.find t ~key:k);
+  Alcotest.(check (option bytes)) "other key absent" None
+    (Smt.find t ~key:(Bytes.of_string "other"))
+
+let test_smt_overwrite () =
+  let t = Smt.create () in
+  let k, v = kv 1 in
+  Smt.set t ~key:k v;
+  let r1 = Smt.root t in
+  Smt.set t ~key:k (Bytes.of_string "new");
+  check_bool "root changed" false (D.equal r1 (Smt.root t));
+  Alcotest.(check (option bytes)) "new value" (Some (Bytes.of_string "new"))
+    (Smt.find t ~key:k);
+  check_int "cardinal 1" 1 (Smt.cardinal t)
+
+let test_smt_remove_restores_root () =
+  let t = Smt.create () in
+  let k, v = kv 1 in
+  Smt.set t ~key:k v;
+  Smt.remove t ~key:k;
+  Alcotest.check digest "back to empty" Smt.empty_root (Smt.root t);
+  check_int "cardinal 0" 0 (Smt.cardinal t)
+
+let test_smt_order_independence () =
+  let t1 = Smt.create () and t2 = Smt.create () in
+  let pairs = List.init 20 kv in
+  List.iter (fun (k, v) -> Smt.set t1 ~key:k v) pairs;
+  List.iter (fun (k, v) -> Smt.set t2 ~key:k v) (List.rev pairs);
+  Alcotest.check digest "same root" (Smt.root t1) (Smt.root t2)
+
+let test_smt_membership_proof () =
+  let t = Smt.create () in
+  List.iter (fun (k, v) -> Smt.set t ~key:k v) (List.init 10 kv);
+  let k, v = kv 3 in
+  let p = Smt.prove t ~key:k in
+  check_bool "member" true (Smt.verify_member ~root:(Smt.root t) ~key:k ~value:v p);
+  check_bool "wrong value" false
+    (Smt.verify_member ~root:(Smt.root t) ~key:k ~value:(Bytes.of_string "x") p);
+  check_bool "not absent" false (Smt.verify_absent ~root:(Smt.root t) ~key:k p)
+
+let test_smt_non_membership_proof () =
+  let t = Smt.create () in
+  List.iter (fun (k, v) -> Smt.set t ~key:k v) (List.init 10 kv);
+  let ghost = Bytes.of_string "no-such-flow" in
+  let p = Smt.prove t ~key:ghost in
+  check_bool "absent" true (Smt.verify_absent ~root:(Smt.root t) ~key:ghost p);
+  check_bool "not member" false
+    (Smt.verify_member ~root:(Smt.root t) ~key:ghost ~value:(Bytes.of_string "v") p)
+
+let test_smt_proof_bound_to_key () =
+  let t = Smt.create () in
+  let k1, v1 = kv 1 and k2, _ = kv 2 in
+  Smt.set t ~key:k1 v1;
+  let p = Smt.prove t ~key:k1 in
+  check_bool "key mismatch rejected" false
+    (Smt.verify_member ~root:(Smt.root t) ~key:k2 ~value:v1 p)
+
+let test_smt_stale_proof_fails_after_update () =
+  let t = Smt.create () in
+  let k1, v1 = kv 1 and k2, v2 = kv 2 in
+  Smt.set t ~key:k1 v1;
+  let p = Smt.prove t ~key:k1 in
+  let old_root = Smt.root t in
+  Smt.set t ~key:k2 v2;
+  check_bool "valid against old root" true
+    (Smt.verify_member ~root:old_root ~key:k1 ~value:v1 p);
+  (* The sibling path changed with overwhelming probability; the stale
+     proof must not verify against the new root unless paths are
+     disjoint — re-prove instead. *)
+  let fresh = Smt.prove t ~key:k1 in
+  check_bool "fresh proof works" true
+    (Smt.verify_member ~root:(Smt.root t) ~key:k1 ~value:v1 fresh)
+
+let test_smt_fold () =
+  let t = Smt.create () in
+  List.iter (fun (k, v) -> Smt.set t ~key:k v) (List.init 5 kv);
+  let n = Smt.fold (fun _ _ acc -> acc + 1) t 0 in
+  check_int "visits all" 5 n
+
+let prop_smt_insert_remove_roundtrip =
+  QCheck.Test.make ~name:"insert+remove returns to prior root" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+      let t = Smt.create () in
+      for i = 0 to 9 do
+        let k, v = kv i in
+        ignore (Zkflow_util.Rng.int rng 2);
+        Smt.set t ~key:k v
+      done;
+      let r = Smt.root t in
+      let k = Bytes.of_string "transient" in
+      Smt.set t ~key:k (Zkflow_util.Rng.bytes rng 8);
+      Smt.remove t ~key:k;
+      D.equal r (Smt.root t))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "zkflow_merkle"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "deterministic root" `Quick test_tree_deterministic_root;
+          Alcotest.test_case "content-sensitive" `Quick test_tree_root_depends_on_content;
+          Alcotest.test_case "order-sensitive" `Quick test_tree_root_depends_on_order;
+          Alcotest.test_case "sizes and depth" `Quick test_tree_sizes_and_depth;
+          Alcotest.test_case "padding" `Quick test_tree_padding_distinguishes_sizes;
+          Alcotest.test_case "two-leaf combine" `Quick test_tree_two_leaf_root_is_combine;
+          Alcotest.test_case "root_of_leaf_hashes" `Quick test_tree_root_of_leaf_hashes_agrees;
+          Alcotest.test_case "leaf accessor" `Quick test_tree_leaf_accessor;
+        ] );
+      ( "proof",
+        [
+          Alcotest.test_case "roundtrip all indices" `Quick test_proof_roundtrip_all_indices;
+          Alcotest.test_case "rejects wrong leaf" `Quick test_proof_rejects_wrong_leaf;
+          Alcotest.test_case "rejects wrong root" `Quick test_proof_rejects_wrong_root;
+          Alcotest.test_case "rejects tampered path" `Quick test_proof_rejects_tampered_sibling;
+          Alcotest.test_case "encode/decode" `Quick test_proof_encode_decode;
+          Alcotest.test_case "decode truncated" `Quick test_proof_decode_truncated;
+          q prop_proof_sound_random_trees;
+        ] );
+      ( "multiproof",
+        [
+          Alcotest.test_case "basic" `Quick test_multiproof_basic;
+          Alcotest.test_case "all leaves, no helpers" `Quick test_multiproof_all_leaves_needs_no_helpers;
+          Alcotest.test_case "dedup vs individual" `Quick test_multiproof_smaller_than_individual;
+          Alcotest.test_case "rejects wrong leaf" `Quick test_multiproof_rejects_wrong_leaf;
+          Alcotest.test_case "rejects count mismatch" `Quick test_multiproof_rejects_count_mismatch;
+          Alcotest.test_case "input validation" `Quick test_multiproof_input_validation;
+          Alcotest.test_case "encode/decode" `Quick test_multiproof_encode_decode;
+          q prop_multiproof_random_subsets;
+        ] );
+      ( "smt",
+        [
+          Alcotest.test_case "empty root stable" `Quick test_smt_empty_root_stable;
+          Alcotest.test_case "set/find" `Quick test_smt_set_find;
+          Alcotest.test_case "overwrite" `Quick test_smt_overwrite;
+          Alcotest.test_case "remove restores root" `Quick test_smt_remove_restores_root;
+          Alcotest.test_case "order independence" `Quick test_smt_order_independence;
+          Alcotest.test_case "membership proof" `Quick test_smt_membership_proof;
+          Alcotest.test_case "non-membership proof" `Quick test_smt_non_membership_proof;
+          Alcotest.test_case "proof bound to key" `Quick test_smt_proof_bound_to_key;
+          Alcotest.test_case "stale proof semantics" `Quick test_smt_stale_proof_fails_after_update;
+          Alcotest.test_case "fold" `Quick test_smt_fold;
+          q prop_smt_insert_remove_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* End-to-end pipeline tests: service + board + client, and the
+   adversarial scenarios of Section 5 / Figure 3. *)
+
+module D = Zkflow_hash.Digest32
+module Record = Zkflow_netflow.Record
+module Gen = Zkflow_netflow.Gen
+module Db = Zkflow_store.Db
+module Board = Zkflow_commitlog.Board
+open Zkflow_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let digest = Alcotest.testable D.pp D.equal
+let params = Zkflow_zkproof.Params.make ~queries:8
+
+let deployment () = Zkflow.deploy ~proof_params:params ()
+
+let load_epoch db ~epoch ~routers ~per_router ~seed =
+  for r = 0 to routers - 1 do
+    let records =
+      Gen.records
+        (Zkflow_util.Rng.create (Int64.of_int (seed + (1000 * r) + epoch)))
+        Gen.default_profile ~router_id:r ~count:per_router
+    in
+    Array.iter
+      (fun rc ->
+        Db.insert db
+          (Record.make ~key:rc.Record.key ~first_ts:(epoch * 5000)
+             ~last_ts:((epoch * 5000) + 100) ~router_id:r rc.Record.metrics))
+      records
+  done
+
+let test_service_single_epoch () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:4 ~per_router:3 ~seed:1;
+  (match Prover_service.publish_epoch d.Zkflow.service ~epoch:0 with
+   | Ok cs -> check_int "4 commitments" 4 (List.length cs)
+   | Error e -> Alcotest.fail e);
+  match Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0 with
+  | Error e -> Alcotest.fail e
+  | Ok round ->
+    check_int "12 flows" 12 (Clog.length round.Aggregate.clog);
+    Alcotest.check digest "service state"
+      (Clog.root round.Aggregate.clog)
+      (Prover_service.latest_root d.Zkflow.service)
+
+let test_service_multi_epoch_chain () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:3 ~seed:2;
+  load_epoch d.Zkflow.db ~epoch:1 ~routers:2 ~per_router:3 ~seed:3;
+  let run epoch =
+    match Prover_service.publish_epoch d.Zkflow.service ~epoch with
+    | Error e -> Alcotest.fail e
+    | Ok _ -> (
+      match Prover_service.aggregate_epoch d.Zkflow.service ~epoch with
+      | Error e -> Alcotest.fail e
+      | Ok r -> r)
+  in
+  let r0 = run 0 in
+  let r1 = run 1 in
+  Alcotest.check digest "rounds chain"
+    r0.Aggregate.journal.Guests.new_root r1.Aggregate.journal.Guests.prev_root;
+  check_int "history" 2 (List.length (Prover_service.rounds d.Zkflow.service))
+
+let test_service_requires_published_commitments () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:2 ~seed:4;
+  match Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0 with
+  | Error e -> check_bool "mentions commitment" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "aggregated without published commitments"
+
+let test_client_verifies_full_chain () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:3 ~seed:5;
+  load_epoch d.Zkflow.db ~epoch:1 ~routers:2 ~per_router:3 ~seed:6;
+  let rounds =
+    List.map
+      (fun epoch ->
+        ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch));
+        match Prover_service.aggregate_epoch d.Zkflow.service ~epoch with
+        | Ok r -> (epoch, r.Aggregate.receipt)
+        | Error e -> Alcotest.fail e)
+      [ 0; 1 ]
+  in
+  match Verifier_client.verify_chain ~board:d.Zkflow.board rounds with
+  | Error e -> Alcotest.fail e
+  | Ok chain ->
+    check_int "2 rounds" 2 chain.Verifier_client.round_count;
+    Alcotest.check digest "final root"
+      (Prover_service.latest_root d.Zkflow.service)
+      chain.Verifier_client.final_root
+
+let test_client_query_roundtrip () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:4 ~seed:7;
+  ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch:0));
+  let round = Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0) in
+  match Prover_service.query d.Zkflow.service Query.flow_count with
+  | Error e -> Alcotest.fail e
+  | Ok row -> (
+    match
+      Verifier_client.verify_query
+        ~expected_root:round.Aggregate.journal.Guests.new_root row.Query.receipt
+    with
+    | Error e -> Alcotest.fail e
+    | Ok j -> check_int "count = clog size" (Clog.length round.Aggregate.clog) j.Guests.result)
+
+let test_client_rejects_unpublished_router () =
+  (* A round whose guest consumed a digest that was never on the board:
+     simulate by verifying against a different board. *)
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:2 ~seed:8;
+  ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch:0));
+  let round = Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0) in
+  let empty_board = Board.create () in
+  match
+    Verifier_client.verify_round ~board:empty_board ~epoch:0 round.Aggregate.receipt
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted digests absent from the board"
+
+let test_client_sla_predicate () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:4 ~seed:9;
+  ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch:0));
+  let round = Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0) in
+  let q =
+    { Guests.predicate = Guests.match_any; op = Guests.Sum; metric = Guests.Losses }
+  in
+  let row = Result.get_ok (Prover_service.query d.Zkflow.service q) in
+  match
+    Verifier_client.check_sla
+      ~expected_root:round.Aggregate.journal.Guests.new_root row.Query.receipt
+      ~predicate:(fun ~result ~matches -> matches > 0 && result >= 0)
+  with
+  | Ok verdict -> check_bool "sla evaluated" true verdict
+  | Error e -> Alcotest.fail e
+
+let test_client_historical_query () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:3 ~seed:20;
+  load_epoch d.Zkflow.db ~epoch:1 ~routers:2 ~per_router:3 ~seed:21;
+  let rounds =
+    List.map
+      (fun epoch ->
+        ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch));
+        Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch))
+      [ 0; 1 ]
+  in
+  let round0 = List.nth rounds 0 in
+  (* query against the historical (round 0) state *)
+  match Prover_service.query_at d.Zkflow.service ~round:0 Query.flow_count with
+  | Error e -> Alcotest.fail e
+  | Ok row -> (
+    match
+      Verifier_client.verify_query
+        ~expected_root:round0.Aggregate.journal.Guests.new_root row.Query.receipt
+    with
+    | Error e -> Alcotest.fail e
+    | Ok j ->
+      check_int "round-0 flow count" (Clog.length round0.Aggregate.clog) j.Guests.result;
+      (* and it must NOT verify against the latest root *)
+      check_bool "stale vs latest rejected" true
+        (Result.is_error
+           (Verifier_client.verify_query
+              ~expected_root:(Prover_service.latest_root d.Zkflow.service)
+              row.Query.receipt));
+      check_bool "missing round" true
+        (Result.is_error
+           (Prover_service.query_at d.Zkflow.service ~round:9 Query.flow_count)))
+
+let test_service_save_load () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:3 ~seed:30;
+  load_epoch d.Zkflow.db ~epoch:1 ~routers:2 ~per_router:3 ~seed:31;
+  ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch:0));
+  ignore (Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0));
+  let saved = Prover_service.save d.Zkflow.service in
+  (* "restart": a fresh service resumes from the snapshot and continues
+     with epoch 1, chaining from the restored root *)
+  match Prover_service.load ~proof_params:params ~db:d.Zkflow.db ~board:d.Zkflow.board saved with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+    Alcotest.check digest "state restored"
+      (Prover_service.latest_root d.Zkflow.service)
+      (Prover_service.latest_root restored);
+    check_int "history restored" 1 (List.length (Prover_service.rounds restored));
+    ignore (Result.get_ok (Prover_service.publish_epoch restored ~epoch:1));
+    let r1 = Result.get_ok (Prover_service.aggregate_epoch restored ~epoch:1) in
+    (* the whole chain (old round from snapshot + new round) verifies *)
+    let receipts =
+      List.mapi (fun i r -> (i, r.Aggregate.receipt)) (Prover_service.rounds restored)
+    in
+    ignore r1;
+    (match Verifier_client.verify_chain ~board:d.Zkflow.board receipts with
+     | Ok chain -> check_int "2 rounds verified" 2 chain.Verifier_client.round_count
+     | Error e -> Alcotest.fail e);
+    (* malformed snapshots rejected *)
+    let garbage = Bytes.of_string "not a snapshot" in
+    check_bool "garbage rejected" true
+      (Result.is_error
+         (Prover_service.load ~db:d.Zkflow.db ~board:d.Zkflow.board garbage))
+
+let test_selective_disclosure () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:5 ~seed:40;
+  ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch:0));
+  let round = Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0) in
+  let root = round.Aggregate.journal.Guests.new_root in
+  let entries = Clog.entries round.Aggregate.clog in
+  let keys = [ entries.(1).Clog.key; entries.(7).Clog.key ] in
+  match Prover_service.disclose d.Zkflow.service ~keys with
+  | Error e -> Alcotest.fail e
+  | Ok disclosure -> (
+    match Verifier_client.verify_disclosure ~expected_root:root disclosure with
+    | Error e -> Alcotest.fail e
+    | Ok verified ->
+      check_int "two entries" 2 (List.length verified);
+      check_bool "right flows" true
+        (List.for_all
+           (fun (e : Clog.entry) ->
+             List.exists (Zkflow_netflow.Flowkey.equal e.Clog.key) keys)
+           verified);
+      (* doctored metric rejected *)
+      let forged =
+        {
+          disclosure with
+          Prover_service.entries =
+            List.map
+              (fun (e : Clog.entry) ->
+                { e with Clog.metrics = { e.Clog.metrics with Record.losses = 0 } })
+              disclosure.Prover_service.entries;
+        }
+      in
+      check_bool "forged entries rejected" true
+        (Result.is_error (Verifier_client.verify_disclosure ~expected_root:root forged));
+      (* unknown flow refused *)
+      let ghost =
+        (Gen.records (Zkflow_util.Rng.create 999L) Gen.default_profile ~router_id:9
+           ~count:1).(0)
+          .Record.key
+      in
+      check_bool "absent flow refused" true
+        (Result.is_error (Prover_service.disclose d.Zkflow.service ~keys:[ ghost ])))
+
+(* ---- simulate_and_prove (the quickstart path) ---- *)
+
+let test_simulation_end_to_end () =
+  match Zkflow.simulate_and_prove ~routers:3 ~flows:10 ~rate_pps:100.0 ~duration_ms:2000 () with
+  | Error e -> Alcotest.fail e
+  | Ok sim ->
+    check_bool "made packets" true (sim.Zkflow.packets > 50);
+    check_bool "made records" true (sim.Zkflow.records > 0);
+    check_bool "proved rounds" true (List.length sim.Zkflow.rounds >= 1);
+    (match Zkflow.verify_simulation sim with
+     | Ok chain ->
+       check_int "all rounds verified" (List.length sim.Zkflow.rounds)
+         chain.Verifier_client.round_count
+     | Error e -> Alcotest.fail e)
+
+(* ---- tamper scenarios ---- *)
+
+let test_all_tampering_detected () =
+  List.iter
+    (fun o ->
+      check_bool
+        (Printf.sprintf "%s detected" o.Tamper.scenario)
+        true o.Tamper.detected)
+    (Tamper.all ())
+
+let () =
+  Alcotest.run "zkflow_pipeline"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "single epoch" `Quick test_service_single_epoch;
+          Alcotest.test_case "multi-epoch chain" `Quick test_service_multi_epoch_chain;
+          Alcotest.test_case "requires published commitments" `Quick
+            test_service_requires_published_commitments;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "verifies full chain" `Quick test_client_verifies_full_chain;
+          Alcotest.test_case "query roundtrip" `Quick test_client_query_roundtrip;
+          Alcotest.test_case "rejects unpublished router" `Quick
+            test_client_rejects_unpublished_router;
+          Alcotest.test_case "sla predicate" `Quick test_client_sla_predicate;
+          Alcotest.test_case "historical query" `Quick test_client_historical_query;
+          Alcotest.test_case "save/load" `Quick test_service_save_load;
+          Alcotest.test_case "selective disclosure" `Quick test_selective_disclosure;
+        ] );
+      ( "simulation",
+        [ Alcotest.test_case "end to end" `Slow test_simulation_end_to_end ] );
+      ( "tamper",
+        [ Alcotest.test_case "all scenarios detected" `Slow test_all_tampering_detected ] );
+    ]

@@ -1,0 +1,257 @@
+open Zkflow_stark
+module F = Zkflow_field.Babybear
+
+let check_bool = Alcotest.(check bool)
+
+let expect_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" what e)
+
+(* ---- Air ---- *)
+
+let test_air_accepts_valid_traces () =
+  expect_ok "fib" (Air.check_trace (Airs.fibonacci ~claim:(Airs.fibonacci_value 16)) (Airs.fibonacci_trace 16));
+  expect_ok "counter" (Air.check_trace (Airs.counter ~length:8) (Airs.counter_trace 8));
+  let tr = Airs.mini_rescue_trace ~x0:3 ~y0:5 32 in
+  expect_ok "rescue"
+    (Air.check_trace (Airs.mini_rescue ~x0:3 ~y0:5 ~claim:(Airs.mini_rescue_final tr)) tr)
+
+let test_air_rejects_bad_transition () =
+  let trace = Airs.fibonacci_trace 16 in
+  trace.(7).(1) <- F.add trace.(7).(1) F.one;
+  check_bool "violation detected" true
+    (Result.is_error
+       (Air.check_trace (Airs.fibonacci ~claim:(Airs.fibonacci_value 16)) trace))
+
+let test_air_rejects_bad_boundary () =
+  let trace = Airs.fibonacci_trace 16 in
+  check_bool "wrong claim" true
+    (Result.is_error (Air.check_trace (Airs.fibonacci ~claim:12345) trace))
+
+let test_air_negative_boundary_rows () =
+  let air = Airs.counter ~length:8 in
+  let resolved = Air.resolve_boundary air ~trace_length:8 in
+  check_bool "last row resolved" true (List.exists (fun (r, _, _) -> r = 7) resolved)
+
+(* ---- FRI (direct) ---- *)
+
+let fri_domain log_size =
+  Zkflow_field.Domain.coset ~log_size ~shift:F.generator
+
+let poly_evals ~log_size ~degree seed =
+  (* Evaluations of a random degree-< degree polynomial over the coset,
+     lifted to Fp2 by embedding. *)
+  let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+  let coeffs = Array.init degree (fun _ -> F.random rng) in
+  let m = 1 lsl log_size in
+  let padded = Array.append coeffs (Array.make (m - degree) F.zero) in
+  Array.map Zkflow_field.Fp2.of_base
+    (Zkflow_field.Ntt.forward_coset ~shift:F.generator padded)
+
+let fri_roundtrip ~log_size ~degree ~bound =
+  let domain = fri_domain log_size in
+  let values = poly_evals ~log_size ~degree 42 in
+  let tp = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  let proof = Fri.prove ~transcript:tp ~domain ~degree_bound:bound ~queries:20 values in
+  let tv = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  Fri.verify ~transcript:tv ~domain ~degree_bound:bound ~queries:20 proof
+
+let test_fri_accepts_low_degree () =
+  expect_ok "deg 8 / bound 16" (fri_roundtrip ~log_size:7 ~degree:8 ~bound:16);
+  expect_ok "deg 64 / bound 64" (fri_roundtrip ~log_size:9 ~degree:64 ~bound:64);
+  expect_ok "deg 1 / bound 4" (fri_roundtrip ~log_size:6 ~degree:1 ~bound:4)
+
+let test_fri_rejects_high_degree () =
+  (* Degree 128 values against bound 32: folding keeps excess degree. *)
+  check_bool "rejected" true
+    (Result.is_error (fri_roundtrip ~log_size:9 ~degree:128 ~bound:32))
+
+let test_fri_rejects_random_values () =
+  let domain = fri_domain 7 in
+  let rng = Zkflow_util.Rng.create 7L in
+  let values = Array.init 128 (fun _ -> Zkflow_field.Fp2.random rng) in
+  let tp = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  let proof = Fri.prove ~transcript:tp ~domain ~degree_bound:16 ~queries:20 values in
+  let tv = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  check_bool "random data rejected" true
+    (Result.is_error (Fri.verify ~transcript:tv ~domain ~degree_bound:16 ~queries:20 proof))
+
+let test_fri_transcript_binding () =
+  let domain = fri_domain 7 in
+  let values = poly_evals ~log_size:7 ~degree:8 1 in
+  let tp = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  let proof = Fri.prove ~transcript:tp ~domain ~degree_bound:16 ~queries:20 values in
+  (* Verifying under a different transcript domain must fail: the
+     challenges will not match the openings. *)
+  let tv = Zkflow_hash.Transcript.create ~domain:"other" in
+  check_bool "domain separation" true
+    (Result.is_error (Fri.verify ~transcript:tv ~domain ~degree_bound:16 ~queries:20 proof))
+
+let test_fri_rejects_tampered_final () =
+  let domain = fri_domain 7 in
+  let values = poly_evals ~log_size:7 ~degree:8 2 in
+  let tp = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  let proof = Fri.prove ~transcript:tp ~domain ~degree_bound:16 ~queries:20 values in
+  let final = Array.copy proof.Fri.final in
+  final.(0) <- Zkflow_field.Fp2.add final.(0) Zkflow_field.Fp2.one;
+  let tv = Zkflow_hash.Transcript.create ~domain:"fri-test" in
+  check_bool "tampered final" true
+    (Result.is_error
+       (Fri.verify ~transcript:tv ~domain ~degree_bound:16 ~queries:20
+          { proof with Fri.final }))
+
+(* ---- STARK end-to-end ---- *)
+
+let test_stark_fibonacci_roundtrip () =
+  let n = 64 in
+  let air = Airs.fibonacci ~claim:(Airs.fibonacci_value n) in
+  let proof = expect_ok "prove" (Stark.prove air (Airs.fibonacci_trace n)) in
+  expect_ok "verify" (Stark.verify air proof)
+
+let test_stark_counter_roundtrip () =
+  let n = 32 in
+  let air = Airs.counter ~length:n in
+  let proof = expect_ok "prove" (Stark.prove air (Airs.counter_trace n)) in
+  expect_ok "verify" (Stark.verify air proof)
+
+let test_stark_rescue_roundtrip () =
+  let n = 128 in
+  let trace = Airs.mini_rescue_trace ~x0:11 ~y0:22 n in
+  let air = Airs.mini_rescue ~x0:11 ~y0:22 ~claim:(Airs.mini_rescue_final trace) in
+  let proof = expect_ok "prove" (Stark.prove air trace) in
+  expect_ok "verify" (Stark.verify air proof)
+
+let test_stark_rejects_false_claim () =
+  let n = 64 in
+  let air_true = Airs.fibonacci ~claim:(Airs.fibonacci_value n) in
+  let proof = expect_ok "prove" (Stark.prove air_true (Airs.fibonacci_trace n)) in
+  (* Verifier checks a different public claim: same trace commitment
+     cannot satisfy it. *)
+  let air_false = Airs.fibonacci ~claim:(F.add (Airs.fibonacci_value n) F.one) in
+  check_bool "false claim rejected" true (Result.is_error (Stark.verify air_false proof))
+
+let test_stark_prover_rejects_invalid_trace () =
+  let n = 32 in
+  let trace = Airs.fibonacci_trace n in
+  trace.(5).(0) <- 999;
+  let air = Airs.fibonacci ~claim:(Airs.fibonacci_value n) in
+  check_bool "prover guard" true (Result.is_error (Stark.prove air trace))
+
+let test_stark_rejects_tampered_root () =
+  let n = 32 in
+  let air = Airs.fibonacci ~claim:(Airs.fibonacci_value n) in
+  let proof = expect_ok "prove" (Stark.prove air (Airs.fibonacci_trace n)) in
+  let tampered = { proof with Stark.trace_root = Zkflow_hash.Digest32.hash_string "x" } in
+  check_bool "tampered root" true (Result.is_error (Stark.verify air tampered))
+
+let test_stark_rejects_wrong_length () =
+  let air = Airs.fibonacci ~claim:(Airs.fibonacci_value 32) in
+  let proof = expect_ok "prove" (Stark.prove air (Airs.fibonacci_trace 32)) in
+  let tampered = { proof with Stark.trace_length = 64 } in
+  check_bool "wrong length" true (Result.is_error (Stark.verify air tampered))
+
+let test_stark_trace_length_validation () =
+  let air = Airs.counter ~length:12 in
+  check_bool "non-pow2" true (Result.is_error (Stark.prove air (Airs.counter_trace 12)));
+  let air4 = Airs.counter ~length:4 in
+  check_bool "too short" true (Result.is_error (Stark.prove air4 (Airs.counter_trace 4)))
+
+let test_stark_proof_size_reasonable () =
+  let n = 256 in
+  let air = Airs.fibonacci ~claim:(Airs.fibonacci_value n) in
+  let proof = expect_ok "prove" (Stark.prove air (Airs.fibonacci_trace n)) in
+  let size = Stark.proof_size_bytes proof in
+  (* Succinct: far below the 256·2·4 B trace itself would be silly to
+     compare, but the proof must at least be < the padded LDE table. *)
+  check_bool "nonzero" true (size > 1000);
+  check_bool "sublinear vs LDE" true (size < 4 * n * 2 * 4 * 30)
+
+
+(* ---- absorb chain ---- *)
+
+let test_absorb_chain_roundtrip () =
+  let rng = Zkflow_util.Rng.create 21L in
+  let limbs = Array.init 37 (fun _ -> F.random rng) in
+  let claim = Airs.absorb_chain_commit ~limbs in
+  let air = Airs.absorb_chain ~limbs ~claim in
+  let trace = Airs.absorb_chain_trace ~limbs in
+  expect_ok "trace satisfies air" (Air.check_trace air trace);
+  let proof = expect_ok "prove" (Stark.prove air trace) in
+  expect_ok "verify" (Stark.verify air proof)
+
+let test_absorb_chain_binds_limbs () =
+  let limbs = Array.init 20 (fun i -> F.of_int (i + 1)) in
+  let claim = Airs.absorb_chain_commit ~limbs in
+  let air = Airs.absorb_chain ~limbs ~claim in
+  let proof = expect_ok "prove" (Stark.prove air (Airs.absorb_chain_trace ~limbs)) in
+  (* verifying the same proof against a different limb statement fails *)
+  let forged = Array.copy limbs in
+  forged.(5) <- F.add forged.(5) F.one;
+  let air_forged = Airs.absorb_chain ~limbs:forged ~claim in
+  check_bool "limb change rejected" true (Result.is_error (Stark.verify air_forged proof));
+  (* and a wrong claim fails *)
+  let air_claim = Airs.absorb_chain ~limbs ~claim:(F.add claim F.one) in
+  check_bool "claim change rejected" true (Result.is_error (Stark.verify air_claim proof))
+
+let test_absorb_chain_length_binding () =
+  (* [a] and [a; 0] must commit differently (length prefix). *)
+  let a = [| 123 |] and a0 = [| 123; F.zero |] in
+  check_bool "length-distinct" true
+    (Airs.absorb_chain_commit ~limbs:a <> Airs.absorb_chain_commit ~limbs:a0)
+
+let test_stark_commit_clog () =
+  let records =
+    Zkflow_netflow.Gen.records (Zkflow_util.Rng.create 9L)
+      Zkflow_netflow.Gen.default_profile ~router_id:0 ~count:6
+  in
+  let clog = Zkflow_core.Clog.apply_batch Zkflow_core.Clog.empty records in
+  match Zkflow_core.Stark_commit.prove ~queries:12 clog with
+  | Error e -> Alcotest.fail e
+  | Ok (claim, proof) ->
+    expect_ok "verify from clog" (Zkflow_core.Stark_commit.verify ~queries:12 clog ~claim proof);
+    expect_ok "verify from limbs"
+      (Zkflow_core.Stark_commit.verify_limbs ~queries:12
+         ~limbs:(Zkflow_core.Stark_commit.limbs_of_clog clog) ~claim proof);
+    (* a different clog must not verify *)
+    let other = Zkflow_core.Clog.apply_batch clog (Array.sub records 0 1) in
+    check_bool "different clog rejected" true
+      (Result.is_error (Zkflow_core.Stark_commit.verify ~queries:12 other ~claim proof))
+
+let () =
+  Alcotest.run "zkflow_stark"
+    [
+      ( "air",
+        [
+          Alcotest.test_case "accepts valid traces" `Quick test_air_accepts_valid_traces;
+          Alcotest.test_case "rejects bad transition" `Quick test_air_rejects_bad_transition;
+          Alcotest.test_case "rejects bad boundary" `Quick test_air_rejects_bad_boundary;
+          Alcotest.test_case "negative boundary rows" `Quick test_air_negative_boundary_rows;
+        ] );
+      ( "fri",
+        [
+          Alcotest.test_case "accepts low degree" `Quick test_fri_accepts_low_degree;
+          Alcotest.test_case "rejects high degree" `Quick test_fri_rejects_high_degree;
+          Alcotest.test_case "rejects random values" `Quick test_fri_rejects_random_values;
+          Alcotest.test_case "transcript binding" `Quick test_fri_transcript_binding;
+          Alcotest.test_case "tampered final layer" `Quick test_fri_rejects_tampered_final;
+        ] );
+      ( "stark",
+        [
+          Alcotest.test_case "fibonacci" `Quick test_stark_fibonacci_roundtrip;
+          Alcotest.test_case "counter" `Quick test_stark_counter_roundtrip;
+          Alcotest.test_case "mini-rescue" `Quick test_stark_rescue_roundtrip;
+          Alcotest.test_case "false claim" `Quick test_stark_rejects_false_claim;
+          Alcotest.test_case "prover guard" `Quick test_stark_prover_rejects_invalid_trace;
+          Alcotest.test_case "tampered root" `Quick test_stark_rejects_tampered_root;
+          Alcotest.test_case "wrong length" `Quick test_stark_rejects_wrong_length;
+          Alcotest.test_case "length validation" `Quick test_stark_trace_length_validation;
+          Alcotest.test_case "proof size" `Quick test_stark_proof_size_reasonable;
+        ] );
+      ( "absorb-chain",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_absorb_chain_roundtrip;
+          Alcotest.test_case "binds limbs" `Quick test_absorb_chain_binds_limbs;
+          Alcotest.test_case "length binding" `Quick test_absorb_chain_length_binding;
+          Alcotest.test_case "clog commitment" `Slow test_stark_commit_clog;
+        ] );
+    ]

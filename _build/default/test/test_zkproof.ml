@@ -1,0 +1,413 @@
+open Zkflow_zkvm
+open Zkflow_zkproof
+open Asm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small but representative guest: reads words, branches, stores,
+   loads, hashes memory with the accelerator, commits results. *)
+let demo_guest =
+  assemble
+    [
+      (* sum input words until a zero sentinel; store each to memory *)
+      li s9 5000;
+      li s10 0;
+      label "loop";
+      read_word t0;
+      beq t0 zero "donesum";
+      add s10 s10 t0;
+      sw t0 s9 0;
+      addi s9 s9 1;
+      j "loop";
+      label "donesum";
+      commit s10;
+      (* hash the stored words *)
+      li t1 5000;
+      sub t2 s9 t1;
+      sha ~src:t1 ~words:t2 ~dst:s11;
+      li s11 6000;
+      li t1 5000;
+      sub t2 s9 t1;
+      sha ~src:t1 ~words:t2 ~dst:s11;
+      li a0 6000;
+      li a1 8;
+      call "gl_commit_words";
+      halt 0;
+      Guestlib.commit_words_fn;
+    ]
+
+let demo_input = [| 10; 20; 30; 40; 0 |]
+
+let prove_demo () =
+  match Prove.prove demo_guest ~input:demo_input with
+  | Ok (receipt, run) -> (receipt, run)
+  | Error e -> Alcotest.fail ("prove failed: " ^ e)
+
+let test_prove_verify_roundtrip () =
+  let receipt, run = prove_demo () in
+  check_int "sum committed" 100 run.Machine.journal.(0);
+  (match Verify.verify ~program:demo_guest receipt with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("verify failed: " ^ e));
+  check_bool "check" true (Verify.check ~program:demo_guest receipt)
+
+let test_verify_rejects_wrong_program () =
+  let receipt, _ = prove_demo () in
+  let other = assemble [ li t0 1; halt 0 ] in
+  check_bool "wrong program" false (Verify.check ~program:other receipt)
+
+let test_verify_rejects_tampered_journal () =
+  let receipt, _ = prove_demo () in
+  let claim = receipt.Receipt.claim in
+  let journal = Array.copy claim.Receipt.journal in
+  journal.(0) <- journal.(0) + 1;
+  let tampered = { receipt with Receipt.claim = { claim with Receipt.journal } } in
+  check_bool "tampered journal" false (Verify.check ~program:demo_guest tampered)
+
+let test_verify_rejects_tampered_exit_code () =
+  let receipt, _ = prove_demo () in
+  let claim = receipt.Receipt.claim in
+  let tampered =
+    { receipt with Receipt.claim = { claim with Receipt.exit_code = 1 } }
+  in
+  check_bool "tampered exit" false (Verify.check ~program:demo_guest tampered)
+
+let test_verify_rejects_tampered_root () =
+  let receipt, _ = prove_demo () in
+  let seal = receipt.Receipt.seal in
+  let tampered =
+    {
+      receipt with
+      Receipt.seal =
+        { seal with Receipt.root_rows = Zkflow_hash.Digest32.hash_string "evil" };
+    }
+  in
+  check_bool "tampered root" false (Verify.check ~program:demo_guest tampered)
+
+let test_verify_rejects_tampered_opening () =
+  let receipt, _ = prove_demo () in
+  let seal = receipt.Receipt.seal in
+  let steps = Array.copy seal.Receipt.steps in
+  let s0 = steps.(0) in
+  let leaf = Bytes.copy s0.Receipt.row.Receipt.leaf in
+  Bytes.set leaf 0 (Char.chr (Char.code (Bytes.get leaf 0) lxor 1));
+  steps.(0) <-
+    { s0 with Receipt.row = { s0.Receipt.row with Receipt.leaf = leaf } };
+  let tampered = { receipt with Receipt.seal = { seal with Receipt.steps = steps } } in
+  check_bool "tampered leaf" false (Verify.check ~program:demo_guest tampered)
+
+let test_verify_rejects_truncated_checks () =
+  let receipt, _ = prove_demo () in
+  let seal = receipt.Receipt.seal in
+  let tampered =
+    { receipt with Receipt.seal = { seal with Receipt.steps = [||] } }
+  in
+  check_bool "no steps" false (Verify.check ~program:demo_guest tampered)
+
+let test_receipt_encode_decode () =
+  let receipt, _ = prove_demo () in
+  let b = Receipt.encode receipt in
+  match Receipt.decode b with
+  | Error e -> Alcotest.fail e
+  | Ok receipt' ->
+    check_bool "decoded verifies" true (Verify.check ~program:demo_guest receipt');
+    check_int "size accounting" (Bytes.length b) (Receipt.size receipt)
+
+let test_receipt_decode_garbage () =
+  check_bool "garbage" true (Result.is_error (Receipt.decode (Bytes.of_string "nonsense")));
+  let receipt, _ = prove_demo () in
+  let b = Receipt.encode receipt in
+  let cut = Bytes.sub b 0 (Bytes.length b / 2) in
+  check_bool "truncated" true (Result.is_error (Receipt.decode cut))
+
+let test_prove_rejects_nonzero_exit () =
+  let guest = assemble [ halt 3 ] in
+  match Prove.prove guest ~input:[||] with
+  | Ok _ -> Alcotest.fail "expected refusal"
+  | Error e ->
+    check_bool "mentions exit" true
+      (String.length e > 0 && String.sub e 0 5 = "prove")
+
+let test_prove_rejects_trap () =
+  let guest = assemble [ read_word t0; halt 0 ] in
+  match Prove.prove guest ~input:[||] with
+  | Ok _ -> Alcotest.fail "expected trap error"
+  | Error e -> check_bool "mentions trap" true (String.length e > 0)
+
+let test_prove_rejects_untraced_run () =
+  let guest = assemble [ halt 0 ] in
+  let run = Machine.run guest ~input:[||] in
+  check_bool "untraced" true (Result.is_error (Prove.prove_result guest run))
+
+let test_params_respected () =
+  let params = Params.make ~queries:8 in
+  match Prove.prove ~params demo_guest ~input:demo_input with
+  | Error e -> Alcotest.fail e
+  | Ok (receipt, _) ->
+    check_int "step checks" 8 (Array.length receipt.Receipt.seal.Receipt.steps);
+    check_bool "verifies" true (Verify.check ~program:demo_guest receipt)
+
+let test_seal_smaller_with_fewer_queries () =
+  let size q =
+    match Prove.prove ~params:(Params.make ~queries:q) demo_guest ~input:demo_input with
+    | Ok (r, _) -> Receipt.seal_size r
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "8 < 48 queries" true (size 8 < size 48)
+
+let test_journal_size () =
+  let receipt, _ = prove_demo () in
+  (* 1 sum word + 8 digest words *)
+  check_int "journal bytes" 36 (Receipt.journal_size receipt)
+
+(* ---- minimal traces ---- *)
+
+let test_minimal_guest_proves () =
+  (* Smallest possible guest: one halt ecall → 3 rows (li, li, ecall). *)
+  let guest = assemble [ halt 0 ] in
+  match Prove.prove guest ~input:[||] with
+  | Error e -> Alcotest.fail e
+  | Ok (receipt, run) ->
+    check_int "rows" run.Machine.cycles receipt.Receipt.seal.Receipt.n_rows;
+    check_bool "verifies" true (Verify.check ~program:guest receipt)
+
+let test_sha_only_guest_proves () =
+  (* Exercises multi-block SHA rows inside the argument. *)
+  let guest =
+    assemble
+      [
+        li s9 100;
+        li t0 77;
+        sw t0 s9 0;
+        li t4 20;
+        sha ~src:s9 ~words:t4 ~dst:s10;
+        halt 0;
+      ]
+  in
+  match Prove.prove guest ~input:[||] with
+  | Error e -> Alcotest.fail e
+  | Ok (receipt, _) ->
+    check_bool "verifies" true (Verify.check ~program:guest receipt)
+
+(* ---- wrap ---- *)
+
+let vkey = Wrap.setup ~seed:(Bytes.of_string "test-setup-seed")
+
+let test_wrap_roundtrip () =
+  let receipt, _ = prove_demo () in
+  match Wrap.wrap vkey ~program:demo_guest receipt with
+  | Error e -> Alcotest.fail e
+  | Ok w ->
+    check_int "constant size" Wrap.proof_size (Bytes.length w.Wrap.seal256);
+    check_bool "verifies" true (Wrap.verify vkey w)
+
+let test_wrap_rejects_bad_inner () =
+  let receipt, _ = prove_demo () in
+  let claim = receipt.Receipt.claim in
+  let tampered =
+    { receipt with Receipt.claim = { claim with Receipt.exit_code = 1 } }
+  in
+  check_bool "bad inner" true
+    (Result.is_error (Wrap.wrap vkey ~program:demo_guest tampered))
+
+let test_wrap_rejects_tampering () =
+  let receipt, _ = prove_demo () in
+  match Wrap.wrap vkey ~program:demo_guest receipt with
+  | Error e -> Alcotest.fail e
+  | Ok w ->
+    let journal = Array.copy w.Wrap.journal in
+    journal.(0) <- journal.(0) + 1;
+    check_bool "journal tamper" false (Wrap.verify vkey { w with Wrap.journal });
+    let seal = Bytes.copy w.Wrap.seal256 in
+    Bytes.set seal 0 '\255';
+    check_bool "seal tamper" false (Wrap.verify vkey { w with Wrap.seal256 = seal });
+    let other_key = Wrap.setup ~seed:(Bytes.of_string "other") in
+    check_bool "wrong key" false (Wrap.verify other_key w)
+
+let test_wrap_encode_decode () =
+  let receipt, _ = prove_demo () in
+  match Wrap.wrap vkey ~program:demo_guest receipt with
+  | Error e -> Alcotest.fail e
+  | Ok w -> (
+    match Wrap.decode (Wrap.encode w) with
+    | Error e -> Alcotest.fail e
+    | Ok w' -> check_bool "decoded verifies" true (Wrap.verify vkey w'))
+
+(* ---- scaling sanity (Table 1 / Fig 4 shape at tiny scale) ---- *)
+
+let hashing_guest n =
+  ( assemble
+      [
+        li a0 1000;
+        li a1 n;
+        call "gl_read_words";
+        li s9 1000;
+        li t4 n;
+        sha ~src:s9 ~words:t4 ~dst:s10;
+        li s10 3000;
+        li t4 n;
+        sha ~src:s9 ~words:t4 ~dst:s10;
+        li a0 3000;
+        li a1 8;
+        call "gl_commit_words";
+        halt 0;
+        Guestlib.read_words_fn;
+        Guestlib.commit_words_fn;
+      ],
+    Array.init n (fun i -> i * 7) )
+
+let test_receipt_grows_sublinearly () =
+  (* Seal growth is O(log n) per opening: going 16× on input size must
+     far less than 16× the seal. *)
+  let size n =
+    let guest, input = hashing_guest n in
+    match Prove.prove guest ~input with
+    | Ok (r, _) -> (Receipt.seal_size r, r.Receipt.seal.Receipt.n_rows)
+    | Error e -> Alcotest.fail e
+  in
+  let s1, n1 = size 32 in
+  let s2, n2 = size 512 in
+  check_bool "rows grew ~16x" true (n2 > 10 * n1);
+  check_bool "seal sublinear" true (float_of_int s2 < 3.0 *. float_of_int s1)
+
+(* ---- memcheck unit tests ---- *)
+
+let entry ~addr ~time ~write ~value = { Trace.addr; time; write; value }
+
+let test_memcheck_sort_order () =
+  let log =
+    [|
+      entry ~addr:5 ~time:2 ~write:true ~value:1;
+      entry ~addr:3 ~time:9 ~write:false ~value:0;
+      entry ~addr:5 ~time:2 ~write:false ~value:7;
+      entry ~addr:3 ~time:1 ~write:true ~value:4;
+    |]
+  in
+  let sorted = Memcheck.sort log in
+  (* (3,1,W) (3,9,R) (5,2,R) (5,2,W): reads precede the same-cycle write *)
+  Alcotest.(check (list (triple int int bool)))
+    "order"
+    [ (3, 1, true); (3, 9, false); (5, 2, false); (5, 2, true) ]
+    (Array.to_list (Array.map (fun e -> (e.Trace.addr, e.Trace.time, e.Trace.write)) sorted))
+
+let test_memcheck_adjacent_rules () =
+  let ok = function Ok () -> true | Error _ -> false in
+  (* write after anything: fine *)
+  check_bool "write ok" true
+    (ok (Memcheck.check_adjacent (entry ~addr:1 ~time:0 ~write:false ~value:0)
+           (entry ~addr:1 ~time:1 ~write:true ~value:9)));
+  (* read sees previous value *)
+  check_bool "read match" true
+    (ok (Memcheck.check_adjacent (entry ~addr:1 ~time:0 ~write:true ~value:9)
+           (entry ~addr:1 ~time:1 ~write:false ~value:9)));
+  check_bool "read mismatch" false
+    (ok (Memcheck.check_adjacent (entry ~addr:1 ~time:0 ~write:true ~value:9)
+           (entry ~addr:1 ~time:1 ~write:false ~value:8)));
+  (* fresh address read must see 0 *)
+  check_bool "fresh zero" true
+    (ok (Memcheck.check_adjacent (entry ~addr:1 ~time:5 ~write:true ~value:9)
+           (entry ~addr:2 ~time:0 ~write:false ~value:0)));
+  check_bool "fresh nonzero" false
+    (ok (Memcheck.check_adjacent (entry ~addr:1 ~time:5 ~write:true ~value:9)
+           (entry ~addr:2 ~time:0 ~write:false ~value:3)));
+  (* disorder rejected *)
+  check_bool "out of order" false
+    (ok (Memcheck.check_adjacent (entry ~addr:2 ~time:0 ~write:false ~value:0)
+           (entry ~addr:1 ~time:0 ~write:false ~value:0)));
+  check_bool "first read nonzero" false (ok (Memcheck.check_first (entry ~addr:0 ~time:0 ~write:false ~value:1)));
+  check_bool "first write any" true (ok (Memcheck.check_first (entry ~addr:0 ~time:0 ~write:true ~value:1)))
+
+let test_memcheck_products_multiset () =
+  let rng = Zkflow_util.Rng.create 0xabcL in
+  let alpha = Zkflow_field.Fp2.random rng and beta = Zkflow_field.Fp2.random rng in
+  let log =
+    Array.init 20 (fun i ->
+        entry ~addr:(i mod 5) ~time:i ~write:(i mod 3 = 0)
+          ~value:(i * 1000003 land 0xffffffff))
+  in
+  let zt = Memcheck.products ~alpha ~beta log in
+  let zs = Memcheck.products ~alpha ~beta (Memcheck.sort log) in
+  check_bool "final products equal (permutation)" true
+    (Zkflow_field.Fp2.equal zt.(19) zs.(19));
+  (* changing one value breaks equality *)
+  let forged = Memcheck.sort log in
+  forged.(7) <- { (forged.(7)) with Trace.value = forged.(7).Trace.value + 1 };
+  let zf = Memcheck.products ~alpha ~beta forged in
+  check_bool "forged multiset detected" false
+    (Zkflow_field.Fp2.equal zt.(19) zf.(19))
+
+(* ---- receipt mutation fuzzing ---- *)
+
+let test_receipt_mutation_fuzz () =
+  let receipt, _ = prove_demo () in
+  let encoded = Receipt.encode receipt in
+  let rng = Zkflow_util.Rng.create 0xf077L in
+  let crashes = ref 0 and accepted = ref 0 in
+  for _ = 1 to 120 do
+    let b = Bytes.copy encoded in
+    let pos = Zkflow_util.Rng.int rng (Bytes.length b) in
+    let bit = 1 lsl Zkflow_util.Rng.int rng 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+    match Receipt.decode b with
+    | exception _ -> incr crashes
+    | Error _ -> ()
+    | Ok mutated ->
+      if Bytes.equal (Receipt.encode mutated) encoded then ()
+      else if Verify.check ~program:demo_guest mutated then incr accepted
+  done;
+  check_int "decoder never crashes" 0 !crashes;
+  check_int "no mutated receipt verifies" 0 !accepted
+
+let () =
+  Alcotest.run "zkflow_zkproof"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "prove/verify" `Quick test_prove_verify_roundtrip;
+          Alcotest.test_case "minimal guest" `Quick test_minimal_guest_proves;
+          Alcotest.test_case "sha-heavy guest" `Quick test_sha_only_guest_proves;
+          Alcotest.test_case "params respected" `Quick test_params_respected;
+          Alcotest.test_case "fewer queries, smaller seal" `Quick test_seal_smaller_with_fewer_queries;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "wrong program" `Quick test_verify_rejects_wrong_program;
+          Alcotest.test_case "tampered journal" `Quick test_verify_rejects_tampered_journal;
+          Alcotest.test_case "tampered exit code" `Quick test_verify_rejects_tampered_exit_code;
+          Alcotest.test_case "tampered root" `Quick test_verify_rejects_tampered_root;
+          Alcotest.test_case "tampered opening" `Quick test_verify_rejects_tampered_opening;
+          Alcotest.test_case "truncated checks" `Quick test_verify_rejects_truncated_checks;
+        ] );
+      ( "prover-guards",
+        [
+          Alcotest.test_case "nonzero exit refused" `Quick test_prove_rejects_nonzero_exit;
+          Alcotest.test_case "trap refused" `Quick test_prove_rejects_trap;
+          Alcotest.test_case "untraced run refused" `Quick test_prove_rejects_untraced_run;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "receipt roundtrip" `Quick test_receipt_encode_decode;
+          Alcotest.test_case "garbage rejected" `Quick test_receipt_decode_garbage;
+          Alcotest.test_case "journal size" `Quick test_journal_size;
+        ] );
+      ( "wrap",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wrap_roundtrip;
+          Alcotest.test_case "bad inner refused" `Quick test_wrap_rejects_bad_inner;
+          Alcotest.test_case "tampering rejected" `Quick test_wrap_rejects_tampering;
+          Alcotest.test_case "encode/decode" `Quick test_wrap_encode_decode;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "seal sublinear in trace" `Quick test_receipt_grows_sublinearly;
+        ] );
+      ( "memcheck",
+        [
+          Alcotest.test_case "sort order" `Quick test_memcheck_sort_order;
+          Alcotest.test_case "adjacency rules" `Quick test_memcheck_adjacent_rules;
+          Alcotest.test_case "grand products" `Quick test_memcheck_products_multiset;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "receipt mutations" `Slow test_receipt_mutation_fuzz ] );
+    ]
