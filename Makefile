@@ -1,0 +1,19 @@
+# `make check` is the pre-merge gate: tier-1 tests plus the quick
+# bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
+# exercised even where the default would be sequential.
+.PHONY: all build test check bench
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build
+	ZKFLOW_JOBS=2 dune runtest --force
+	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par
+
+bench:
+	dune exec bench/main.exe

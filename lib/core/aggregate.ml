@@ -123,13 +123,24 @@ let prove_sharded ?params ~prev_shards ~shards records =
   if Array.length prev_shards <> shards then
     invalid_arg "Aggregate.prove_sharded: prev_shards arity";
   let groups = shard_records ~shards records in
-  let rec go i acc =
-    if i = shards then Ok (Array.of_list (List.rev acc))
-    else begin
-      let batch = groups.(i) in
-      let digest = Zkflow_netflow.Export.batch_hash batch in
-      let* round = prove_round ?params ~prev:prev_shards.(i) [ (digest, batch) ] in
-      go (i + 1) (round :: acc)
-    end
+  (* Shards share no state, so they prove concurrently on the Domain
+     pool. Force the shared lazies first: concurrent first-forcing of
+     a lazy is not domain-safe in OCaml 5. *)
+  ignore (Lazy.force Guests.aggregation_program);
+  Array.iter (fun prev -> ignore (Clog.root prev)) prev_shards;
+  let results =
+    Zkflow_parallel.Pool.init_array ~min_chunk:1 shards (fun i ->
+        let batch = groups.(i) in
+        let digest = Zkflow_netflow.Export.batch_hash batch in
+        prove_round ?params ~prev:prev_shards.(i) [ (digest, batch) ])
   in
-  go 0 []
+  (* Keep shard order in the output; on failure report the lowest
+     failing shard, as the sequential loop did. *)
+  let rec collect i acc =
+    if i = shards then Ok (Array.of_list (List.rev acc))
+    else
+      match results.(i) with
+      | Ok round -> collect (i + 1) (round :: acc)
+      | Error e -> Error e
+  in
+  collect 0 []

@@ -42,7 +42,8 @@ let build entries =
   {
     entries;
     index;
-    lazy_tree = lazy (Tree.of_leaves (Array.map entry_bytes entries));
+    lazy_tree =
+      lazy (Tree.of_leaves (Zkflow_parallel.Pool.map_array ~min_chunk:2048 entry_bytes entries));
   }
 
 let empty = build [||]

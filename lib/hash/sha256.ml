@@ -40,6 +40,19 @@ let init () = {
   w = Array.make 64 0l;
 }
 
+let reset ctx =
+  ctx.h.(0) <- 0x6a09e667l;
+  ctx.h.(1) <- 0xbb67ae85l;
+  ctx.h.(2) <- 0x3c6ef372l;
+  ctx.h.(3) <- 0xa54ff53al;
+  ctx.h.(4) <- 0x510e527fl;
+  ctx.h.(5) <- 0x9b05688cl;
+  ctx.h.(6) <- 0x1f83d9abl;
+  ctx.h.(7) <- 0x5be0cd19l;
+  ctx.fill <- 0;
+  ctx.total <- 0L;
+  ctx.finalized <- false
+
 let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
 
 let compress ctx src pos =

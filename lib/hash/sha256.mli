@@ -10,6 +10,11 @@ type ctx
 val init : unit -> ctx
 (** [init ()] is a fresh context. *)
 
+val reset : ctx -> unit
+(** [reset ctx] returns [ctx] to the freshly-initialised state
+    (including after [finalize]), so hot loops can hash many messages
+    without reallocating the context. *)
+
 val update : ctx -> bytes -> unit
 (** [update ctx b] absorbs all of [b]. *)
 

@@ -1,4 +1,5 @@
 module D = Zkflow_hash.Digest32
+module Pool = Zkflow_parallel.Pool
 
 (* All levels live in one flat buffer of 32-byte slots: the padded leaf
    level first, then each parent level, ending with the root. For a
@@ -19,6 +20,9 @@ let leaf_hash data =
 let empty_leaf = D.hash_string "zkflow.empty-leaf"
 
 let next_pow2 n =
+  if n > max_int / 2 then
+    (* doubling past max_int/2 wraps negative and loops forever *)
+    invalid_arg "Tree.next_pow2: leaf count exceeds max_int / 2";
   let rec go k = if k >= n then k else go (k * 2) in
   if n <= 1 then 1 else go 1
 
@@ -26,17 +30,28 @@ let log2 p =
   let rec go k v = if v = 1 then k else go (k + 1) (v / 2) in
   go 0 p
 
+(* Hash parent slots [lo, hi) of one level: read 64 child bytes at
+   [src], write 32 parent bytes at [dst]. Each chunk owns a mutable
+   SHA-256 ctx and reuses it across its hashes — contexts must never
+   be shared between workers. *)
+let hash_range buf ~src ~dst lo hi =
+  let ctx = Zkflow_hash.Sha256.init () in
+  for i = lo to hi - 1 do
+    Zkflow_hash.Sha256.reset ctx;
+    Zkflow_hash.Sha256.update_sub ctx buf ~pos:(32 * (src + (2 * i))) ~len:64;
+    let h = Zkflow_hash.Sha256.finalize ctx in
+    Bytes.blit h 0 buf (32 * (dst + i)) 32
+  done
+
+(* Workers write disjoint 32-byte parent slots, so a level can be
+   hashed in parallel chunks. Small top levels fall under the chunk
+   floor and run sequentially through the same code path. *)
 let build_levels buf level_off depth =
   (* Parents hash the 64 contiguous bytes of their two children. *)
   for level = 0 to depth - 1 do
     let src = level_off.(level) and dst = level_off.(level + 1) in
     let width = level_off.(level + 1) - level_off.(level) in
-    for i = 0 to (width / 2) - 1 do
-      let h =
-        Zkflow_hash.Sha256.digest_sub buf ~pos:(32 * (src + (2 * i))) ~len:64
-      in
-      Bytes.blit h 0 buf (32 * (dst + i)) 32
-    done
+    Pool.parallel_for ~min_chunk:1024 (width / 2) (hash_range buf ~src ~dst)
   done
 
 let of_leaf_hashes hs =
@@ -58,7 +73,23 @@ let of_leaf_hashes hs =
   build_levels buf level_off depth;
   { buf; level_off; size = n; depth }
 
-let of_leaves data = of_leaf_hashes (Array.map leaf_hash data)
+let of_leaves data =
+  let n = Array.length data in
+  if n = 0 then of_leaf_hashes [||]
+  else begin
+    let hs = Array.make n empty_leaf in
+    (* Same bytes as [leaf_hash]: domain tag then payload, one reused
+       ctx per chunk. *)
+    Pool.parallel_for ~min_chunk:512 n (fun lo hi ->
+        let ctx = Zkflow_hash.Sha256.init () in
+        for i = lo to hi - 1 do
+          Zkflow_hash.Sha256.reset ctx;
+          Zkflow_hash.Sha256.update ctx leaf_domain;
+          Zkflow_hash.Sha256.update ctx data.(i);
+          hs.(i) <- D.of_bytes (Zkflow_hash.Sha256.finalize ctx)
+        done);
+    of_leaf_hashes hs
+  end
 
 let read_slot t slot = D.of_bytes (Bytes.sub t.buf (32 * slot) 32)
 let root t = read_slot t t.level_off.(t.depth)
@@ -93,12 +124,23 @@ let root_of_leaf_hashes hs =
     let d = if i < n then hs.(i) else empty_leaf in
     Bytes.blit (D.unsafe_to_bytes d) 0 buf (32 * i) 32
   done;
+  (* Ping-pong between two buffers: in-place halving would let one
+     chunk overwrite parent slots another chunk still reads as
+     children. The hash inputs are identical either way. *)
+  let src = ref buf and dst = ref (Bytes.create (32 * (padded / 2))) in
   let width = ref padded in
   while !width > 1 do
-    for i = 0 to (!width / 2) - 1 do
-      let h = Zkflow_hash.Sha256.digest_sub buf ~pos:(64 * i) ~len:64 in
-      Bytes.blit h 0 buf (32 * i) 32
-    done;
+    let s = !src and d = !dst in
+    Pool.parallel_for ~min_chunk:1024 (!width / 2) (fun lo hi ->
+        let ctx = Zkflow_hash.Sha256.init () in
+        for i = lo to hi - 1 do
+          Zkflow_hash.Sha256.reset ctx;
+          Zkflow_hash.Sha256.update_sub ctx s ~pos:(64 * i) ~len:64;
+          let h = Zkflow_hash.Sha256.finalize ctx in
+          Bytes.blit h 0 d (32 * i) 32
+        done);
+    src := d;
+    dst := s;
     width := !width / 2
   done;
-  D.of_bytes (Bytes.sub buf 0 32)
+  D.of_bytes (Bytes.sub !src 0 32)

@@ -10,6 +10,10 @@
 type t
 (** An immutable Merkle tree retaining all levels (O(n) storage). *)
 
+val next_pow2 : int -> int
+(** Smallest power of two ≥ [max 1 n]. Raises [Invalid_argument] for
+    [n > max_int / 2], where the doubling would overflow. *)
+
 val leaf_hash : bytes -> Zkflow_hash.Digest32.t
 (** [leaf_hash data] is SHA-256 of ["zkflow.lf.v1" ‖ data] (the 12-byte tag is word-aligned so zkVM guests can reproduce it). *)
 

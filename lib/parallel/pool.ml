@@ -1,0 +1,213 @@
+(* A fixed Domain pool with chunk-claiming workers. One region runs at
+   a time: the submitter publishes a chunk body under [lock], workers
+   (and the submitter itself) claim chunk indices until none remain,
+   and the last finisher wakes the submitter. Mutex acquire/release
+   pairs give the happens-before edges that make buffer writes from
+   workers visible to the submitter after the region drains. *)
+
+type pool = {
+  size : int; (* total parallelism, submitter included *)
+  lock : Mutex.t;
+  work : Condition.t;  (* workers sleep here between regions *)
+  drained : Condition.t; (* submitter sleeps here until live = 0 *)
+  mutable body : (int -> unit) option; (* current region, indexed by chunk *)
+  mutable next : int;    (* next unclaimed chunk *)
+  mutable chunks : int;  (* chunk count of the current region *)
+  mutable live : int;    (* chunks not yet finished *)
+  mutable error : exn option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True inside any pool-executed body (worker domains permanently,
+   the submitting domain for the duration of a region): nested
+   parallel regions must degrade to the sequential path rather than
+   re-enter the pool. *)
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let env_jobs () =
+  match Sys.getenv_opt "ZKFLOW_JOBS" with
+  | None -> None
+  | Some s -> ( try Some (max 1 (int_of_string (String.trim s))) with _ -> None)
+
+(* Configuration and the live pool, guarded by [master]. [submit]
+   serialises whole regions so two top-level callers never interleave
+   chunks of different bodies. *)
+let master = Mutex.create ()
+let submit = Mutex.create ()
+let configured : int option ref = ref None
+let current : pool option ref = ref None
+let exit_hook_installed = ref false
+
+let jobs () =
+  Mutex.lock master;
+  let j =
+    match !configured with
+    | Some j -> j
+    | None ->
+      let j =
+        match env_jobs () with
+        | Some j -> j
+        | None -> max 1 (Domain.recommended_domain_count ())
+      in
+      configured := Some j;
+      j
+  in
+  Mutex.unlock master;
+  j
+
+let run_chunk p body c =
+  (match body c with
+  | () -> ()
+  | exception e ->
+    Mutex.lock p.lock;
+    if p.error = None then p.error <- Some e;
+    Mutex.unlock p.lock);
+  Mutex.lock p.lock;
+  p.live <- p.live - 1;
+  if p.live = 0 then begin
+    p.body <- None;
+    Condition.broadcast p.drained
+  end;
+  Mutex.unlock p.lock
+
+let worker p () =
+  Domain.DLS.set inside true;
+  Mutex.lock p.lock;
+  let rec loop () =
+    if p.stopping then Mutex.unlock p.lock
+    else
+      match p.body with
+      | Some body when p.next < p.chunks ->
+        let c = p.next in
+        p.next <- p.next + 1;
+        Mutex.unlock p.lock;
+        run_chunk p body c;
+        Mutex.lock p.lock;
+        loop ()
+      | _ ->
+        Condition.wait p.work p.lock;
+        loop ()
+  in
+  loop ()
+
+let shutdown p =
+  Mutex.lock p.lock;
+  p.stopping <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.lock;
+  Array.iter Domain.join p.workers
+
+(* Must be called with [master] held. *)
+let spawn_pool size =
+  let p =
+    {
+      size;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      drained = Condition.create ();
+      body = None;
+      next = 0;
+      chunks = 0;
+      live = 0;
+      error = None;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  p.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker p));
+  if not !exit_hook_installed then begin
+    exit_hook_installed := true;
+    at_exit (fun () ->
+        Mutex.lock master;
+        let p = !current in
+        current := None;
+        Mutex.unlock master;
+        Option.iter shutdown p)
+  end;
+  p
+
+let get_pool () =
+  let size = jobs () in
+  Mutex.lock master;
+  let p =
+    match !current with
+    | Some p when p.size = size -> p
+    | stale ->
+      Option.iter shutdown stale;
+      let p = spawn_pool size in
+      current := Some p;
+      p
+  in
+  Mutex.unlock master;
+  p
+
+let set_jobs n =
+  let n = max 1 n in
+  Mutex.lock master;
+  configured := Some n;
+  let stale = match !current with Some p when p.size <> n -> !current | _ -> None in
+  (match stale with Some _ -> current := None | None -> ());
+  Mutex.unlock master;
+  Option.iter shutdown stale
+
+let run_region p ~chunks body =
+  Mutex.lock submit;
+  Domain.DLS.set inside true;
+  Mutex.lock p.lock;
+  p.body <- Some body;
+  p.next <- 0;
+  p.chunks <- chunks;
+  p.live <- chunks;
+  p.error <- None;
+  Condition.broadcast p.work;
+  (* The submitter claims chunks alongside the workers. *)
+  let rec help () =
+    if p.next < p.chunks && p.body <> None then begin
+      let c = p.next in
+      p.next <- p.next + 1;
+      Mutex.unlock p.lock;
+      run_chunk p body c;
+      Mutex.lock p.lock;
+      help ()
+    end
+  in
+  help ();
+  while p.live > 0 do
+    Condition.wait p.drained p.lock
+  done;
+  let err = p.error in
+  p.error <- None;
+  Mutex.unlock p.lock;
+  Domain.DLS.set inside false;
+  Mutex.unlock submit;
+  match err with Some e -> raise e | None -> ()
+
+let parallel_for ?(min_chunk = 256) n body =
+  if n > 0 then begin
+    let min_chunk = max 1 min_chunk in
+    if jobs () <= 1 || Domain.DLS.get inside || n < 2 * min_chunk then body 0 n
+    else begin
+      let p = get_pool () in
+      (* Over-decompose a little so uneven chunks load-balance. *)
+      let chunks = min (4 * p.size) (n / min_chunk) in
+      let chunk_size = (n + chunks - 1) / chunks in
+      let chunks = (n + chunk_size - 1) / chunk_size in
+      run_region p ~chunks (fun c ->
+          let lo = c * chunk_size in
+          body lo (min n (lo + chunk_size)))
+    end
+  end
+
+let init_array ?min_chunk n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    parallel_for ?min_chunk (n - 1) (fun lo hi ->
+        for i = lo + 1 to hi do
+          a.(i) <- f i
+        done);
+    a
+  end
+
+let map_array ?min_chunk f a = init_array ?min_chunk (Array.length a) (fun i -> f a.(i))

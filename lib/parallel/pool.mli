@@ -1,0 +1,50 @@
+(** Fixed-size [Domain] work pool for the proving hot paths.
+
+    The pool parallelises embarrassingly parallel index ranges (Merkle
+    level hashing, per-column LDEs, per-shard aggregation proofs)
+    while guaranteeing *bit-identical* results to the sequential code:
+    every work item writes only to its own index, chunking never
+    changes which value lands at which index, and with [jobs () <= 1]
+    the body runs as the exact sequential loop over [0, n).
+
+    Concurrency model:
+    - [jobs ()] total workers participate in a region: the submitting
+      domain plus [jobs () - 1] pooled domains. The pool is created
+      lazily on the first parallel region and torn down at exit.
+    - The pool size comes from the [ZKFLOW_JOBS] environment variable
+      when set (clamped to ≥ 1), else
+      [Domain.recommended_domain_count ()]. [set_jobs] overrides both.
+    - Nested parallel regions (a body that itself calls into the
+      pool) degrade to the sequential path, so callers may freely
+      compose parallel layers — the outermost region wins.
+    - Regions submitted concurrently from distinct domains are
+      serialised; the pool never runs two regions at once.
+
+    Exceptions raised by a body are re-raised in the submitting domain
+    after the region drains; when several chunks raise, which
+    exception propagates is unspecified. *)
+
+val jobs : unit -> int
+(** Configured parallelism (≥ 1). Reads [ZKFLOW_JOBS] /
+    [Domain.recommended_domain_count] on first use unless overridden
+    by [set_jobs]. *)
+
+val set_jobs : int -> unit
+(** [set_jobs n] overrides the pool size; values < 1 are clamped to 1.
+    An existing pool of a different size is shut down and rebuilt
+    lazily. Intended for benchmarks and tests sweeping job counts. *)
+
+val parallel_for : ?min_chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for n body] partitions [0, n) into contiguous ranges and
+    calls [body lo hi] (half-open) for each — concurrently when the
+    pool has more than one job and [n ≥ 2 × min_chunk] (default
+    [256]), else as the single sequential call [body 0 n]. *)
+
+val init_array : ?min_chunk:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. [f] must be safe to call from any domain;
+    element [i] is always the value of [f i], whatever the schedule.
+    Pass [~min_chunk:1] when each element is itself expensive (e.g. a
+    whole shard proof). *)
+
+val map_array : ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], with the same contract as [init_array]. *)

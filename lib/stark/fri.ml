@@ -5,6 +5,7 @@ module Tree = Zkflow_merkle.Tree
 module Proof = Zkflow_merkle.Proof
 module T = Zkflow_hash.Transcript
 module D = Zkflow_hash.Digest32
+module Pool = Zkflow_parallel.Pool
 
 type query_step = {
   pos : Fp2.t;
@@ -91,7 +92,7 @@ let prove ~transcript ~domain ~degree_bound ~queries values =
   let v = ref values and shift = ref domain.Domain.shift and size = ref m0 in
   let log = ref domain.Domain.log_size in
   while !size > final_size do
-    let leaves = Array.map Fp2.to_bytes !v in
+    let leaves = Pool.map_array ~min_chunk:2048 Fp2.to_bytes !v in
     let tree = Tree.of_leaves leaves in
     T.absorb_digest transcript ~label:"fri.layer" (Tree.root tree);
     let zeta = challenge_fp2 transcript ~label:"fri.zeta" in
@@ -99,9 +100,10 @@ let prove ~transcript ~domain ~degree_bound ~queries values =
     let xs = domain_elements ~shift:!shift ~log_size:!log in
     let x_invs = F.batch_inv (Array.sub xs 0 half) in
     let inv2 = F.inv 2 in
+    let cur = !v in
     let folded =
-      Array.init half (fun i ->
-          fold_pair ~zeta ~inv2 ~x_inv:x_invs.(i) !v.(i) !v.(i + half))
+      Pool.init_array ~min_chunk:2048 half (fun i ->
+          fold_pair ~zeta ~inv2 ~x_inv:x_invs.(i) cur.(i) cur.(i + half))
     in
     layers := (tree, !v) :: !layers;
     v := folded;

@@ -6,6 +6,7 @@ module Tree = Zkflow_merkle.Tree
 module MProof = Zkflow_merkle.Proof
 module T = Zkflow_hash.Transcript
 module D = Zkflow_hash.Digest32
+module Pool = Zkflow_parallel.Pool
 
 type trace_opening = { index : int; leaf : bytes; path : MProof.t }
 
@@ -120,13 +121,14 @@ let prove ?(queries = default_queries) air trace =
     (* Interpolate columns over the trace subgroup, extend to the LDE
        coset. *)
     let values =
-      Array.init air.Air.width (fun c ->
+      (* Columns extend independently; each NTT works on its own copy. *)
+      Pool.init_array ~min_chunk:1 air.Air.width (fun c ->
           let col = Array.init n (fun i -> trace.(i).(c)) in
           let coeffs = Ntt.inverse col in
           let padded = Array.append coeffs (Array.make (m - n) F.zero) in
           Ntt.forward_coset ~shift:F.generator padded)
     in
-    let leaves = Array.init m (leaf_of_row air.Air.width values) in
+    let leaves = Pool.init_array ~min_chunk:1024 m (leaf_of_row air.Air.width values) in
     let tree = Tree.of_leaves leaves in
     let transcript = T.create ~domain:"zkflow.stark.v1" in
     absorb_statement transcript air ~n ~blowup ~queries;
@@ -135,7 +137,7 @@ let prove ?(queries = default_queries) air trace =
     let boundary = Air.resolve_boundary air ~trace_length:n in
     let lde_elements = Domain.elements lde in
     let comp =
-      Array.init m (fun i ->
+      Pool.init_array ~min_chunk:256 m (fun i ->
           let row = Array.init air.Air.width (fun c -> values.(c).(i)) in
           let next = Array.init air.Air.width (fun c -> values.(c).((i + blowup) mod m)) in
           composition_at air ~gammas ~deltas ~boundary ~omega ~n

@@ -27,12 +27,13 @@ let prove_result ?(params = Params.default) program (run : Machine.result) =
     let rows = run.Machine.rows and memlog = run.Machine.memlog in
     let n_rows = Array.length rows and n_mem = Array.length memlog in
     (* Phase 1 commitments. *)
-    let row_leaves = Array.map Trace.encode_row rows in
+    let map_leaves f a = Zkflow_parallel.Pool.map_array ~min_chunk:2048 f a in
+    let row_leaves = map_leaves Trace.encode_row rows in
     let rows_tree = Tree.of_leaves row_leaves in
-    let time_leaves = Array.map Trace.encode_mem memlog in
+    let time_leaves = map_leaves Trace.encode_mem memlog in
     let time_tree = Tree.of_leaves time_leaves in
     let sorted_log = Memcheck.sort memlog in
-    let sorted_leaves = Array.map Trace.encode_mem sorted_log in
+    let sorted_leaves = map_leaves Trace.encode_mem sorted_log in
     let sorted_tree = Tree.of_leaves sorted_leaves in
     let jacc_chain = ref Zkflow_hash.Chain.genesis in
     let jacc_leaves =

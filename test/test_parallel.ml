@@ -1,0 +1,206 @@
+(* Differential tests for the Domain work pool: every parallel hot
+   path must be bit-identical to the sequential one across job
+   counts, including empty and non-power-of-two inputs. *)
+
+module Pool = Zkflow_parallel.Pool
+module Tree = Zkflow_merkle.Tree
+module D = Zkflow_hash.Digest32
+module Gen = Zkflow_netflow.Gen
+module Export = Zkflow_netflow.Export
+open Zkflow_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let digest = Alcotest.testable D.pp D.equal
+let job_sweep = [ 1; 2; 4 ]
+
+let with_jobs j f =
+  let saved = Pool.jobs () in
+  Pool.set_jobs j;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs saved) f
+
+(* ---- pool mechanics ---- *)
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          let n = 10_000 in
+          let hits = Array.make n 0 in
+          Pool.parallel_for ~min_chunk:16 n (fun lo hi ->
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done);
+          check_bool
+            (Printf.sprintf "jobs=%d every index exactly once" j)
+            true
+            (Array.for_all (fun c -> c = 1) hits)))
+    job_sweep
+
+let test_init_and_map_array () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          let a = Pool.init_array ~min_chunk:8 1000 (fun i -> (i * 7) mod 31 ) in
+          check_bool "init_array" true (a = Array.init 1000 (fun i -> (i * 7) mod 31));
+          let doubled = Pool.map_array ~min_chunk:8 (fun x -> 2 * x) a in
+          check_bool "map_array" true (doubled = Array.map (fun x -> 2 * x) a);
+          check_int "empty init" 0 (Array.length (Pool.init_array 0 (fun i -> i)))))
+    job_sweep
+
+let test_exception_propagates () =
+  with_jobs 4 (fun () ->
+      Alcotest.check_raises "body exception re-raised" (Failure "boom") (fun () ->
+          Pool.parallel_for ~min_chunk:1 64 (fun lo _hi ->
+              if lo >= 32 then failwith "boom")))
+
+let test_nested_regions_degrade () =
+  with_jobs 4 (fun () ->
+      let n = 64 in
+      let out = Array.make (n * n) 0 in
+      Pool.parallel_for ~min_chunk:1 n (fun lo hi ->
+          for i = lo to hi - 1 do
+            (* Nested region: must run sequentially, not deadlock. *)
+            Pool.parallel_for ~min_chunk:1 n (fun lo2 hi2 ->
+                for k = lo2 to hi2 - 1 do
+                  out.((i * n) + k) <- i + k
+                done)
+          done);
+      check_bool "nested result" true
+        (Array.for_all Fun.id (Array.init (n * n) (fun x -> out.(x) = (x / n) + (x mod n)))))
+
+let test_set_jobs_clamps () =
+  with_jobs 3 (fun () ->
+      Pool.set_jobs 0;
+      check_int "clamped to 1" 1 (Pool.jobs ());
+      Pool.set_jobs 2;
+      check_int "takes effect" 2 (Pool.jobs ()))
+
+(* ---- next_pow2 overflow guard ---- *)
+
+let test_next_pow2 () =
+  List.iter
+    (fun (n, want) -> check_int (Printf.sprintf "next_pow2 %d" n) want (Tree.next_pow2 n))
+    [ (0, 1); (1, 1); (2, 2); (3, 4); (5, 8); (1024, 1024); (1025, 2048) ];
+  check_bool "max_int/2 still closes" true (Tree.next_pow2 (max_int / 2) > 0);
+  Alcotest.check_raises "overflow guarded"
+    (Invalid_argument "Tree.next_pow2: leaf count exceeds max_int / 2") (fun () ->
+      ignore (Tree.next_pow2 ((max_int / 2) + 1)))
+
+(* ---- differential: Merkle ---- *)
+
+let tree_sizes = [ 0; 1; 2; 3; 7; 100; 257; 1024; 5000 ]
+
+let leaf_data n = Array.init n (fun i -> Bytes.of_string (Printf.sprintf "par-%d" i))
+
+let test_tree_roots_match_sequential () =
+  List.iter
+    (fun n ->
+      let data = leaf_data n in
+      let hs = Array.map Tree.leaf_hash data in
+      let base_tree = with_jobs 1 (fun () -> Tree.root (Tree.of_leaf_hashes hs)) in
+      let base_leaves = with_jobs 1 (fun () -> Tree.root (Tree.of_leaves data)) in
+      let base_fast = with_jobs 1 (fun () -> Tree.root_of_leaf_hashes hs) in
+      List.iter
+        (fun j ->
+          with_jobs j (fun () ->
+              let tag f = Printf.sprintf "n=%d jobs=%d %s" n j f in
+              Alcotest.check digest (tag "of_leaf_hashes") base_tree
+                (Tree.root (Tree.of_leaf_hashes hs));
+              Alcotest.check digest (tag "of_leaves") base_leaves
+                (Tree.root (Tree.of_leaves data));
+              Alcotest.check digest (tag "root_of_leaf_hashes") base_fast
+                (Tree.root_of_leaf_hashes hs)))
+        job_sweep)
+    tree_sizes
+
+let test_clog_root_matches_sequential () =
+  List.iter
+    (fun n ->
+      let rng = Zkflow_util.Rng.create (Int64.of_int (77 + n)) in
+      let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:n in
+      let base =
+        with_jobs 1 (fun () -> Clog.root (Clog.apply_batch Clog.empty records))
+      in
+      List.iter
+        (fun j ->
+          with_jobs j (fun () ->
+              Alcotest.check digest
+                (Printf.sprintf "clog n=%d jobs=%d" n j)
+                base
+                (Clog.root (Clog.apply_batch Clog.empty records))))
+        job_sweep)
+    [ 0; 1; 33; 600 ]
+
+(* ---- differential: sharded aggregation ---- *)
+
+let test_prove_sharded_matches_sequential () =
+  let rng = Zkflow_util.Rng.create 0xdeadL in
+  let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:24 in
+  let shards = 2 in
+  let params = Zkflow_zkproof.Params.make ~queries:4 in
+  let run () =
+    match
+      Aggregate.prove_sharded ~params ~prev_shards:(Array.make shards Clog.empty)
+        ~shards records
+    with
+    | Ok rounds -> rounds
+    | Error e -> Alcotest.fail e
+  in
+  let base = with_jobs 1 run in
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          let rounds = run () in
+          check_int (Printf.sprintf "jobs=%d shard count" j) shards
+            (Array.length rounds);
+          Array.iteri
+            (fun i (r : Aggregate.round) ->
+              let b = base.(i) in
+              let tag s = Printf.sprintf "jobs=%d shard=%d %s" j i s in
+              check_bool (tag "receipt bit-identical") true
+                (r.Aggregate.receipt = b.Aggregate.receipt);
+              Alcotest.check digest (tag "journal new_root")
+                b.Aggregate.journal.Guests.new_root r.Aggregate.journal.Guests.new_root;
+              Alcotest.check digest (tag "clog root") (Clog.root b.Aggregate.clog)
+                (Clog.root r.Aggregate.clog))
+            rounds))
+    job_sweep
+
+(* ---- property: random trees agree across job counts ---- *)
+
+let prop_tree_parallel_equals_sequential =
+  QCheck.Test.make ~name:"parallel merkle == sequential merkle" ~count:30
+    QCheck.(pair (int_range 0 600) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+      let data = Array.init n (fun _ -> Zkflow_util.Rng.bytes rng 24) in
+      let seq = with_jobs 1 (fun () -> Tree.root (Tree.of_leaves data)) in
+      let par = with_jobs 3 (fun () -> Tree.root (Tree.of_leaves data)) in
+      D.equal seq par)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "zkflow_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "init/map array" `Quick test_init_and_map_array;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "nested regions degrade" `Quick test_nested_regions_degrade;
+          Alcotest.test_case "set_jobs clamps" `Quick test_set_jobs_clamps;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "next_pow2 guard" `Quick test_next_pow2;
+          Alcotest.test_case "roots match sequential" `Quick test_tree_roots_match_sequential;
+          Alcotest.test_case "clog root matches" `Quick test_clog_root_matches_sequential;
+          q prop_tree_parallel_equals_sequential;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "prove_sharded differential" `Slow
+            test_prove_sharded_matches_sequential;
+        ] );
+    ]
