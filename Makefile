@@ -1,7 +1,8 @@
 # `make check` is the pre-merge gate: tier-1 tests plus the quick
 # bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
-# exercised even where the default would be sequential.
-.PHONY: all build test check bench
+# exercised even where the default would be sequential, plus the
+# static analyzer over the built-in guests and every example query.
+.PHONY: all build test check lint bench
 
 all: build
 
@@ -11,7 +12,12 @@ build:
 test:
 	dune runtest
 
-check: build
+# Static analysis of the built-in guests (always checked) and the
+# example Zirc queries. Fails on any Error-severity finding.
+lint: build
+	dune exec bin/zkflow.exe -- lint examples/*.zirc
+
+check: build lint
 	ZKFLOW_JOBS=2 dune runtest --force
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par
 

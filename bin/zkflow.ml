@@ -174,7 +174,10 @@ let clog_input clog =
 let prove_zirc ~params ~clog path =
   let* program_src = Zkflow_lang.Zirc_parse.parse_file path in
   let* program = Zkflow_lang.Zirc.compile program_src in
-  match Zkflow_zkproof.Prove.prove ~params program ~input:(clog_input clog) with
+  match
+    Prover_service.prove_custom ~proof_params:params ~subject:path program
+      ~input:(clog_input clog)
+  with
   | Error e -> Error ("custom query: " ^ e)
   | Ok (receipt, run) ->
     Printf.printf "custom query %s: %d cycles, journal %s\n" path
@@ -224,6 +227,43 @@ let prove dir queries_n src dst metric op zirc =
     write_file (dir // "custom.bin") (Receipt.encode receipt);
     Printf.printf "custom receipt -> %s\n" (dir // "custom.bin");
     Ok ()
+
+(* ---- lint ---- *)
+
+module Analysis = Zkflow_analysis
+
+let print_report ~json r =
+  if json then print_endline (Analysis.Finding.report_json r)
+  else Format.printf "%a@." Analysis.Finding.pp_report r;
+  Analysis.Finding.ok r
+
+(* Lint the two built-in guests (assembled ZR0) plus any Zirc sources
+   given on the command line; exit nonzero iff any Error-severity
+   finding (warnings don't fail the build). *)
+let lint json files =
+  let ok = ref true in
+  let note b = if not b then ok := false in
+  note (print_report ~json (Analysis.check ~subject:"aggregation guest"
+                              (Lazy.force Guests.aggregation_program)));
+  note (print_report ~json (Analysis.check ~subject:"query guest"
+                              (Lazy.force Guests.query_program)));
+  List.iter
+    (fun path ->
+      let report =
+        match Zkflow_lang.Zirc_parse.parse_file_positioned path with
+        | Ok (prog, positions) -> Analysis.check_zirc ~subject:path ~positions prog
+        | Error e ->
+          {
+            Analysis.Finding.subject = path;
+            instrs = 0;
+            blocks = 0;
+            findings = [ Analysis.Finding.error ~pass:"parse" "%s" e ];
+            cycle_bound = Analysis.Finding.Unbounded [];
+          }
+      in
+      note (print_report ~json report))
+    files;
+  if !ok then Ok () else Error "lint: defects found"
 
 (* ---- verify ---- *)
 
@@ -326,6 +366,20 @@ let prove_cmd =
     (Cmd.info "prove" ~doc:"Aggregate every epoch under proof; optionally prove a query.")
     Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc)
 
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Zirc source files to lint (the built-in guests are always checked).")
+  in
+  let run json files = handle (lint json files) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze the built-in guests and any Zirc sources.")
+    Term.(const run $ json $ files)
+
 let verify_cmd =
   let zirc =
     Arg.(value & opt (some string) None & info [ "zirc" ]
@@ -341,4 +395,4 @@ let () =
     Cmd.info "zkflow" ~version:"1.0.0"
       ~doc:"Verifiable network telemetry without special-purpose hardware."
   in
-  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; prove_cmd; verify_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; prove_cmd; lint_cmd; verify_cmd ]))

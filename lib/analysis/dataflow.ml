@@ -1,0 +1,51 @@
+let solve (cfg : Cfg.t) ~entry ~join ~equal ~transfer =
+  let nb = Array.length cfg.Cfg.blocks in
+  let in_state : 'a option array = Array.make nb None in
+  let through_block id s =
+    let b = cfg.Cfg.blocks.(id) in
+    let s = ref s in
+    for pc = b.Cfg.first to b.Cfg.last do
+      s := transfer ~pc cfg.Cfg.program.(pc) !s
+    done;
+    !s
+  in
+  (* Worklist over block ids, seeded with every live function entry;
+     initialised in order so the common forward-falling case converges
+     in one sweep. *)
+  let on_list = Array.make nb false in
+  let q = Queue.create () in
+  List.iter
+    (fun entry_pc ->
+      let id = cfg.Cfg.block_of_pc.(entry_pc) in
+      if not on_list.(id) then begin
+        in_state.(id) <- Some (entry entry_pc);
+        Queue.add id q;
+        on_list.(id) <- true
+      end)
+    cfg.Cfg.entries;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    on_list.(id) <- false;
+    match in_state.(id) with
+    | None -> ()
+    | Some s ->
+      let out = through_block id s in
+      List.iter
+        (fun succ ->
+          let merged, changed =
+            match in_state.(succ) with
+            | None -> (out, true)
+            | Some old ->
+              let m = join old out in
+              (m, not (equal m old))
+          in
+          if changed then begin
+            in_state.(succ) <- Some merged;
+            if not on_list.(succ) then begin
+              on_list.(succ) <- true;
+              Queue.add succ q
+            end
+          end)
+        cfg.Cfg.blocks.(id).Cfg.succs
+  done;
+  in_state

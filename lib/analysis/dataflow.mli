@@ -1,0 +1,17 @@
+(** A generic forward worklist solver over a {!Cfg}.
+
+    [solve cfg ~entry ~join ~equal ~transfer] seeds every live function
+    entry block with [entry entry_pc], iterates the per-instruction
+    [transfer] to a fixpoint over the function-local edges, and returns
+    the abstract state at the {e entry} of each basic block ([None] for
+    blocks the solver never reached — exactly the CFG-unreachable
+    ones). [join] must be monotone and [transfer] monotone in its state
+    argument, otherwise termination is not guaranteed. *)
+
+val solve :
+  Cfg.t ->
+  entry:(int -> 's) ->
+  join:('s -> 's -> 's) ->
+  equal:('s -> 's -> bool) ->
+  transfer:(pc:int -> Zkflow_zkvm.Isa.t -> 's -> 's) ->
+  's option array

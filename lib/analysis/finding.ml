@@ -1,0 +1,97 @@
+type severity = Error | Warning
+
+type loc =
+  | Pc of int                          (* ZR0 instruction index *)
+  | Src of { line : int; col : int }   (* Zirc source position *)
+  | Stmt of int list                   (* Zirc statement path (no source) *)
+  | Nowhere
+
+type t = {
+  severity : severity;
+  pass : string;
+  loc : loc;
+  message : string;
+}
+
+type cycle_bound =
+  | Bounded of int
+  | Unbounded of int list  (* pcs of the offending loop headers *)
+
+type report = {
+  subject : string;
+  instrs : int;
+  blocks : int;
+  findings : t list;
+  cycle_bound : cycle_bound;
+}
+
+let error ?(loc = Nowhere) ~pass fmt =
+  Format.kasprintf (fun message -> { severity = Error; pass; loc; message }) fmt
+
+let warning ?(loc = Nowhere) ~pass fmt =
+  Format.kasprintf (fun message -> { severity = Warning; pass; loc; message }) fmt
+
+let errors report = List.filter (fun f -> f.severity = Error) report.findings
+let warnings report = List.filter (fun f -> f.severity = Warning) report.findings
+let ok report = errors report = []
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let loc_string = function
+  | Pc pc -> Printf.sprintf "pc %d" pc
+  | Src { line; col } -> Printf.sprintf "%d:%d" line col
+  | Stmt path -> Printf.sprintf "stmt %s" (String.concat "." (List.map string_of_int path))
+  | Nowhere -> "-"
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s [%s] %s: %s" (severity_name f.severity) f.pass
+    (loc_string f.loc) f.message
+
+let pp_cycle_bound ppf = function
+  | Bounded n -> Format.fprintf ppf "<= %d cycles" n
+  | Unbounded [] -> Format.fprintf ppf "unbounded"
+  | Unbounded headers ->
+    Format.fprintf ppf "unbounded (loop headers at pc %s)"
+      (String.concat ", " (List.map string_of_int headers))
+
+let pp_report ppf r =
+  Format.fprintf ppf "== %s ==@." r.subject;
+  Format.fprintf ppf "  %d instruction(s), %d basic block(s); static cycle bound: %a@."
+    r.instrs r.blocks pp_cycle_bound r.cycle_bound;
+  List.iter (fun f -> Format.fprintf ppf "  %a@." pp_finding f) r.findings;
+  Format.fprintf ppf "  %d error(s), %d warning(s)@."
+    (List.length (errors r)) (List.length (warnings r))
+
+(* Dependency-free JSON emission for `zkflow lint --json`. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_json f =
+  Printf.sprintf {|{"severity":"%s","pass":"%s","loc":"%s","message":"%s"}|}
+    (severity_name f.severity) (json_escape f.pass)
+    (json_escape (loc_string f.loc)) (json_escape f.message)
+
+let report_json r =
+  let bound =
+    match r.cycle_bound with
+    | Bounded n -> Printf.sprintf {|{"kind":"bounded","cycles":%d}|} n
+    | Unbounded headers ->
+      Printf.sprintf {|{"kind":"unbounded","loop_headers":[%s]}|}
+        (String.concat "," (List.map string_of_int headers))
+  in
+  Printf.sprintf
+    {|{"subject":"%s","instrs":%d,"blocks":%d,"errors":%d,"warnings":%d,"cycle_bound":%s,"findings":[%s]}|}
+    (json_escape r.subject) r.instrs r.blocks
+    (List.length (errors r)) (List.length (warnings r)) bound
+    (String.concat "," (List.map finding_json r.findings))

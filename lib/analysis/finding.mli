@@ -1,0 +1,57 @@
+(** Analyzer findings and per-program reports.
+
+    A {e finding} is one defect or advisory located in a guest program;
+    a {e report} is everything one analyzer run learned about one
+    program. [Error]-severity findings gate proving (see
+    {!Zkflow_analysis.gate}); [Warning]s are advisory only, so the two
+    built-in guests lint clean by construction. *)
+
+type severity = Error | Warning
+
+type loc =
+  | Pc of int                          (** ZR0 instruction index *)
+  | Src of { line : int; col : int }   (** Zirc source position *)
+  | Stmt of int list                   (** Zirc statement path, outermost first *)
+  | Nowhere
+
+type t = {
+  severity : severity;
+  pass : string;     (** which check produced it, e.g. "uninit" *)
+  loc : loc;
+  message : string;
+}
+
+type cycle_bound =
+  | Bounded of int          (** proven upper bound on guest cycles *)
+  | Unbounded of int list   (** reachable loops; pcs of their headers *)
+
+type report = {
+  subject : string;
+  instrs : int;
+  blocks : int;
+  findings : t list;
+  cycle_bound : cycle_bound;
+}
+
+val error :
+  ?loc:loc -> pass:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  ?loc:loc -> pass:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val errors : report -> t list
+val warnings : report -> t list
+
+val ok : report -> bool
+(** No [Error]-severity findings ([Warning]s allowed). *)
+
+val severity_name : severity -> string
+val loc_string : loc -> string
+val pp_finding : Format.formatter -> t -> unit
+val pp_cycle_bound : Format.formatter -> cycle_bound -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** The human-readable block [zkflow lint] prints. *)
+
+val report_json : report -> string
+(** One JSON object per report; dependency-free encoder. *)

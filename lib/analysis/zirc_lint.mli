@@ -1,0 +1,35 @@
+(** Source-level lint over the {!Zkflow_lang.Zirc} AST, run before
+    lowering so findings point at the surface program.
+
+    Checks (pass names in brackets):
+
+    - [zirc-depth] {e error}: a statement whose expressions need more
+      than the compiler's 7-register pool (mirrors the depth discipline
+      of [compile_expr]: left operand at the current depth, right one
+      deeper, builtin arguments at their argument index);
+    - [zirc-scope] {e error}: use or assignment of an undeclared local,
+      and duplicate [let] declarations (the compiler rejects both);
+    - [zirc-assign] {e error}: a read of a local that is not definitely
+      assigned on every path reaching it ([If] joins by intersection, a
+      [While] body may run zero times). Locals are zero-initialised so
+      this is well-defined — and almost always a bug;
+    - [zirc-membounds] {e error}: constant-folded addresses outside
+      guest RAM, or writes landing in the compiler's local/spill region
+      [[0x800000, 0x820000)];
+    - [zirc-divzero] {e warning}: division or remainder by a literal 0;
+    - [zirc-dead] {e warning}: a [Set] whose value no later statement
+      reads (backward liveness, with a fixpoint over [While] bodies),
+      and a [let] whose variable is never read anywhere. *)
+
+val max_expr_depth : int
+
+val need : Zkflow_lang.Zirc.expr -> int
+(** Registers the compiler will use to evaluate this expression. *)
+
+val lint :
+  ?positions:Zkflow_lang.Zirc_parse.stmt_pos list ->
+  Zkflow_lang.Zirc.program ->
+  Finding.t list
+(** Findings are located at [Src] positions when [positions] (from
+    {!Zkflow_lang.Zirc_parse.parse_positioned}) is given, else at
+    structural [Stmt] paths. *)

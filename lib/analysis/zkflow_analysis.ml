@@ -1,0 +1,60 @@
+module Finding = Finding
+module Cfg = Cfg
+module Dataflow = Dataflow
+module Zr0_checks = Zr0_checks
+module Zirc_lint = Zirc_lint
+module Program = Zkflow_zkvm.Program
+
+let check ?subject (program : Program.t) =
+  Zr0_checks.analyze ?subject (Program.instrs program)
+
+let check_instrs = Zr0_checks.analyze
+
+let check_zirc ?(subject = "zirc program") ?positions prog =
+  let lint = Zirc_lint.lint ?positions prog in
+  match Zkflow_lang.Zirc.compile prog with
+  | Error msg ->
+    {
+      Finding.subject;
+      instrs = 0;
+      blocks = 0;
+      findings = lint @ [ Finding.error ~pass:"compile" "%s" msg ];
+      cycle_bound = Finding.Unbounded [];
+    }
+  | Ok program ->
+    let r = check ~subject program in
+    { r with Finding.findings = lint @ r.Finding.findings }
+
+let disabled () =
+  match Sys.getenv_opt "ZKFLOW_NO_ANALYZE" with
+  | Some "" | None -> false
+  | Some _ -> true
+
+(* One analysis per image ID per process: the built-in guests are
+   proven repeatedly (per shard, per epoch), and the analysis is pure
+   in the instruction stream. *)
+let cache : (string, Finding.report) Hashtbl.t = Hashtbl.create 8
+
+let report_for ?subject program =
+  let key = Zkflow_hash.Digest32.to_hex (Program.image_id program) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r = check ?subject program in
+    Hashtbl.add cache key r;
+    r
+
+let gate ?subject program =
+  if disabled () then Ok ()
+  else begin
+    let r = report_for ?subject program in
+    match Finding.errors r with
+    | [] -> Ok ()
+    | errs ->
+      Error
+        (Format.asprintf
+           "refusing to prove %s: static analysis found %d defect(s) (set ZKFLOW_NO_ANALYZE=1 to override)@\n%a"
+           r.Finding.subject (List.length errs)
+           (Format.pp_print_list Finding.pp_finding)
+           errs)
+  end

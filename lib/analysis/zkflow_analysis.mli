@@ -1,0 +1,36 @@
+(** Static analysis for ZR0 guest programs and Zirc sources.
+
+    The analyzer proves simple safety facts about a guest {e before}
+    any cycles are spent proving its execution: no read of a register
+    no path initialises, no statically-out-of-range memory access, no
+    fall-off-the-end or wild control transfer, host calls that follow
+    the ecall protocol — plus advisory warnings (unreachable code,
+    statically-unknown ecall numbers) and a static cycle budget.
+    DESIGN.md §8 records the lattice and conservatism choices. *)
+
+module Finding = Finding
+module Cfg = Cfg
+module Dataflow = Dataflow
+module Zr0_checks = Zr0_checks
+module Zirc_lint = Zirc_lint
+
+val check : ?subject:string -> Zkflow_zkvm.Program.t -> Finding.report
+(** Analyze an assembled guest. *)
+
+val check_instrs : ?subject:string -> Zkflow_zkvm.Isa.t array -> Finding.report
+
+val check_zirc :
+  ?subject:string ->
+  ?positions:Zkflow_lang.Zirc_parse.stmt_pos list ->
+  Zkflow_lang.Zirc.program ->
+  Finding.report
+(** {!Zirc_lint} on the AST, then — when the program compiles — the ZR0
+    analysis of the lowered code, merged into one report. A compile
+    failure becomes a ["compile"] error finding. *)
+
+val gate : ?subject:string -> Zkflow_zkvm.Program.t -> (unit, string) result
+(** Pre-prove gate used by {!Zkflow_core.Prover_service}: [Ok ()] when
+    the guest has no [Error]-severity findings, otherwise a printable
+    refusal. Reports are memoized per image ID. Setting
+    [ZKFLOW_NO_ANALYZE=1] in the environment skips the gate (checked at
+    call time, so tests can toggle it). *)

@@ -1,0 +1,335 @@
+module Isa = Zkflow_zkvm.Isa
+module Trace = Zkflow_zkvm.Trace
+
+let mask32 = 0xffffffff
+let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+(* Mirrors Machine.alu_eval so constant propagation agrees with the
+   interpreter bit-for-bit (DIVU/REMU follow RISC-V M: x/0 = 2^32 − 1,
+   x mod 0 = x). *)
+let alu_eval op a b =
+  match (op : Isa.alu) with
+  | ADD -> (a + b) land mask32
+  | SUB -> (a - b) land mask32
+  | MUL -> Int64.to_int (Int64.logand (Int64.mul (Int64.of_int a) (Int64.of_int b)) 0xFFFFFFFFL)
+  | AND -> a land b
+  | OR -> a lor b
+  | XOR -> a lxor b
+  | SLL -> (a lsl (b land 31)) land mask32
+  | SRL -> a lsr (b land 31)
+  | SRA -> (signed a asr (b land 31)) land mask32
+  | SLT -> if signed a < signed b then 1 else 0
+  | SLTU -> if a < b then 1 else 0
+  | DIVU -> if b = 0 then mask32 else a / b
+  | REMU -> if b = 0 then a else a mod b
+
+(* ---- abstract register state ----
+
+   Per register: a may-be-uninitialized flag (forward may-analysis,
+   seeded from the ABI entry state: only x0 is defined on entry) and a
+   constant lattice (Cst c ⊑ Top) used for address arithmetic and for
+   resolving ecall numbers. *)
+
+type const = Top | Cst of int
+type value = { may_uninit : bool; const : const }
+type state = value array
+
+let v_init_top = { may_uninit = false; const = Top }
+let v_uninit = { may_uninit = true; const = Top }
+let v_cst c = { may_uninit = false; const = Cst (c land mask32) }
+
+let join_const a b =
+  match (a, b) with
+  | Cst x, Cst y when x = y -> Cst x
+  | _ -> Top
+
+let join_value a b =
+  { may_uninit = a.may_uninit || b.may_uninit; const = join_const a.const b.const }
+
+let join_state a b = Array.init 32 (fun i -> join_value a.(i) b.(i))
+let equal_state (a : state) b = Array.for_all2 (fun x y -> x = y) a b
+
+let entry_state () =
+  let st = Array.make 32 v_uninit in
+  st.(0) <- v_cst 0;
+  st
+
+(* Helper functions are entered with every register defined but
+   unknown: callers are checked to pass initialised arguments at the
+   call site, and assuming less would re-flag every callee body. *)
+let helper_entry_state () =
+  let st = Array.make 32 v_init_top in
+  st.(0) <- v_cst 0;
+  st
+
+(* [emit] is a no-op during the fixpoint and collects findings in the
+   final reporting walk, so each defect is reported exactly once. *)
+let transfer ~emit ~pc instr (st : state) =
+  let st = Array.copy st in
+  let read ?(what = "") r =
+    if r <> 0 && st.(r).may_uninit then
+      emit
+        (Finding.error ~loc:(Finding.Pc pc) ~pass:"uninit"
+           "read of possibly-uninitialized register %s%s" (Isa.reg_name r) what)
+  in
+  let write r v = if r <> 0 then st.(r) <- v in
+  let cst r = match st.(r).const with Cst c -> Some c | Top -> None in
+  let check_addr ~op base imm =
+    match cst base with
+    | None -> ()
+    | Some b ->
+      let addr = (b + imm) land mask32 in
+      if addr >= Trace.ram_limit then
+        emit
+          (Finding.error ~loc:(Finding.Pc pc) ~pass:"membounds"
+             "%s to word address 0x%x is outside guest RAM (limit 0x%x)" op addr
+             Trace.ram_limit)
+  in
+  (match instr with
+   | Isa.Alu (op, rd, rs1, rs2) ->
+     read rs1;
+     read rs2;
+     let v =
+       match (cst rs1, cst rs2) with
+       | Some a, Some b -> v_cst (alu_eval op a b)
+       | _ -> v_init_top
+     in
+     write rd v
+   | Isa.Alui (op, rd, rs1, imm) ->
+     read rs1;
+     let v =
+       match cst rs1 with
+       | Some a -> v_cst (alu_eval op a (imm land mask32))
+       | None -> v_init_top
+     in
+     write rd v
+   | Isa.Lui (rd, imm) -> write rd (v_cst imm)
+   | Isa.Lw (rd, rs1, imm) ->
+     read ~what:" (load base)" rs1;
+     check_addr ~op:"load" rs1 imm;
+     (* guest RAM is zero-initialised, so a loaded word is defined *)
+     write rd v_init_top
+   | Isa.Sw (rs2, rs1, imm) ->
+     read ~what:" (store base)" rs1;
+     read ~what:" (store value)" rs2;
+     check_addr ~op:"store" rs1 imm
+   | Isa.Branch (_, rs1, rs2, _) ->
+     read rs1;
+     read rs2
+   | Isa.Jal (0, _) -> ()
+   | Isa.Jal (_, _) ->
+     (* a call: the callee may leave anything in any register, but
+        everything is defined on return (conservative summary) *)
+     for r = 1 to 31 do
+       st.(r) <- v_init_top
+     done
+   | Isa.Jalr (rd, rs1, _) ->
+     read ~what:(if rd = 0 then " (return address)" else " (indirect call target)") rs1;
+     if rd <> 0 then
+       for r = 1 to 31 do
+         st.(r) <- v_init_top
+       done
+   | Isa.Ecall ->
+     read ~what:" (ecall number a0)" 10;
+     (match cst 10 with
+      | Some 0 -> read ~what:" (halt exit code)" 11
+      | Some 1 | Some 5 -> write 10 v_init_top
+      | Some 2 | Some 4 -> read ~what:" (ecall argument)" 11
+      | Some 3 ->
+        read ~what:" (sha src)" 11;
+        read ~what:" (sha length)" 12;
+        read ~what:" (sha dst)" 13;
+        check_addr ~op:"sha source" 11 0;
+        check_addr ~op:"sha destination" 13 0
+      | Some n ->
+        emit
+          (Finding.error ~loc:(Finding.Pc pc) ~pass:"ecall"
+             "unknown ecall number %d (the machine traps here)" n)
+      | None ->
+        emit
+          (Finding.warning ~loc:(Finding.Pc pc) ~pass:"ecall"
+             "ecall number in a0 is not statically known; protocol not checked");
+        write 10 v_init_top));
+  st
+
+(* ---- well-formedness: register fields must name real registers ----
+
+   A malformed index would make the interpreter (and this analysis)
+   fault on array access, so this runs first and short-circuits. *)
+let wellformed instrs =
+  let findings = ref [] in
+  Array.iteri
+    (fun pc instr ->
+      let r1, r2, rd = Isa.registers_used instr in
+      List.iter
+        (function
+          | Some r when r < 0 || r > 31 ->
+            findings :=
+              Finding.error ~loc:(Finding.Pc pc) ~pass:"wellformed"
+                "register index %d out of range 0..31" r
+              :: !findings
+          | _ -> ())
+        [ r1; r2; rd ])
+    instrs;
+  List.rev !findings
+
+(* ---- graph passes ---- *)
+
+let escape_findings (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.program in
+  List.filter_map
+    (fun (pc, tgt) ->
+      if not (Cfg.reachable_pc cfg pc) then None
+      else if tgt = pc + 1 then
+        (* a fall-through (or call-return) edge past the end *)
+        Some
+          (Finding.error ~loc:(Finding.Pc pc) ~pass:"control"
+             "execution can fall off the end of the program (no terminating ecall on this path)")
+      else
+        Some
+          (Finding.error ~loc:(Finding.Pc pc) ~pass:"control"
+             "control transfer to pc %d, outside the program [0, %d)" tgt n))
+    cfg.Cfg.escapes
+
+let unreachable_findings (cfg : Cfg.t) =
+  (* Collapse runs of adjacent unreachable blocks into one finding so a
+     dead helper function reports once, not once per block. *)
+  let blocks = cfg.Cfg.blocks in
+  let findings = ref [] in
+  let i = ref 0 in
+  let nb = Array.length blocks in
+  while !i < nb do
+    if cfg.Cfg.reachable.(!i) then incr i
+    else begin
+      let first = blocks.(!i).Cfg.first in
+      let j = ref !i in
+      while !j + 1 < nb && not cfg.Cfg.reachable.(!j + 1) do
+        incr j
+      done;
+      let last = blocks.(!j).Cfg.last in
+      findings :=
+        Finding.warning ~loc:(Finding.Pc first) ~pass:"unreachable"
+          "unreachable code: pc %d..%d (%d instruction(s)) can never execute" first
+          last (last - first + 1)
+        :: !findings;
+      i := !j + 1
+    end
+  done;
+  List.rev !findings
+
+(* Static cycle budget: with any reachable loop the bound is infinite
+   (reported with the loop headers); on an acyclic reachable CFG it is
+   the longest entry-to-exit path, one cycle per instruction plus the
+   extra SHA compression rows when the length argument is a known
+   constant. *)
+let cycle_bound (cfg : Cfg.t) (block_in : state option array) =
+  match (Cfg.back_edge_headers cfg, Cfg.recursive_entries cfg) with
+  | ((_ :: _ as headers), _ | [], (_ :: _ as headers)) -> Finding.Unbounded headers
+  | [], [] ->
+    (* Acyclic everywhere: the bound is the longest entry-to-exit path
+       of the main function, with each call weighted by its callee's
+       bound (the call graph is a DAG here, so this terminates). One
+       cycle per instruction, plus the SHA compression rows when the
+       length register is a known constant at the ecall — an unknown
+       length counts 1, so the estimate is best-effort, not a sound
+       upper bound (DESIGN.md §8). *)
+    let n = Array.length cfg.Cfg.program in
+    let nb = Array.length cfg.Cfg.blocks in
+    let func_memo = Hashtbl.create 8 in
+    let rec func_bound entry =
+      match Hashtbl.find_opt func_memo entry with
+      | Some b -> b
+      | None ->
+        let memo = Array.make nb (-1) in
+        let rec longest id =
+          if memo.(id) >= 0 then memo.(id)
+          else begin
+            memo.(id) <- 0;
+            let best =
+              List.fold_left
+                (fun acc s -> max acc (longest s))
+                0 cfg.Cfg.blocks.(id).Cfg.succs
+            in
+            memo.(id) <- block_weight id + best;
+            memo.(id)
+          end
+        and block_weight id =
+          let b = cfg.Cfg.blocks.(id) in
+          match block_in.(id) with
+          | None -> 0
+          | Some st ->
+            let st = ref st in
+            let w = ref 0 in
+            for pc = b.Cfg.first to b.Cfg.last do
+              let instr = cfg.Cfg.program.(pc) in
+              let iw =
+                match instr with
+                | Isa.Ecall ->
+                  (match ((!st).(10).const, (!st).(12).const) with
+                   | Cst 3, Cst words when words >= 0 && words <= 1 lsl 24 ->
+                     1 + Trace.sha_block_count words
+                   | _ -> 1)
+                | Isa.Jal (rd, tgt) when rd <> 0 && tgt >= 0 && tgt < n ->
+                  1 + func_bound tgt
+                | _ -> 1
+              in
+              w := !w + iw;
+              st := transfer ~emit:(fun _ -> ()) ~pc instr !st
+            done;
+            !w
+        in
+        let b = longest cfg.Cfg.block_of_pc.(entry) in
+        Hashtbl.add func_memo entry b;
+        b
+    in
+    Finding.Bounded (func_bound 0)
+
+let finding_pc (f : Finding.t) =
+  match f.Finding.loc with Finding.Pc pc -> pc | _ -> max_int
+
+let analyze ?(subject = "program") instrs =
+  let n = Array.length instrs in
+  match wellformed instrs with
+  | _ :: _ as bad ->
+    {
+      Finding.subject;
+      instrs = n;
+      blocks = 0;
+      findings = bad;
+      cycle_bound = Finding.Unbounded [];
+    }
+  | [] ->
+    let cfg = Cfg.build instrs in
+    let block_in =
+      Dataflow.solve cfg
+        ~entry:(fun pc -> if pc = 0 then entry_state () else helper_entry_state ())
+        ~join:join_state ~equal:equal_state
+        ~transfer:(transfer ~emit:(fun _ -> ()))
+    in
+    let findings = ref [] in
+    let emit f = findings := f :: !findings in
+    (* reporting walk: each reachable block once, from its fixed entry
+       state *)
+    Array.iteri
+      (fun id b ->
+        match block_in.(id) with
+        | None -> ()
+        | Some st ->
+          let st = ref st in
+          for pc = b.Cfg.first to b.Cfg.last do
+            st := transfer ~emit ~pc cfg.Cfg.program.(pc) !st
+          done)
+      cfg.Cfg.blocks;
+    let findings =
+      escape_findings cfg @ unreachable_findings cfg @ List.rev !findings
+    in
+    let findings =
+      List.stable_sort (fun a b -> Int.compare (finding_pc a) (finding_pc b)) findings
+    in
+    {
+      Finding.subject;
+      instrs = n;
+      blocks = Array.length cfg.Cfg.blocks;
+      findings;
+      cycle_bound = cycle_bound cfg block_in;
+    }

@@ -1,0 +1,41 @@
+(** Static checks over ZR0 instruction streams.
+
+    [analyze] builds the {!Cfg}, runs a combined forward dataflow
+    (may-uninitialized registers + constant propagation, joined over
+    paths) and the graph passes, and returns one {!Finding.report}:
+
+    - {b wellformed}: register fields in [0, 31] (short-circuits the
+      rest when violated, since nothing downstream is meaningful);
+    - {b uninit}: read of a register no path has written (the ABI entry
+      state defines only x0); errors;
+    - {b membounds}: [Lw]/[Sw]/sha addresses that constant-propagate to
+      a value outside guest RAM ([0, 2^28)); unknown addresses are top
+      and not reported; errors;
+    - {b ecall}: resolved call numbers checked against the host-call
+      protocol (argument registers initialized, number known); an
+      unknown number is a warning, an invalid constant one an error;
+    - {b control}: branch/jump targets outside the program and paths
+      that fall off the end without a terminating ecall; errors;
+    - {b unreachable}: code no path reaches (adjacent dead blocks are
+      collapsed into one finding); warnings;
+    - the {b cycle budget}: [Bounded n] on an acyclic reachable CFG
+      (longest path, counting SHA compression rows when the length is
+      a known constant), else [Unbounded headers]. Informational — the
+      built-in guests iterate over their input, so any data-dependent
+      loop reports unbounded. *)
+
+type const = Top | Cst of int
+type value = { may_uninit : bool; const : const }
+type state = value array
+
+val entry_state : unit -> state
+(** ABI entry: x0 = 0 and defined, every other register uninitialized. *)
+
+val helper_entry_state : unit -> state
+(** Function entry for callees: every register defined but unknown. *)
+
+val transfer :
+  emit:(Finding.t -> unit) -> pc:int -> Zkflow_zkvm.Isa.t -> state -> state
+(** One-instruction abstract step; exposed for tests. *)
+
+val analyze : ?subject:string -> Zkflow_zkvm.Isa.t array -> Finding.report

@@ -19,6 +19,17 @@ let latest_root t = Clog.root t.clog
 
 let ( let* ) = Result.bind
 
+(* Pre-prove gate: every proving path runs the static analyzer over the
+   guest first and refuses to spend cycles on a defective program
+   (override with ZKFLOW_NO_ANALYZE=1). Reports are memoized per image
+   ID, so the per-round cost after the first call is one hash lookup. *)
+let gate ~subject program = Zkflow_analysis.gate ~subject program
+
+let prove_custom ?(proof_params = Zkflow_zkproof.Params.default)
+    ?(subject = "custom guest") program ~input =
+  let* () = gate ~subject program in
+  Zkflow_zkproof.Prove.prove ~params:proof_params program ~input
+
 let publish_epoch t ~epoch =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
@@ -44,6 +55,9 @@ let aggregate_epoch t ~epoch =
         collect ((c.Commitment.batch, records) :: acc) rest)
   in
   let* batches = collect [] (Db.routers t.db) in
+  let* () =
+    gate ~subject:"aggregation guest" (Lazy.force Guests.aggregation_program)
+  in
   let* round =
     Aggregate.prove_round ~params:t.proof_params ~prev:t.clog batches
   in
@@ -149,10 +163,14 @@ let load ?proof_params ~db ~board bytes =
       t.rounds_rev <- List.rev rounds;
       t)
 
-let query t params = Query.prove ~params:t.proof_params ~clog:t.clog params
+let query t params =
+  let* () = gate ~subject:"query guest" (Lazy.force Guests.query_program) in
+  Query.prove ~params:t.proof_params ~clog:t.clog params
 
 let query_at t ~round params =
   let rounds = List.rev t.rounds_rev in
   match List.nth_opt rounds round with
   | None -> Error (Printf.sprintf "query_at: no round %d (have %d)" round (List.length rounds))
-  | Some r -> Query.prove ~params:t.proof_params ~clog:r.Aggregate.clog params
+  | Some r ->
+    let* () = gate ~subject:"query guest" (Lazy.force Guests.query_program) in
+    Query.prove ~params:t.proof_params ~clog:r.Aggregate.clog params

@@ -37,6 +37,19 @@ val aggregate_epoch : t -> epoch:int -> (Aggregate.round, string) result
 val query : t -> Guests.query_params -> (Query.result_row, string) result
 (** Prove a query against the latest CLog. *)
 
+val prove_custom :
+  ?proof_params:Zkflow_zkproof.Params.t ->
+  ?subject:string ->
+  Zkflow_zkvm.Program.t ->
+  input:int array ->
+  (Zkflow_zkproof.Receipt.t * Zkflow_zkvm.Machine.result, string) result
+(** Prove an arbitrary guest (e.g. a compiled Zirc query) behind the
+    same static-analysis gate as the built-in guests: a program with
+    [Error]-severity findings (see {!Zkflow_analysis.check}) is
+    refused before any proving work, unless [ZKFLOW_NO_ANALYZE=1] is
+    set in the environment. Every proving entry point of this module
+    ({!aggregate_epoch}, {!query}, {!query_at}) runs the same gate. *)
+
 val save : t -> bytes
 (** Serialize the service state (CLog entries plus every round's
     receipt and post-round entries) so an operator can stop and resume

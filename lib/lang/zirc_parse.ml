@@ -10,6 +10,8 @@ type token =
   | EOF
 
 type lexed = { tok : token; line : int; col : int }
+type pos = { line : int; col : int }
+type stmt_pos = { pos : pos; sub : stmt_pos list list }
 
 exception Error of string
 
@@ -104,15 +106,10 @@ let cur p = p.toks.(p.pos)
 let tok p = (cur p).tok
 
 let perr p fmt =
-  let { line; col; _ } = cur p in
+  let ({ line; col; _ } : lexed) = cur p in
   err ~line ~col fmt
 
 let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
-
-let expect_punct p s =
-  match tok p with
-  | PUNCT x when x = s -> advance p
-  | _ -> perr p "expected %S" s
 
 let token_name = function
   | INT v -> Printf.sprintf "integer %d" v
@@ -120,6 +117,11 @@ let token_name = function
   | KW s -> Printf.sprintf "keyword %S" s
   | PUNCT s | OP s -> Printf.sprintf "%S" s
   | EOF -> "end of input"
+
+let expect_punct p s =
+  match tok p with
+  | PUNCT x when x = s -> advance p
+  | t -> perr p "expected %S, found %s" s (token_name t)
 
 (* expression builtins: name, arity, constructor *)
 let expr_builtin name args =
@@ -231,7 +233,12 @@ let stmt_builtin p name args =
   | "merkle_root", [ leaves; count ] -> Zirc.Merkle_root { leaves; count }
   | _ -> perr p "unknown statement %S (or wrong arity)" name
 
+(* Every statement parser also returns its source position (and those
+   of nested blocks) so lint findings can point at the offending
+   token; [parse] discards them, [parse_positioned] keeps them. *)
 let rec parse_stmt p =
+  let ({ line; col; _ } : lexed) = cur p in
+  let mk sub = { pos = { line; col }; sub } in
   match tok p with
   | KW "let" ->
     advance p;
@@ -245,7 +252,7 @@ let rec parse_stmt p =
     expect_punct p "=";
     let e = parse_expr p in
     expect_punct p ";";
-    Zirc.Let (name, e)
+    (Zirc.Let (name, e), mk [])
   | KW "mem" ->
     advance p;
     expect_punct p "[";
@@ -254,68 +261,70 @@ let rec parse_stmt p =
     expect_punct p "=";
     let v = parse_expr p in
     expect_punct p ";";
-    Zirc.Store (addr, v)
+    (Zirc.Store (addr, v), mk [])
   | KW "if" ->
     advance p;
     let cond = parse_expr p in
-    let then_b = parse_block p in
-    let else_b =
+    let then_b, then_p = parse_block p in
+    let else_b, else_p =
       match tok p with
       | KW "else" ->
         advance p;
         parse_block p
-      | _ -> []
+      | _ -> ([], [])
     in
-    Zirc.If (cond, then_b, else_b)
+    (Zirc.If (cond, then_b, else_b), mk [ then_p; else_p ])
   | KW "while" ->
     advance p;
     let cond = parse_expr p in
-    let body = parse_block p in
-    Zirc.While (cond, body)
+    let body, body_p = parse_block p in
+    (Zirc.While (cond, body), mk [ body_p ])
   | IDENT name when (p.toks.(p.pos + 1)).tok = PUNCT "(" ->
     advance p;
     let args = parse_args p in
     let s = stmt_builtin p name args in
     expect_punct p ";";
-    s
+    (s, mk [])
   | IDENT name ->
     advance p;
     expect_punct p "=";
     let e = parse_expr p in
     expect_punct p ";";
-    Zirc.Set (name, e)
+    (Zirc.Set (name, e), mk [])
   | t -> perr p "expected statement, found %s" (token_name t)
 
 and parse_block p =
   expect_punct p "{";
-  let rec go acc =
+  let rec go acc pacc =
     match tok p with
     | PUNCT "}" ->
       advance p;
-      List.rev acc
+      (List.rev acc, List.rev pacc)
     | EOF -> perr p "unterminated block"
     | _ ->
-      let s = parse_stmt p in
-      go (s :: acc)
+      let s, sp = parse_stmt p in
+      go (s :: acc) (sp :: pacc)
   in
-  go []
+  go [] []
 
-let parse src =
+let parse_positioned src =
   match
     let p = { toks = lex src; pos = 0 } in
     let rec go acc =
       match tok p with
       | EOF -> List.rev acc
       | _ ->
-        let s = parse_stmt p in
-        go (s :: acc)
+        let sp = parse_stmt p in
+        go (sp :: acc)
     in
     go []
   with
-  | program -> Ok program
+  | pairs -> Ok (List.map fst pairs, List.map snd pairs)
   | exception Error msg -> Error ("zirc parse: " ^ msg)
 
-let parse_file path =
+let parse src = Result.map fst (parse_positioned src)
+
+let read_file path =
   match
     let ic = open_in_bin path in
     let n = in_channel_length ic in
@@ -323,5 +332,9 @@ let parse_file path =
     close_in ic;
     s
   with
-  | src -> parse src
+  | src -> Ok src
   | exception Sys_error msg -> Error msg
+
+let parse_file path = Result.bind (read_file path) parse
+
+let parse_file_positioned path = Result.bind (read_file path) parse_positioned

@@ -25,8 +25,21 @@
     [leaf_hashes(entries,n,out,scratch)], [merkle_root(leaves,n)] as
     statements. *)
 
+type pos = { line : int; col : int }
+
+type stmt_pos = { pos : pos; sub : stmt_pos list list }
+(** Source position of one statement plus those of its nested blocks,
+    in the same shape as the AST: [If] carries [[then; else]], [While]
+    carries [[body]], leaf statements carry [[]]. *)
+
 val parse : string -> (Zirc.program, string) result
 (** Parse a full program. Errors carry line/column. *)
 
+val parse_positioned : string -> (Zirc.program * stmt_pos list, string) result
+(** Like {!parse}, also returning one {!stmt_pos} per top-level
+    statement so tooling (the lint) can point findings at source. *)
+
 val parse_file : string -> (Zirc.program, string) result
 (** Read and parse a file. *)
+
+val parse_file_positioned : string -> (Zirc.program * stmt_pos list, string) result

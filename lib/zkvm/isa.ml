@@ -46,7 +46,10 @@ let encode instr =
     Bytes.set_int64_be b 4 (Int64.of_int imm)
   in
   (match instr with
-   | Alu (op, rd, rs1, rs2) -> set ~op:1 ~f1:(alu_code op) ~f2:rd ~f3:((rs1 lsl 5) lor rs2) ~imm:rs1
+   (* rs2 rides in the (otherwise unused) immediate field: packing two
+      5-bit register numbers into one byte truncated rs1 ≥ 8, colliding
+      distinct instructions onto one encoding (and one image ID). *)
+   | Alu (op, rd, rs1, rs2) -> set ~op:1 ~f1:(alu_code op) ~f2:rd ~f3:rs1 ~imm:rs2
    | Alui (op, rd, rs1, imm) -> set ~op:2 ~f1:(alu_code op) ~f2:rd ~f3:rs1 ~imm
    | Lui (rd, imm) -> set ~op:3 ~f1:rd ~f2:0 ~f3:0 ~imm
    | Lw (rd, rs1, imm) -> set ~op:4 ~f1:rd ~f2:rs1 ~f3:0 ~imm
@@ -56,6 +59,96 @@ let encode instr =
    | Jalr (rd, rs1, imm) -> set ~op:8 ~f1:rd ~f2:rs1 ~f3:0 ~imm
    | Ecall -> set ~op:9 ~f1:0 ~f2:0 ~f3:0 ~imm:0);
   b
+
+let alu_of_code = function
+  | 0 -> Some ADD | 1 -> Some SUB | 2 -> Some MUL | 3 -> Some AND
+  | 4 -> Some OR | 5 -> Some XOR | 6 -> Some SLL | 7 -> Some SRL
+  | 8 -> Some SRA | 9 -> Some SLT | 10 -> Some SLTU | 11 -> Some DIVU
+  | 12 -> Some REMU | _ -> None
+
+let branch_of_code = function
+  | 0 -> Some BEQ | 1 -> Some BNE | 2 -> Some BLT | 3 -> Some BGE
+  | 4 -> Some BLTU | 5 -> Some BGEU | _ -> None
+
+(* Strict inverse of [encode]: unused field bytes must be zero and
+   register fields in range, so every 12-byte string decodes to at most
+   one instruction. *)
+let decode b =
+  if Bytes.length b <> 12 then
+    Error (Printf.sprintf "bad instruction length %d (want 12)" (Bytes.length b))
+  else begin
+    let op = Char.code (Bytes.get b 0) in
+    let f1 = Char.code (Bytes.get b 1) in
+    let f2 = Char.code (Bytes.get b 2) in
+    let f3 = Char.code (Bytes.get b 3) in
+    let imm = Int64.to_int (Bytes.get_int64_be b 4) in
+    let ( let* ) = Result.bind in
+    let reg what r =
+      if r >= 0 && r <= 31 then Ok r
+      else Error (Printf.sprintf "%s register %d out of range 0..31" what r)
+    in
+    let zero what v =
+      if v = 0 then Ok () else Error (Printf.sprintf "nonzero %s field %d" what v)
+    in
+    let alu what c =
+      match alu_of_code c with
+      | Some a -> Ok a
+      | None -> Error (Printf.sprintf "bad %s code %d" what c)
+    in
+    match op with
+    | 1 ->
+      let* o = alu "alu" f1 in
+      let* rd = reg "rd" f2 in
+      let* rs1 = reg "rs1" f3 in
+      let* rs2 = reg "rs2" imm in
+      Ok (Alu (o, rd, rs1, rs2))
+    | 2 ->
+      let* o = alu "alui" f1 in
+      let* rd = reg "rd" f2 in
+      let* rs1 = reg "rs1" f3 in
+      Ok (Alui (o, rd, rs1, imm))
+    | 3 ->
+      let* rd = reg "rd" f1 in
+      let* () = zero "f2" f2 in
+      let* () = zero "f3" f3 in
+      Ok (Lui (rd, imm))
+    | 4 ->
+      let* rd = reg "rd" f1 in
+      let* rs1 = reg "rs1" f2 in
+      let* () = zero "f3" f3 in
+      Ok (Lw (rd, rs1, imm))
+    | 5 ->
+      let* rs2 = reg "rs2" f1 in
+      let* rs1 = reg "rs1" f2 in
+      let* () = zero "f3" f3 in
+      Ok (Sw (rs2, rs1, imm))
+    | 6 ->
+      let* o =
+        match branch_of_code f1 with
+        | Some o -> Ok o
+        | None -> Error (Printf.sprintf "bad branch code %d" f1)
+      in
+      let* rs1 = reg "rs1" f2 in
+      let* rs2 = reg "rs2" f3 in
+      Ok (Branch (o, rs1, rs2, imm))
+    | 7 ->
+      let* rd = reg "rd" f1 in
+      let* () = zero "f2" f2 in
+      let* () = zero "f3" f3 in
+      Ok (Jal (rd, imm))
+    | 8 ->
+      let* rd = reg "rd" f1 in
+      let* rs1 = reg "rs1" f2 in
+      let* () = zero "f3" f3 in
+      Ok (Jalr (rd, rs1, imm))
+    | 9 ->
+      let* () = zero "f1" f1 in
+      let* () = zero "f2" f2 in
+      let* () = zero "f3" f3 in
+      let* () = zero "imm" imm in
+      Ok Ecall
+    | op -> Error (Printf.sprintf "bad opcode %d" op)
+  end
 
 let reg_name r =
   match r with

@@ -45,7 +45,15 @@ val registers_used : t -> reg option * reg option * reg option
     a0–a3 reads via {!Machine}, not here. *)
 
 val encode : t -> bytes
-(** Deterministic 12-byte encoding; only used to derive image IDs. *)
+(** Deterministic 12-byte encoding; only used to derive image IDs.
+    [rs2] of register-register ALU instructions travels in the
+    immediate field so every register field keeps its full range. *)
+
+val decode : bytes -> (t, string) result
+(** Strict inverse of {!encode}: rejects wrong lengths, unknown
+    opcodes/function codes, out-of-range register fields and nonzero
+    unused fields, so [decode (encode i) = Ok i] and every 12-byte
+    string decodes to at most one instruction. *)
 
 val reg_name : reg -> string
 (** ABI-style name ("zero", "ra", "a0", …). *)

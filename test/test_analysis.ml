@@ -1,0 +1,286 @@
+(* Static analyzer: every defect class caught on a bad guest and absent
+   from the corrected one; the built-in guests and the prover gate. *)
+
+module A = Zkflow_analysis
+module Finding = Zkflow_analysis.Finding
+module Isa = Zkflow_zkvm.Isa
+module Trace = Zkflow_zkvm.Trace
+module Program = Zkflow_zkvm.Program
+module Zirc = Zkflow_lang.Zirc
+open Zkflow_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let analyze instrs = A.check_instrs (Array.of_list instrs)
+
+let has ~severity r pass =
+  let pool =
+    match severity with `Error -> Finding.errors r | `Warning -> Finding.warnings r
+  in
+  List.exists (fun f -> f.Finding.pass = pass) pool
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* The terminal-halt idiom every assembled path ends with. *)
+let halt_seq = Isa.[ Lui (11, 0); Lui (10, 0); Ecall ]
+
+(* ---- ZR0 defect classes ---- *)
+
+let test_uninit_register () =
+  let bad = analyze (Isa.Alu (ADD, 5, 6, 0) :: halt_seq) in
+  check_bool "uninit read flagged" true (has ~severity:`Error bad "uninit");
+  let good = analyze (Isa.Lui (6, 7) :: Isa.Alu (ADD, 5, 6, 0) :: halt_seq) in
+  check_bool "initialized read ok" true (Finding.ok good)
+
+let test_oob_store () =
+  let bad = analyze (Isa.Lui (5, Trace.ram_limit) :: Isa.Sw (0, 5, 0) :: halt_seq) in
+  check_bool "store past RAM flagged" true (has ~severity:`Error bad "membounds");
+  let good =
+    analyze (Isa.Lui (5, Trace.ram_limit - 1) :: Isa.Sw (0, 5, 0) :: halt_seq)
+  in
+  check_bool "last word ok" true (Finding.ok good)
+
+let test_oob_load_via_offset () =
+  (* constant propagation must fold base+imm *)
+  let bad =
+    analyze (Isa.Lui (5, Trace.ram_limit - 1) :: Isa.Lw (6, 5, 1) :: halt_seq)
+  in
+  check_bool "folded address flagged" true (has ~severity:`Error bad "membounds")
+
+let test_unreachable_block () =
+  let bad = analyze (Isa.Jal (0, 3) :: Isa.Lui (5, 1) :: Isa.Lui (5, 2) :: halt_seq) in
+  check_bool "dead code warned" true (has ~severity:`Warning bad "unreachable");
+  check_bool "warning does not gate" true (Finding.ok bad);
+  let good = analyze (Isa.Lui (5, 1) :: halt_seq) in
+  check_bool "no dead code, no warning" false (has ~severity:`Warning good "unreachable")
+
+let test_fall_off_end () =
+  let bad = analyze [ Isa.Lui (5, 1) ] in
+  check_bool "fall-off flagged" true (has ~severity:`Error bad "control");
+  let good = analyze (Isa.Lui (5, 1) :: halt_seq) in
+  check_bool "terminal halt ok" true (Finding.ok good)
+
+let test_wild_jump () =
+  let bad = analyze (Isa.Jal (0, 999) :: halt_seq) in
+  check_bool "out-of-program jump flagged" true (has ~severity:`Error bad "control")
+
+let test_ecall_protocol () =
+  let bad = analyze (Isa.Lui (10, 9) :: Isa.Ecall :: halt_seq) in
+  check_bool "unknown ecall flagged" true (has ~severity:`Error bad "ecall");
+  let good = analyze (Isa.Lui (11, 1) :: Isa.Lui (10, 4) :: Isa.Ecall :: halt_seq) in
+  check_bool "debug ecall ok" true (Finding.ok good);
+  let uninit_arg = analyze (Isa.Lui (10, 4) :: Isa.Ecall :: halt_seq) in
+  check_bool "uninit ecall argument flagged" true
+    (has ~severity:`Error uninit_arg "uninit")
+
+let test_unbounded_loop () =
+  let bad =
+    analyze
+      (Isa.Lui (5, 10) :: Isa.Alui (ADD, 5, 5, -1) :: Isa.Branch (BNE, 5, 0, 1)
+      :: halt_seq)
+  in
+  (match bad.Finding.cycle_bound with
+   | Finding.Unbounded headers -> check_bool "loop header" true (List.mem 1 headers)
+   | Finding.Bounded _ -> Alcotest.fail "loop not detected");
+  let good = analyze (Isa.Lui (5, 1) :: halt_seq) in
+  match good.Finding.cycle_bound with
+  | Finding.Bounded n -> check_int "straight-line bound" 4 n
+  | Finding.Unbounded _ -> Alcotest.fail "acyclic program reported unbounded"
+
+let test_sha_cycle_weight () =
+  let r =
+    analyze
+      (Isa.Lui (11, 0x100) :: Isa.Lui (12, 16) :: Isa.Lui (13, 0x200)
+      :: Isa.Lui (10, 3) :: Isa.Ecall :: halt_seq)
+  in
+  match r.Finding.cycle_bound with
+  | Finding.Bounded n ->
+    check_int "sha rows counted" (8 + Trace.sha_block_count 16) n
+  | Finding.Unbounded _ -> Alcotest.fail "acyclic program reported unbounded"
+
+let test_call_return_precision () =
+  (* a loop counter in a callee-crossing register must not be flagged:
+     calls are function-local edges, not merges across call sites *)
+  let items =
+    Isa.
+      [
+        (* main *)
+        Lui (5, 0);               (* 0: t0 := 0 *)
+        Jal (1, 6);               (* 1: call helper *)
+        Alui (ADD, 5, 5, 1);      (* 2: t0 += 1 (uses t0 across the call) *)
+        Lui (11, 0);              (* 3 *)
+        Lui (10, 0);              (* 4 *)
+        Ecall;                    (* 5: halt *)
+        (* helper at 6 *)
+        Lui (6, 1);               (* 6 *)
+        Jalr (0, 1, 0);           (* 7: return *)
+      ]
+  in
+  let r = analyze items in
+  check_bool "no false uninit across call" true (Finding.ok r)
+
+let test_malformed_register () =
+  let bad = analyze (Isa.Alu (ADD, 40, 0, 0) :: halt_seq) in
+  check_bool "register out of range" true (has ~severity:`Error bad "wellformed")
+
+(* ---- Zirc lint ---- *)
+
+let zirc_check prog = A.check_zirc prog
+
+let test_zirc_use_before_assign () =
+  let bad =
+    Zirc.
+      [
+        If (Input_avail, [ Let ("y", Int 1) ], []);
+        Commit (Var "y");
+        Halt (Int 0);
+      ]
+  in
+  check_bool "use-before-assign flagged" true
+    (has ~severity:`Error (zirc_check bad) "zirc-assign");
+  let good =
+    Zirc.
+      [
+        Let ("y", Int 0);
+        If (Input_avail, [ Set ("y", Int 1) ], []);
+        Commit (Var "y");
+        Halt (Int 0);
+      ]
+  in
+  check_bool "assigned on all paths ok" true (Finding.ok (zirc_check good))
+
+let test_zirc_depth () =
+  let rec deep n = if n = 0 then Zirc.Int 1 else Zirc.Bin (Add, Int 1, deep (n - 1)) in
+  let bad = Zirc.[ Commit (deep 7); Halt (Int 0) ] in
+  check_bool "8-register expression flagged" true
+    (has ~severity:`Error (zirc_check bad) "zirc-depth");
+  let good = Zirc.[ Commit (deep 6); Halt (Int 0) ] in
+  check_bool "7-register expression ok" true (Finding.ok (zirc_check good))
+
+let test_zirc_dead_store_and_divzero () =
+  let p =
+    Zirc.
+      [
+        Let ("x", Int 1);
+        Commit (Var "x");
+        Set ("x", Bin (Divu, Var "x", Int 0));
+        Halt (Int 0);
+      ]
+  in
+  let r = zirc_check p in
+  check_bool "dead store warned" true (has ~severity:`Warning r "zirc-dead");
+  check_bool "division by zero warned" true (has ~severity:`Warning r "zirc-divzero");
+  check_bool "warnings do not gate" true (Finding.ok r)
+
+let test_zirc_scope () =
+  let dup = Zirc.[ Let ("x", Int 1); Let ("x", Int 2); Halt (Int 0) ] in
+  check_bool "shadowing flagged" true
+    (has ~severity:`Error (zirc_check dup) "zirc-scope");
+  let undecl = Zirc.[ Commit (Var "ghost"); Halt (Int 0) ] in
+  check_bool "undeclared flagged" true
+    (has ~severity:`Error (zirc_check undecl) "zirc-scope")
+
+let test_zirc_reserved_store () =
+  let bad = Zirc.[ Store (Int Zirc.locals_base, Int 1); Halt (Int 0) ] in
+  check_bool "write into locals region flagged" true
+    (has ~severity:`Error (zirc_check bad) "zirc-membounds")
+
+(* ---- built-in guests ---- *)
+
+let test_builtin_guests_clean () =
+  let agg = A.check ~subject:"aggregation" (Lazy.force Guests.aggregation_program) in
+  check_bool "aggregation guest has no defects" true (Finding.ok agg);
+  let q = A.check ~subject:"query" (Lazy.force Guests.query_program) in
+  check_bool "query guest has no defects" true (Finding.ok q);
+  (* both carry data-dependent loops: the bound must be honest *)
+  (match agg.Finding.cycle_bound with
+   | Finding.Unbounded (_ :: _) -> ()
+   | _ -> Alcotest.fail "aggregation guest should report unbounded loops");
+  (* the unused gl_copy_words runtime helper is dead code: warned, not
+     gated *)
+  check_bool "dead helper warned" true (has ~severity:`Warning agg "unreachable")
+
+let test_report_json () =
+  let r = analyze (Isa.Alu (ADD, 5, 6, 0) :: halt_seq) in
+  let js = Finding.report_json r in
+  check_bool "json has pass" true (contains ~sub:"\"pass\":\"uninit\"" js);
+  check_bool "json has severity" true (contains ~sub:"\"severity\":\"error\"" js)
+
+(* ---- the prover gate ---- *)
+
+let defective_program =
+  lazy (Program.of_instrs (Array.of_list (Isa.Alu (ADD, 5, 6, 0) :: halt_seq)))
+
+let test_gate_refuses () =
+  Unix.putenv "ZKFLOW_NO_ANALYZE" "";
+  match
+    Prover_service.prove_custom (Lazy.force defective_program) ~input:[||]
+  with
+  | Ok _ -> Alcotest.fail "defective guest was proved"
+  | Error msg ->
+    check_bool "mentions analysis" true (contains ~sub:"static analysis" msg);
+    check_bool "mentions override" true (contains ~sub:"ZKFLOW_NO_ANALYZE" msg)
+
+let test_gate_override () =
+  Unix.putenv "ZKFLOW_NO_ANALYZE" "1";
+  let result =
+    Prover_service.prove_custom (Lazy.force defective_program) ~input:[||]
+  in
+  Unix.putenv "ZKFLOW_NO_ANALYZE" "";
+  match result with
+  | Ok (receipt, run) ->
+    check_int "ran to completion" 0 run.Zkflow_zkvm.Machine.exit_code;
+    let program = Lazy.force defective_program in
+    (match Zkflow_zkproof.Verify.verify ~program receipt with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail ("receipt does not verify: " ^ e))
+  | Error e -> Alcotest.fail ("override did not bypass the gate: " ^ e)
+
+let test_gate_passes_clean_guest () =
+  Unix.putenv "ZKFLOW_NO_ANALYZE" "";
+  let clean = Program.of_instrs (Array.of_list (Isa.Lui (5, 1) :: halt_seq)) in
+  match Prover_service.prove_custom clean ~input:[||] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("clean guest refused: " ^ e)
+
+let () =
+  Alcotest.run "zkflow_analysis"
+    [
+      ( "zr0",
+        [
+          Alcotest.test_case "uninit register" `Quick test_uninit_register;
+          Alcotest.test_case "oob store" `Quick test_oob_store;
+          Alcotest.test_case "oob load via offset" `Quick test_oob_load_via_offset;
+          Alcotest.test_case "unreachable block" `Quick test_unreachable_block;
+          Alcotest.test_case "fall off end" `Quick test_fall_off_end;
+          Alcotest.test_case "wild jump" `Quick test_wild_jump;
+          Alcotest.test_case "ecall protocol" `Quick test_ecall_protocol;
+          Alcotest.test_case "unbounded loop" `Quick test_unbounded_loop;
+          Alcotest.test_case "sha cycle weight" `Quick test_sha_cycle_weight;
+          Alcotest.test_case "call/return precision" `Quick test_call_return_precision;
+          Alcotest.test_case "malformed register" `Quick test_malformed_register;
+        ] );
+      ( "zirc",
+        [
+          Alcotest.test_case "use before assign" `Quick test_zirc_use_before_assign;
+          Alcotest.test_case "expression depth" `Quick test_zirc_depth;
+          Alcotest.test_case "dead store, div zero" `Quick test_zirc_dead_store_and_divzero;
+          Alcotest.test_case "scope" `Quick test_zirc_scope;
+          Alcotest.test_case "reserved region store" `Quick test_zirc_reserved_store;
+        ] );
+      ( "guests",
+        [
+          Alcotest.test_case "built-ins are clean" `Quick test_builtin_guests_clean;
+          Alcotest.test_case "report json" `Quick test_report_json;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "refuses defective" `Quick test_gate_refuses;
+          Alcotest.test_case "env override" `Slow test_gate_override;
+          Alcotest.test_case "passes clean" `Slow test_gate_passes_clean_guest;
+        ] );
+    ]

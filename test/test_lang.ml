@@ -381,6 +381,43 @@ let test_parse_errors () =
   | Error e -> check_bool "has position" true (String.length e > 0 && String.contains e '2')
   | Ok _ -> Alcotest.fail "expected parse error"
 
+let test_parse_positions () =
+  let src = "let x = 1;\nwhile x < 3 {\n  x = x + 1;\n}\ncommit(x);\nhalt(0);\n" in
+  match Zirc_parse.parse_positioned src with
+  | Error e -> Alcotest.fail e
+  | Ok (prog, positions) ->
+    check_int "statement count" 4 (List.length prog);
+    check_int "position count" 4 (List.length positions);
+    let pos i =
+      let p = List.nth positions i in
+      (p.Zirc_parse.pos.Zirc_parse.line, p.Zirc_parse.pos.Zirc_parse.col)
+    in
+    Alcotest.(check (pair int int)) "let" (1, 1) (pos 0);
+    Alcotest.(check (pair int int)) "while" (2, 1) (pos 1);
+    Alcotest.(check (pair int int)) "commit" (5, 1) (pos 2);
+    Alcotest.(check (pair int int)) "halt" (6, 1) (pos 3);
+    (* the while carries its body's positions as a sub-block *)
+    match (List.nth positions 1).Zirc_parse.sub with
+    | [ [ body ] ] ->
+      Alcotest.(check (pair int int)) "loop body" (3, 3)
+        (body.Zirc_parse.pos.Zirc_parse.line, body.Zirc_parse.pos.Zirc_parse.col)
+    | _ -> Alcotest.fail "while should carry exactly one sub-block"
+
+let test_parse_error_position () =
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (match Zirc_parse.parse "let x 1;" with
+   | Error e ->
+     check_bool "line:col reported" true (contains ~sub:"1:7" e);
+     check_bool "expected token named" true (contains ~sub:"expected \"=\"" e)
+   | Ok _ -> Alcotest.fail "expected parse error");
+  match Zirc_parse.parse "let x = 1;\nlet y = ;" with
+  | Error e -> check_bool "second line reported" true (contains ~sub:"2:9" e)
+  | Ok _ -> Alcotest.fail "expected parse error"
+
 let test_parse_file_roundtrip () =
   let path = Filename.temp_file "zirc" ".zirc" in
   Fun.protect
@@ -458,6 +495,8 @@ let () =
           Alcotest.test_case "if/else" `Quick test_parse_if_else;
           Alcotest.test_case "builtin statements" `Quick test_parse_builtin_stmts;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "statement positions" `Quick test_parse_positions;
+          Alcotest.test_case "error positions" `Quick test_parse_error_position;
           Alcotest.test_case "file roundtrip" `Quick test_parse_file_roundtrip;
         ] );
     ]

@@ -396,6 +396,72 @@ let prop_alu_reference =
       let r = Machine.run p ~input:[||] in
       r.Machine.journal.(0) = expected)
 
+(* encode/decode: the round-trip property over the full instruction
+   space, plus the regression the property would have caught — Alu rs1
+   used to be packed into 5 bits of a shared byte, collapsing distinct
+   instructions (and image IDs) whenever rs1 >= 8. *)
+
+let gen_instr : Isa.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let imm =
+    frequency
+      [
+        (4, int_range (-0x8000_0000) 0xffff_ffff);
+        (1, oneofl [ 0; 1; -1; 0xffff_ffff; -0x8000_0000 ]);
+      ]
+  in
+  let alu =
+    oneofl
+      Isa.[ ADD; SUB; MUL; AND; OR; XOR; SLL; SRL; SRA; SLT; SLTU; DIVU; REMU ]
+  in
+  let br = oneofl Isa.[ BEQ; BNE; BLT; BGE; BLTU; BGEU ] in
+  oneof
+    [
+      map (fun ((op, rd), (rs1, rs2)) -> Isa.Alu (op, rd, rs1, rs2))
+        (pair (pair alu reg) (pair reg reg));
+      map (fun ((op, rd), (rs1, imm)) -> Isa.Alui (op, rd, rs1, imm))
+        (pair (pair alu reg) (pair reg imm));
+      map (fun (rd, imm) -> Isa.Lui (rd, imm)) (pair reg imm);
+      map (fun ((rd, rs1), imm) -> Isa.Lw (rd, rs1, imm)) (pair (pair reg reg) imm);
+      map (fun ((rs2, rs1), imm) -> Isa.Sw (rs2, rs1, imm)) (pair (pair reg reg) imm);
+      map (fun ((op, rs1), (rs2, tgt)) -> Isa.Branch (op, rs1, rs2, tgt))
+        (pair (pair br reg) (pair reg imm));
+      map (fun (rd, tgt) -> Isa.Jal (rd, tgt)) (pair reg imm);
+      map (fun ((rd, rs1), imm) -> Isa.Jalr (rd, rs1, imm)) (pair (pair reg reg) imm);
+      return Isa.Ecall;
+    ]
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"decode inverts encode" ~count:2000
+    (QCheck.make ~print:(Format.asprintf "%a" Isa.pp) gen_instr)
+    (fun i ->
+      match Isa.decode (Isa.encode i) with
+      | Ok j -> j = i
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let test_alu_encoding_injective () =
+  (* rs1 = 8 and rs2 = 8 swapped must produce different encodings *)
+  let a = Isa.encode (Isa.Alu (ADD, 1, 8, 0)) in
+  let b = Isa.encode (Isa.Alu (ADD, 1, 0, 8)) in
+  Alcotest.(check bool) "rs1/rs2 distinguished" false (Bytes.equal a b);
+  (* ... and so must image IDs of programs differing only there *)
+  let p rs1 rs2 = Program.of_instrs [| Isa.Alu (ADD, 1, rs1, rs2); Isa.Ecall |] in
+  Alcotest.(check bool) "image ids distinct" false
+    (Zkflow_hash.Digest32.equal
+       (Program.image_id (p 8 0))
+       (Program.image_id (p 0 8)))
+
+let test_decode_rejects_garbage () =
+  let bad b = match Isa.decode b with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "short input" true (bad (Bytes.create 5));
+  Alcotest.(check bool) "opcode 0" true (bad (Bytes.make 12 '\000'));
+  Alcotest.(check bool) "unknown opcode" true (bad (Bytes.make 12 '\255'));
+  (* a register field past 31 *)
+  let b = Isa.encode (Isa.Lui (0, 0)) in
+  Bytes.set b 1 (Char.chr 40);
+  Alcotest.(check bool) "register out of range" true (bad b)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "zkflow_zkvm"
@@ -476,5 +542,8 @@ let () =
           Alcotest.test_case "image id sensitive" `Quick test_image_id_sensitive;
           Alcotest.test_case "image id stable" `Quick test_image_id_stable;
           Alcotest.test_case "label validation" `Quick test_assemble_rejects_bad_labels;
+          Alcotest.test_case "alu encoding injective" `Quick test_alu_encoding_injective;
+          Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+          q prop_encode_decode_roundtrip;
         ] );
     ]
