@@ -2,7 +2,7 @@
 # bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
 # exercised even where the default would be sequential, plus the
 # static analyzer over the built-in guests and every example query.
-.PHONY: all build test check lint bench
+.PHONY: all build test check lint bench bench-smoke
 
 all: build
 
@@ -19,7 +19,21 @@ lint: build
 
 check: build lint
 	ZKFLOW_JOBS=2 dune runtest --force
+	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- sweep
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par
+
+# Tiny end-to-end pipeline under telemetry: simulate, prove with a
+# Chrome trace, then validate the trace against the trace_event schema
+# (ph/ts/pid/tid/name on every event, and enough distinct spans that
+# the trace says something). CI uploads the trace as an artifact.
+bench-smoke: build
+	rm -rf bench-smoke-state
+	dune exec bin/zkflow.exe -- simulate --dir bench-smoke-state \
+	  --routers 2 --flows 6 --rate 50 --duration 1000
+	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- prove --dir bench-smoke-state \
+	  --queries 8 --trace trace-smoke.json
+	dune exec bin/zkflow.exe -- trace-check trace-smoke.json --min-names 5
+	dune exec bin/zkflow.exe -- stats --dir bench-smoke-state --json
 
 bench:
 	dune exec bench/main.exe

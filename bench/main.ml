@@ -19,6 +19,9 @@ module Gen = Zkflow_netflow.Gen
 module Export = Zkflow_netflow.Export
 module Flowkey = Zkflow_netflow.Flowkey
 module Receipt = Zkflow_zkproof.Receipt
+module Pool = Zkflow_parallel.Pool
+module Jsonx = Zkflow_util.Jsonx
+module Obs = Zkflow_obs.Obs
 open Zkflow_core
 
 let time f =
@@ -37,7 +40,43 @@ let write_json path body =
   close_out oc;
   Printf.printf "   wrote %s\n%!" path
 
-let json_objects rows = "[\n  " ^ String.concat ",\n  " rows ^ "\n]"
+(* Every BENCH_*.json records the machine shape it was produced on, so
+   perf numbers are never compared across incomparable environments. *)
+let env_json () =
+  Jsonx.Obj
+    [
+      ("zkflow_jobs", Jsonx.Num (float_of_int (Pool.jobs ())));
+      ("ncores", Jsonx.Num (float_of_int (Domain.recommended_domain_count ())));
+      ("quick", Jsonx.Bool (quick ()));
+    ]
+
+let phases_json phases =
+  Jsonx.Obj
+    (List.map
+       (fun (name, (count, total_s)) ->
+         ( name,
+           Jsonx.Obj
+             [
+               ("count", Jsonx.Num (float_of_int count));
+               ("total_s", Jsonx.Num total_s);
+             ] ))
+       phases)
+
+let pool_json (s : Pool.stats) =
+  let num v = Jsonx.Num (float_of_int v) in
+  Jsonx.Obj
+    [
+      ("jobs", num s.Pool.jobs);
+      ("regions", num s.Pool.regions);
+      ("tasks", num s.Pool.tasks);
+      ("busy_ns", num s.Pool.busy_ns);
+      ("region_wall_ns", num s.Pool.region_wall_ns);
+      ("submit_wait_ns", num s.Pool.submit_wait_ns);
+      ("seq_regions", num s.Pool.seq_regions);
+      ("nested_seq", num s.Pool.nested_seq);
+      ("spawned_domains", num s.Pool.spawned_domains);
+      ("utilization", Jsonx.Num (Pool.utilization s));
+    ]
 
 let sizes () =
   if quick () then [ 50; 100; 500 ] else [ 50; 100; 500; 1000; 2000; 3000 ]
@@ -62,6 +101,8 @@ type sweep_row = {
   proof_bytes : int;       (* wrapped seal: constant *)
   journal_bytes : int;
   receipt_bytes : int;
+  phases : (string * (int * float)) list; (* span name -> count, total s *)
+  pool : Pool.stats;
 }
 
 let sweep_cache : (int, sweep_row) Hashtbl.t = Hashtbl.create 8
@@ -73,6 +114,10 @@ let run_size n =
     (* Level the heap between sizes so one size's garbage doesn't bill
        the next size's timings. *)
     Gc.compact ();
+    (* The whole size runs under telemetry: the same rows that time the
+       round also carry its phase breakdown and pool utilization. *)
+    Obs.reset ();
+    Obs.enable ();
     let rng = Zkflow_util.Rng.create (Int64.of_int (0xbe5c + n)) in
     let batches =
       List.init routers (fun r ->
@@ -119,6 +164,7 @@ let run_size n =
       | Ok w -> w
       | Error e -> failwith e
     in
+    Obs.disable ();
     let row =
       {
         n;
@@ -133,6 +179,8 @@ let run_size n =
         proof_bytes = Bytes.length wrapped.Zkflow_zkproof.Wrap.seal256;
         journal_bytes = Receipt.journal_size round.Aggregate.receipt;
         receipt_bytes = Receipt.size round.Aggregate.receipt;
+        phases = Obs.span_totals_s ();
+        pool = Pool.stats ();
       }
     in
     Hashtbl.replace sweep_cache n row;
@@ -152,15 +200,31 @@ let fig4 () =
         (1000. *. r.q_verify_s) (r.agg_exec_s +. r.q_exec_s))
     (sizes ());
   write_json "BENCH_fig4.json"
-    (json_objects
-       (List.map
-          (fun n ->
-            let r = run_size n in
-            Printf.sprintf
-              "{\"records\":%d,\"agg_cycles\":%d,\"agg_exec_s\":%.6f,\"agg_prove_s\":%.6f,\"agg_verify_s\":%.6f,\"q_cycles\":%d,\"q_exec_s\":%.6f,\"q_prove_s\":%.6f,\"q_verify_s\":%.6f}"
-              r.n r.agg_cycles r.agg_exec_s r.agg_prove_s r.agg_verify_s
-              r.q_cycles r.q_exec_s r.q_prove_s r.q_verify_s)
-          (sizes ())));
+    (Jsonx.to_string
+       (Jsonx.Obj
+          [
+            ("env", env_json ());
+            ( "rows",
+              Jsonx.Arr
+                (List.map
+                   (fun n ->
+                     let r = run_size n in
+                     Jsonx.Obj
+                       [
+                         ("records", Jsonx.Num (float_of_int r.n));
+                         ("agg_cycles", Jsonx.Num (float_of_int r.agg_cycles));
+                         ("agg_exec_s", Jsonx.Num r.agg_exec_s);
+                         ("agg_prove_s", Jsonx.Num r.agg_prove_s);
+                         ("agg_verify_s", Jsonx.Num r.agg_verify_s);
+                         ("q_cycles", Jsonx.Num (float_of_int r.q_cycles));
+                         ("q_exec_s", Jsonx.Num r.q_exec_s);
+                         ("q_prove_s", Jsonx.Num r.q_prove_s);
+                         ("q_verify_s", Jsonx.Num r.q_verify_s);
+                         ("phases", phases_json r.phases);
+                         ("pool", pool_json r.pool);
+                       ])
+                   (sizes ())) );
+          ]));
   print_endline "   shape checks: prove time grows with records; verification stays flat."
 
 let table1 () =
@@ -175,14 +239,26 @@ let table1 () =
         (float_of_int r.receipt_bytes /. 1024.))
     (sizes ());
   write_json "BENCH_table1.json"
-    (json_objects
-       (List.map
-          (fun n ->
-            let r = run_size n in
-            Printf.sprintf
-              "{\"records\":%d,\"proof_bytes\":%d,\"journal_bytes\":%d,\"receipt_bytes\":%d}"
-              r.n r.proof_bytes r.journal_bytes r.receipt_bytes)
-          (sizes ())));
+    (Jsonx.to_string
+       (Jsonx.Obj
+          [
+            ("env", env_json ());
+            ( "rows",
+              Jsonx.Arr
+                (List.map
+                   (fun n ->
+                     let r = run_size n in
+                     Jsonx.Obj
+                       [
+                         ("records", Jsonx.Num (float_of_int r.n));
+                         ("proof_bytes", Jsonx.Num (float_of_int r.proof_bytes));
+                         ("journal_bytes", Jsonx.Num (float_of_int r.journal_bytes));
+                         ("receipt_bytes", Jsonx.Num (float_of_int r.receipt_bytes));
+                         ("phases", phases_json r.phases);
+                         ("pool", pool_json r.pool);
+                       ])
+                   (sizes ())) );
+          ]));
   print_endline
     "   shape checks: proof constant (256 B); journal/receipt grow linearly."
 
@@ -279,6 +355,8 @@ let ablation_par () =
     List.map
       (fun j ->
         Pool.set_jobs j;
+        Obs.reset ();
+        Obs.enable ();
         let tree, merkle_s =
           best_of 3 (fun () -> Zkflow_merkle.Tree.of_leaf_hashes hs)
         in
@@ -316,14 +394,15 @@ let ablation_par () =
         let base_merkle_s =
           match !base with Some (_, _, _, t) -> t | None -> merkle_s
         in
+        Obs.disable ();
         Printf.printf "%6d %16.4f %16.3f %14.3f %9.2fx %10B\n%!" j merkle_s agg_s
           stark_s (base_merkle_s /. merkle_s) identical;
-        (j, merkle_s, agg_s, stark_s, identical))
+        (j, merkle_s, agg_s, stark_s, identical, Obs.span_totals_s (), Pool.stats ()))
       sweep
   in
   Pool.set_jobs saved_jobs;
   let find_t j =
-    List.find_map (fun (j', m, _, _, _) -> if j' = j then Some m else None) rows
+    List.find_map (fun (j', m, _, _, _, _, _) -> if j' = j then Some m else None) rows
   in
   (match (find_t 1, find_t 4) with
   | Some t1, Some t4 ->
@@ -331,16 +410,31 @@ let ablation_par () =
       ncores
   | _ -> ());
   write_json "BENCH_par.json"
-    (Printf.sprintf
-       "{\"leaves\":%d,\"shards\":%d,\"records\":%d,\"stark_rows\":%d,\"ncores\":%d,\"sweep\":%s}"
-       n_leaves shards n_rec stark_rows ncores
-       (json_objects
-          (List.map
-             (fun (j, m, a, s, id) ->
-               Printf.sprintf
-                 "{\"jobs\":%d,\"merkle_s\":%.6f,\"agg_wall_s\":%.6f,\"stark_s\":%.6f,\"identical\":%B}"
-                 j m a s id)
-             rows)));
+    (Jsonx.to_string
+       (Jsonx.Obj
+          [
+            ("leaves", Jsonx.Num (float_of_int n_leaves));
+            ("shards", Jsonx.Num (float_of_int shards));
+            ("records", Jsonx.Num (float_of_int n_rec));
+            ("stark_rows", Jsonx.Num (float_of_int stark_rows));
+            ("ncores", Jsonx.Num (float_of_int ncores));
+            ("env", env_json ());
+            ( "sweep",
+              Jsonx.Arr
+                (List.map
+                   (fun (j, m, a, s, id, phases, pool) ->
+                     Jsonx.Obj
+                       [
+                         ("jobs", Jsonx.Num (float_of_int j));
+                         ("merkle_s", Jsonx.Num m);
+                         ("agg_wall_s", Jsonx.Num a);
+                         ("stark_s", Jsonx.Num s);
+                         ("identical", Jsonx.Bool id);
+                         ("phases", phases_json phases);
+                         ("pool", pool_json pool);
+                       ])
+                   rows) );
+          ]));
   print_endline
     "   identical=true certifies bit-equal roots, receipts, and STARK proofs";
   print_endline "   across job counts — parallelism never changes what is proven."
@@ -711,6 +805,11 @@ let () =
   match target with
   | "fig4" -> fig4 ()
   | "table1" -> table1 ()
+  | "sweep" ->
+    (* fig4 + table1 in one process so the sweep cache is shared. *)
+    fig4 ();
+    print_newline ();
+    table1 ()
   | "tamper" -> tamper ()
   | "ablations" -> ablations ()
   | "par" -> ablation_par ()

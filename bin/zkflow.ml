@@ -21,6 +21,8 @@ module Ipaddr = Zkflow_netflow.Ipaddr
 module Topology = Zkflow_netflow.Topology
 module Receipt = Zkflow_zkproof.Receipt
 module Wire = Zkflow_util.Wire
+module Jsonx = Zkflow_util.Jsonx
+module Obs = Zkflow_obs.Obs
 open Zkflow_core
 
 let ( let* ) = Result.bind
@@ -46,6 +48,7 @@ let wal_path dir = dir // "rlogs.wal"
 let board_path dir = dir // "board.txt"
 let receipts_path dir = dir // "receipts.bin"
 let query_path dir = dir // "query.bin"
+let service_path dir = dir // "service.bin"
 
 let epoch_policy = Epoch.default
 
@@ -55,7 +58,7 @@ let simulate dir routers flows rate duration loss seed =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ wal_path dir; board_path dir; receipts_path dir; query_path dir ];
+    [ wal_path dir; board_path dir; receipts_path dir; query_path dir; service_path dir ];
   let db = Db.create ~wal_path:(wal_path dir) ~epoch:epoch_policy () in
   let board = Board.create () in
   let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
@@ -186,7 +189,7 @@ let prove_zirc ~params ~clog path =
          (List.map string_of_int (Array.to_list run.Zkflow_zkvm.Machine.journal)));
     Ok receipt
 
-let prove dir queries_n src dst metric op zirc =
+let prove_inner dir queries_n src dst metric op zirc =
   let* db, board = load_state dir in
   let params = Zkflow_zkproof.Params.make ~queries:queries_n in
   let service = Prover_service.create ~proof_params:params ~db ~board () in
@@ -205,6 +208,7 @@ let prove dir queries_n src dst metric op zirc =
   in
   let rounds = List.rev rounds in
   write_file (receipts_path dir) (encode_rounds rounds);
+  write_file (service_path dir) (Prover_service.save service);
   Printf.printf "receipts written to %s\n" (receipts_path dir);
   (* optional built-in query *)
   let* () =
@@ -227,6 +231,105 @@ let prove dir queries_n src dst metric op zirc =
     write_file (dir // "custom.bin") (Receipt.encode receipt);
     Printf.printf "custom receipt -> %s\n" (dir // "custom.bin");
     Ok ()
+
+let print_phase_totals () =
+  match Obs.span_totals_s () with
+  | [] -> ()
+  | totals ->
+    Printf.printf "phase totals:\n";
+    List.iter
+      (fun (name, (count, s)) -> Printf.printf "  %-24s %6dx %9.3fs\n" name count s)
+      totals
+
+let prove dir queries_n src dst metric op zirc trace_out =
+  let tracing = trace_out <> None in
+  if tracing then begin
+    Obs.reset ();
+    Obs.enable ()
+  end;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> if tracing then Obs.disable ())
+      (fun () -> prove_inner dir queries_n src dst metric op zirc)
+  in
+  match (result, trace_out) with
+  | Ok (), Some path ->
+    Obs.write_trace path;
+    Printf.printf "trace written to %s (chrome://tracing or ui.perfetto.dev)\n" path;
+    print_phase_totals ();
+    Ok ()
+  | r, _ -> r
+
+(* ---- stats ---- *)
+
+let stats dir json =
+  let* db, board = load_state dir in
+  let* bytes =
+    match read_file (service_path dir) with
+    | Ok b -> Ok b
+    | Error _ ->
+      Error
+        (Printf.sprintf "%s: not found (run `zkflow prove --dir %s` first)"
+           (service_path dir) dir)
+  in
+  let* service = Prover_service.load ~db ~board bytes in
+  if json then print_endline (Prover_service.summary_json service)
+  else begin
+    let clog = Prover_service.clog service in
+    let summaries = Prover_service.summaries service in
+    Printf.printf "%d aggregation round(s); CLog root %s (%d entries)\n"
+      (List.length summaries) (D.short (Clog.root clog)) (Clog.length clog);
+    List.iter
+      (fun (s : Prover_service.round_summary) ->
+        Printf.printf "  round %d: %7d entries, %9d cycles, root %s%s\n" s.index
+          s.entries s.cycles
+          (String.sub s.root 0 12)
+          (if s.restored then " (restored)"
+           else Printf.sprintf ", proved in %.2fs" s.prove_s))
+      summaries
+  end;
+  Ok ()
+
+(* ---- trace-check ---- *)
+
+(* Validate a Chrome trace_event file the way a consumer would: parse
+   the JSON, require the schema keys on every complete event, and
+   demand enough distinct span names that the trace is actually
+   informative. *)
+let trace_check path min_names =
+  let* bytes = read_file path in
+  let* v = Jsonx.parse (Bytes.to_string bytes) in
+  let* events =
+    match v with
+    | Jsonx.Arr events -> Ok events
+    | _ -> Error (path ^ ": expected a top-level JSON array of trace events")
+  in
+  let required = [ "ph"; "ts"; "pid"; "tid"; "name" ] in
+  let names = Hashtbl.create 16 in
+  let* () =
+    let rec go i = function
+      | [] -> Ok ()
+      | e :: rest -> (
+        match List.find_opt (fun k -> Jsonx.member k e = None) required with
+        | Some k -> Error (Printf.sprintf "%s: event %d: missing key %S" path i k)
+        | None ->
+          (match Jsonx.member "name" e with
+          | Some (Jsonx.Str n) -> Hashtbl.replace names n ()
+          | _ -> ());
+          go (i + 1) rest)
+    in
+    go 0 events
+  in
+  let distinct = Hashtbl.length names in
+  if distinct < min_names then
+    Error
+      (Printf.sprintf "%s: only %d distinct span name(s), need >= %d" path
+         distinct min_names)
+  else begin
+    Printf.printf "%s: %d event(s), %d distinct span name(s) — ok\n" path
+      (List.length events) distinct;
+    Ok ()
+  end
 
 (* ---- lint ---- *)
 
@@ -359,12 +462,43 @@ let prove_cmd =
     Arg.(value & opt (some string) None & info [ "zirc" ]
            ~doc:"Custom query: a Zirc source file run against the latest CLog.")
   in
-  let run dir queries src dst metric op zirc =
-    handle (prove dir queries src dst metric op zirc)
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record telemetry and write a Chrome trace_event JSON file \
+                 (open in chrome://tracing or ui.perfetto.dev).")
+  in
+  let run dir queries src dst metric op zirc trace =
+    handle (prove dir queries src dst metric op zirc trace)
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Aggregate every epoch under proof; optionally prove a query.")
-    Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc)
+    Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc $ trace)
+
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let run dir json = handle (stats dir json) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Summarize the saved prover state: per-round entries, cycles, \
+             timings, and whether a round was restored from disk.")
+    Term.(const run $ dir_arg $ json)
+
+let trace_check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Chrome trace_event JSON file to validate.")
+  in
+  let min_names =
+    Arg.(value & opt int 1 & info [ "min-names" ]
+           ~doc:"Fail unless the trace has at least this many distinct span names.")
+  in
+  let run file min_names = handle (trace_check file min_names) in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a trace file against the Chrome trace_event schema.")
+    Term.(const run $ file $ min_names)
 
 let lint_cmd =
   let json =
@@ -395,4 +529,7 @@ let () =
     Cmd.info "zkflow" ~version:"1.0.0"
       ~doc:"Verifiable network telemetry without special-purpose hardware."
   in
-  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; prove_cmd; lint_cmd; verify_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ simulate_cmd; prove_cmd; lint_cmd; verify_cmd; stats_cmd; trace_check_cmd ]))

@@ -62,20 +62,10 @@ let pp_report ppf r =
   Format.fprintf ppf "  %d error(s), %d warning(s)@."
     (List.length (errors r)) (List.length (warnings r))
 
-(* Dependency-free JSON emission for `zkflow lint --json`. *)
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON emission for `zkflow lint --json`; escaping is the shared
+   Zkflow_util.Jsonx helper so every machine-readable output in the
+   tree escapes identically. *)
+let json_escape = Zkflow_util.Jsonx.escape
 
 let finding_json f =
   Printf.sprintf {|{"severity":"%s","pass":"%s","loc":"%s","message":"%s"}|}

@@ -2,6 +2,7 @@ module D = Zkflow_hash.Digest32
 module Machine = Zkflow_zkvm.Machine
 module Prove = Zkflow_zkproof.Prove
 module Receipt = Zkflow_zkproof.Receipt
+module Obs = Zkflow_obs
 
 type round = {
   receipt : Receipt.t;
@@ -10,6 +11,7 @@ type round = {
   cycles : int;
   execute_s : float;
   prove_s : float;
+  restored : bool;
 }
 
 let ( let* ) = Result.bind
@@ -23,8 +25,14 @@ let guest_failure code =
   | n -> Printf.sprintf "aggregation guest: unexpected exit code %d" n
 
 let execute ~prev batches =
+  let t0 = Obs.Span.start () in
+  let finish r =
+    if t0 <> 0 then Obs.Span.finish "agg.execute" t0;
+    r
+  in
   let input = Guests.aggregation_input ~prev ~batches in
   let program = Lazy.force Guests.aggregation_program in
+  finish @@
   match Machine.run ~trace:true program ~input with
   | exception Machine.Trap { reason; cycle; pc } ->
     Error (Printf.sprintf "aggregation guest trapped at cycle %d pc %d: %s" cycle pc reason)
@@ -62,14 +70,20 @@ let cross_check ~prev ~batches (journal : Guests.agg_journal) =
 let now () = Unix.gettimeofday ()
 
 let prove_round ?params ~prev batches =
+  let t_round = Obs.Span.start () in
   let t0 = now () in
   let* run = execute ~prev batches in
   let t1 = now () in
   let program = Lazy.force Guests.aggregation_program in
+  let t_prove = Obs.Span.start () in
   let* receipt = Prove.prove_result ?params program run in
+  if t_prove <> 0 then Obs.Span.finish "agg.prove" ~args:[ ("cycles", run.Machine.cycles) ] t_prove;
   let t2 = now () in
+  let t_check = Obs.Span.start () in
   let* journal = Guests.parse_aggregation_journal run.Machine.journal in
   let* clog = cross_check ~prev ~batches journal in
+  if t_check <> 0 then Obs.Span.finish "agg.check" t_check;
+  if t_round <> 0 then Obs.Span.finish "agg.round" t_round;
   Ok
     {
       receipt;
@@ -78,6 +92,7 @@ let prove_round ?params ~prev batches =
       cycles = run.Machine.cycles;
       execute_s = t1 -. t0;
       prove_s = t2 -. t1;
+      restored = false;
     }
 
 let prove_partitioned ?params ~prev ~partitions batches =

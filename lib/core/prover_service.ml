@@ -1,6 +1,8 @@
 module Db = Zkflow_store.Db
 module Board = Zkflow_commitlog.Board
 module Commitment = Zkflow_commitlog.Commitment
+module Obs = Zkflow_obs
+module Jsonx = Zkflow_util.Jsonx
 
 type t = {
   proof_params : Zkflow_zkproof.Params.t;
@@ -41,6 +43,7 @@ let publish_epoch t ~epoch =
   go [] (Db.routers t.db)
 
 let aggregate_epoch t ~epoch =
+  let t_fetch = Obs.Span.start () in
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
     | router_id :: rest -> (
@@ -54,13 +57,21 @@ let aggregate_epoch t ~epoch =
         let records = Db.window t.db ~router_id ~epoch in
         collect ((c.Commitment.batch, records) :: acc) rest)
   in
-  let* batches = collect [] (Db.routers t.db) in
-  let* () =
+  let batches = collect [] (Db.routers t.db) in
+  if t_fetch <> 0 then Obs.Span.finish "round.fetch" t_fetch;
+  let* batches = batches in
+  let t_gate = Obs.Span.start () in
+  let gated =
     gate ~subject:"aggregation guest" (Lazy.force Guests.aggregation_program)
   in
-  let* round =
+  if t_gate <> 0 then Obs.Span.finish "round.gate" t_gate;
+  let* () = gated in
+  let t_agg = Obs.Span.start () in
+  let round =
     Aggregate.prove_round ~params:t.proof_params ~prev:t.clog batches
   in
+  if t_agg <> 0 then Obs.Span.finish "round.aggregate" ~args:[ ("epoch", epoch) ] t_agg;
+  let* round = round in
   t.clog <- round.Aggregate.clog;
   t.rounds_rev <- round :: t.rounds_rev;
   Ok round
@@ -156,12 +167,59 @@ let load ?proof_params ~db ~board bytes =
               cycles;
               execute_s = 0.;
               prove_s = 0.;
+              restored = true;
             })
       in
       let t = create ?proof_params ~db ~board () in
       t.clog <- clog;
       t.rounds_rev <- List.rev rounds;
       t)
+
+(* ---- round summaries ---- *)
+
+type round_summary = {
+  index : int;
+  entries : int;
+  root : string;
+  cycles : int;
+  execute_s : float;
+  prove_s : float;
+  restored : bool;
+}
+
+let summarize_round i (r : Aggregate.round) =
+  {
+    index = i;
+    entries = Clog.length r.Aggregate.clog;
+    root = Zkflow_hash.Digest32.to_hex (Clog.root r.Aggregate.clog);
+    cycles = r.Aggregate.cycles;
+    execute_s = r.Aggregate.execute_s;
+    prove_s = r.Aggregate.prove_s;
+    restored = r.Aggregate.restored;
+  }
+
+let summaries t = List.mapi summarize_round (rounds t)
+
+let summary_json t =
+  let round_obj s =
+    Jsonx.Obj
+      [
+        ("index", Jsonx.Num (float_of_int s.index));
+        ("entries", Jsonx.Num (float_of_int s.entries));
+        ("root", Jsonx.Str s.root);
+        ("cycles", Jsonx.Num (float_of_int s.cycles));
+        ("execute_s", Jsonx.Num s.execute_s);
+        ("prove_s", Jsonx.Num s.prove_s);
+        ("restored", Jsonx.Bool s.restored);
+      ]
+  in
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("entries", Jsonx.Num (float_of_int (Clog.length t.clog)));
+         ("root", Jsonx.Str (Zkflow_hash.Digest32.to_hex (Clog.root t.clog)));
+         ("rounds", Jsonx.Arr (List.map round_obj (summaries t)));
+       ])
 
 let query t params =
   let* () = gate ~subject:"query guest" (Lazy.force Guests.query_program) in

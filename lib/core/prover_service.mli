@@ -34,6 +34,24 @@ val aggregate_epoch : t -> epoch:int -> (Aggregate.round, string) result
     error if a window was never published), and the guest re-derives
     and checks everything. On success the service state advances. *)
 
+type round_summary = {
+  index : int;       (** 0-based round number *)
+  entries : int;     (** CLog length after the round *)
+  root : string;     (** post-round CLog root, hex *)
+  cycles : int;      (** guest cycles *)
+  execute_s : float; (** guest execution wall time (0 when restored) *)
+  prove_s : float;   (** proving wall time (0 when restored) *)
+  restored : bool;   (** round came from {!load}, not proved here *)
+}
+
+val summaries : t -> round_summary list
+(** Per-round digest of the service history, oldest first — the
+    backing data of [zkflow stats]. *)
+
+val summary_json : t -> string
+(** {!summaries} plus the current root/length as one JSON object
+    (keys [entries], [root], [rounds]). *)
+
 val query : t -> Guests.query_params -> (Query.result_row, string) result
 (** Prove a query against the latest CLog. *)
 
@@ -61,8 +79,10 @@ val load :
   board:Zkflow_commitlog.Board.t ->
   bytes ->
   (t, string) result
-(** Inverse of {!save}; wall-clock timings of restored rounds read 0.
-    Fails on malformed bytes or receipts. *)
+(** Inverse of {!save}; restored rounds carry
+    [Aggregate.restored = true] and their wall-clock timings read 0,
+    so reporting never mistakes a deserialized round for one proved in
+    this process. Fails on malformed bytes or receipts. *)
 
 type disclosure = {
   indices : int list;                 (** CLog positions, ascending *)

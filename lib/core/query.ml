@@ -61,12 +61,15 @@ let execute ~clog params =
 let now () = Unix.gettimeofday ()
 
 let prove ?params:proof_params ~clog params =
+  let t_q = Zkflow_obs.Span.start () in
   let t0 = now () in
   let* run = execute ~clog params in
   let t1 = now () in
   let program = Lazy.force Guests.query_program in
   let* receipt = Zkflow_zkproof.Prove.prove_result ?params:proof_params program run in
   let t2 = now () in
+  if t_q <> 0 then
+    Zkflow_obs.Span.finish "query.prove" ~args:[ ("cycles", run.Machine.cycles) ] t_q;
   let* journal = Guests.parse_query_journal run.Machine.journal in
   let* () =
     if D.equal journal.Guests.root (Clog.root clog) then Ok ()

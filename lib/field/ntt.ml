@@ -1,5 +1,10 @@
 module F = Babybear
 
+(* A size-n transform performs (n/2)·log2 n butterflies; counting them
+   in bulk per call keeps the inner loop untouched. *)
+let m_transforms = Zkflow_obs.Metric.counter "ntt.transforms"
+let m_butterflies = Zkflow_obs.Metric.counter "ntt.butterflies"
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let log2 n =
@@ -29,6 +34,10 @@ let transform root a =
   let n = Array.length a in
   if n = 1 then ()
   else begin
+    if Zkflow_obs.Control.on () then begin
+      Zkflow_obs.Metric.add m_transforms 1;
+      Zkflow_obs.Metric.add m_butterflies (n / 2 * log2 n)
+    end;
     bit_reverse_permute a;
     let len = ref 2 in
     while !len <= n do

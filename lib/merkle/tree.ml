@@ -1,5 +1,10 @@
 module D = Zkflow_hash.Digest32
 module Pool = Zkflow_parallel.Pool
+module Obs = Zkflow_obs
+
+(* Interior + leaf hashes; [sha256.compressions] counts blocks, this
+   counts Merkle nodes, so the ratio exposes padding overhead. *)
+let m_nodes = Obs.Metric.counter "merkle.nodes_hashed"
 
 (* All levels live in one flat buffer of 32-byte slots: the padded leaf
    level first, then each parent level, ending with the root. For a
@@ -41,7 +46,8 @@ let hash_range buf ~src ~dst lo hi =
     Zkflow_hash.Sha256.update_sub ctx buf ~pos:(32 * (src + (2 * i))) ~len:64;
     let h = Zkflow_hash.Sha256.finalize ctx in
     Bytes.blit h 0 buf (32 * (dst + i)) 32
-  done
+  done;
+  Obs.Metric.add m_nodes (hi - lo)
 
 (* Workers write disjoint 32-byte parent slots, so a level can be
    hashed in parallel chunks. Small top levels fall under the chunk
@@ -55,6 +61,7 @@ let build_levels buf level_off depth =
   done
 
 let of_leaf_hashes hs =
+  let t0 = Obs.Span.start () in
   let n = Array.length hs in
   let padded = next_pow2 n in
   let depth = log2 padded in
@@ -71,6 +78,7 @@ let of_leaf_hashes hs =
     Bytes.blit (D.unsafe_to_bytes d) 0 buf (32 * i) 32
   done;
   build_levels buf level_off depth;
+  if t0 <> 0 then Obs.Span.finish "merkle.build" ~args:[ ("leaves", n) ] t0;
   { buf; level_off; size = n; depth }
 
 let of_leaves data =
@@ -87,7 +95,8 @@ let of_leaves data =
           Zkflow_hash.Sha256.update ctx leaf_domain;
           Zkflow_hash.Sha256.update ctx data.(i);
           hs.(i) <- D.of_bytes (Zkflow_hash.Sha256.finalize ctx)
-        done);
+        done;
+        Obs.Metric.add m_nodes (hi - lo));
     of_leaf_hashes hs
   end
 
@@ -117,6 +126,7 @@ let prove t i =
   { Proof.index = i; siblings }
 
 let root_of_leaf_hashes hs =
+  let t0 = Obs.Span.start () in
   let n = Array.length hs in
   let padded = next_pow2 n in
   let buf = Bytes.create (32 * padded) in
@@ -138,9 +148,11 @@ let root_of_leaf_hashes hs =
           Zkflow_hash.Sha256.update_sub ctx s ~pos:(64 * i) ~len:64;
           let h = Zkflow_hash.Sha256.finalize ctx in
           Bytes.blit h 0 d (32 * i) 32
-        done);
+        done;
+        Obs.Metric.add m_nodes (hi - lo));
     src := d;
     dst := s;
     width := !width / 2
   done;
+  if t0 <> 0 then Obs.Span.finish "merkle.root" ~args:[ ("leaves", n) ] t0;
   D.of_bytes (Bytes.sub !src 0 32)

@@ -1,0 +1,4 @@
+external now_ns : unit -> int = "zkflow_obs_now_ns" [@@noalloc]
+
+let ns_to_s ns = float_of_int ns *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3

@@ -1,0 +1,17 @@
+(** Monotonic clock, nanosecond resolution.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a C stub that
+    returns a tagged int — reading the clock never allocates, which
+    is what lets span instrumentation sit on proving hot paths. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed origin (typically boot).
+    Strictly non-decreasing; never 0 in practice, which the span
+    layer uses as its "disabled" sentinel. *)
+
+val ns_to_s : int -> float
+(** Convenience: nanoseconds to seconds. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds to (fractional) microseconds — the unit of Chrome
+    [trace_event] timestamps. *)

@@ -1,0 +1,3 @@
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let set b = Atomic.set enabled b

@@ -1,0 +1,17 @@
+(** The global telemetry switch.
+
+    Lives below {!Metric} and {!Span} so instrumented modules (and the
+    recorders themselves) can branch on it without a dependency cycle.
+    When the switch is off every instrumentation site reduces to a
+    branch on this flag: no allocation, no clock read, no locking —
+    the differential tests in [test_obs.ml] rely on the disabled path
+    being observationally inert. *)
+
+val on : unit -> bool
+(** True when telemetry is being recorded. Reads one [Atomic.t]; safe
+    from any domain. *)
+
+val set : bool -> unit
+(** Flip the switch. Flipping mid-workload is allowed (spans opened
+    while enabled still close; sites started while disabled stay
+    silent) but metrics recorded across the flip are partial. *)

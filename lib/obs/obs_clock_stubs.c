@@ -1,0 +1,20 @@
+/* Monotonic clock for the telemetry layer.
+
+   Returns nanoseconds since an arbitrary epoch as a tagged OCaml int
+   (no allocation, so the external can be [@@noalloc]): 2^62 ns is
+   ~146 years of uptime, far beyond any CLOCK_MONOTONIC value. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value zkflow_obs_now_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,110 @@
+type evt = {
+  name : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+  parent : int;
+  args : (string * int) list;
+}
+
+(* Recorded at [finish] with parent = -1; the enclosing span is still
+   open then, so parents are reconstructed in [events] from interval
+   nesting (spans on one domain close LIFO, so a stack sweep over the
+   open-time order is exact). *)
+let lock = Mutex.create ()
+let buf : evt list ref = ref []
+let count = ref 0
+
+let start () = if Control.on () then Clock.now_ns () else 0
+
+let finish ?(args = []) name t0 =
+  if t0 <> 0 && Control.on () then begin
+    let now = Clock.now_ns () in
+    let e =
+      {
+        name;
+        ts_ns = t0;
+        dur_ns = now - t0;
+        tid = (Domain.self () :> int);
+        parent = -1;
+        args;
+      }
+    in
+    Mutex.lock lock;
+    buf := e :: !buf;
+    incr count;
+    Mutex.unlock lock
+  end
+
+let with_span name f =
+  let t0 = start () in
+  match f () with
+  | v ->
+    finish name t0;
+    v
+  | exception e ->
+    finish name t0;
+    raise e
+
+let events () =
+  Mutex.lock lock;
+  let l = !buf in
+  Mutex.unlock lock;
+  let a = Array.of_list l in
+  (* Open-time order; on ties the longer (outer) span first. *)
+  Array.sort
+    (fun a b ->
+      match Int.compare a.ts_ns b.ts_ns with
+      | 0 -> Int.compare b.dur_ns a.dur_ns
+      | c -> c)
+    a;
+  let stacks : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let out =
+    Array.mapi
+      (fun i e ->
+        let stack =
+          match Hashtbl.find_opt stacks e.tid with
+          | Some s -> s
+          | None ->
+            let s = ref [] in
+            Hashtbl.add stacks e.tid s;
+            s
+        in
+        let e_end = e.ts_ns + e.dur_ns in
+        let rec pop () =
+          match !stack with
+          | (_, fin) :: rest when fin <= e.ts_ns ->
+            stack := rest;
+            pop ()
+          | _ -> ()
+        in
+        pop ();
+        let parent =
+          match !stack with
+          | (pi, fin) :: _ when e_end <= fin -> pi
+          | _ -> -1
+        in
+        stack := (i, e_end) :: !stack;
+        { e with parent })
+      a
+  in
+  Array.to_list out
+
+let totals () =
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  Mutex.lock lock;
+  let l = !buf in
+  Mutex.unlock lock;
+  List.iter
+    (fun e ->
+      let n, t = Option.value (Hashtbl.find_opt tbl e.name) ~default:(0, 0) in
+      Hashtbl.replace tbl e.name (n + 1, t + e.dur_ns))
+    l;
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.lock lock;
+  buf := [];
+  count := 0;
+  Mutex.unlock lock

@@ -1,0 +1,44 @@
+(** Hierarchical wall-clock spans.
+
+    A span is opened with {!start} (which returns the raw monotonic
+    timestamp as an unboxed [int] — 0 when telemetry is disabled) and
+    closed with {!finish}, which records a completed event carrying
+    the owning domain's id. Nesting is implicit: spans on the same
+    domain that overlap in time render as a stack in Perfetto /
+    [chrome://tracing], and {!events} exposes the per-domain parent
+    index for programmatic consumers.
+
+    Cost model: [start] is a branch plus (when enabled) one clock
+    read; [finish] with [t0 = 0] is a branch. Sites that attach [args]
+    should guard on [t0 <> 0] so the list is never allocated on the
+    disabled path. *)
+
+type evt = {
+  name : string;
+  ts_ns : int;    (** monotonic open timestamp *)
+  dur_ns : int;
+  tid : int;      (** recording domain id *)
+  parent : int;   (** index into {!events} of the enclosing span on
+                      the same domain, or [-1] at top level *)
+  args : (string * int) list;
+}
+
+val start : unit -> int
+(** Current monotonic time, or [0] while telemetry is disabled. *)
+
+val finish : ?args:(string * int) list -> string -> int -> unit
+(** [finish name t0] records a completed span opened at [t0]. A no-op
+    when [t0 = 0] or telemetry has been disabled since. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Scoped convenience for non-hot sites; exception-safe. *)
+
+val events : unit -> evt list
+(** Completed spans in chronological (open-time) order. *)
+
+val totals : unit -> (string * (int * int)) list
+(** Per-name aggregate over {!events}: [(name, (count, total_ns))],
+    sorted by name. Nested spans each contribute their full duration
+    (a parent's total includes its children). *)
+
+val reset : unit -> unit

@@ -5,6 +5,22 @@
    pairs give the happens-before edges that make buffer writes from
    workers visible to the submitter after the region drains. *)
 
+module Obs = Zkflow_obs
+
+(* Pool telemetry (recorded only while Zkflow_obs is enabled). Busy
+   time accumulates per-domain in DLS cells, so workers never contend
+   on a shared counter inside a region. *)
+let m_tasks = Obs.Metric.counter "pool.tasks"
+let m_busy = Obs.Metric.counter "pool.busy_ns"
+let m_regions = Obs.Metric.counter "pool.regions"
+let m_region_wall = Obs.Metric.counter "pool.region_wall_ns"
+let m_submit_wait = Obs.Metric.counter "pool.submit_wait_ns"
+let m_seq_regions = Obs.Metric.counter "pool.seq_regions"
+let m_nested_seq = Obs.Metric.counter "pool.nested_seq"
+let m_spawned = Obs.Metric.counter "pool.spawned_domains"
+let h_region_chunks = Obs.Metric.histogram "pool.region_chunks"
+let h_region_items = Obs.Metric.histogram "pool.region_items"
+
 type pool = {
   size : int; (* total parallelism, submitter included *)
   lock : Mutex.t;
@@ -57,12 +73,17 @@ let jobs () =
   j
 
 let run_chunk p body c =
+  let t0 = Obs.Span.start () in
   (match body c with
   | () -> ()
   | exception e ->
     Mutex.lock p.lock;
     if p.error = None then p.error <- Some e;
     Mutex.unlock p.lock);
+  if t0 <> 0 then begin
+    Obs.Metric.add m_busy (Obs.Clock.now_ns () - t0);
+    Obs.Metric.add m_tasks 1
+  end;
   Mutex.lock p.lock;
   p.live <- p.live - 1;
   if p.live = 0 then begin
@@ -116,6 +137,7 @@ let spawn_pool size =
     }
   in
   p.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker p));
+  Obs.Metric.add m_spawned (size - 1);
   if not !exit_hook_installed then begin
     exit_hook_installed := true;
     at_exit (fun () ->
@@ -153,6 +175,7 @@ let set_jobs n =
 
 let run_region p ~chunks body =
   Mutex.lock submit;
+  let t_region = Obs.Span.start () in
   Domain.DLS.set inside true;
   Mutex.lock p.lock;
   p.body <- Some body;
@@ -173,22 +196,37 @@ let run_region p ~chunks body =
     end
   in
   help ();
+  let t_wait = Obs.Span.start () in
   while p.live > 0 do
     Condition.wait p.drained p.lock
   done;
+  if t_wait <> 0 then Obs.Metric.add m_submit_wait (Obs.Clock.now_ns () - t_wait);
   let err = p.error in
   p.error <- None;
   Mutex.unlock p.lock;
   Domain.DLS.set inside false;
+  if t_region <> 0 then begin
+    Obs.Metric.add m_regions 1;
+    Obs.Metric.add m_region_wall (Obs.Clock.now_ns () - t_region);
+    Obs.Metric.observe h_region_chunks chunks;
+    Obs.Span.finish "pool.region" ~args:[ ("chunks", chunks) ] t_region
+  end;
   Mutex.unlock submit;
   match err with Some e -> raise e | None -> ()
 
 let parallel_for ?(min_chunk = 256) n body =
   if n > 0 then begin
     let min_chunk = max 1 min_chunk in
-    if jobs () <= 1 || Domain.DLS.get inside || n < 2 * min_chunk then body 0 n
+    if jobs () <= 1 || Domain.DLS.get inside || n < 2 * min_chunk then begin
+      if Obs.Control.on () then begin
+        if Domain.DLS.get inside then Obs.Metric.add m_nested_seq 1
+        else Obs.Metric.add m_seq_regions 1
+      end;
+      body 0 n
+    end
     else begin
       let p = get_pool () in
+      if Obs.Control.on () then Obs.Metric.observe h_region_items n;
       (* Over-decompose a little so uneven chunks load-balance. *)
       let chunks = min (4 * p.size) (n / min_chunk) in
       let chunk_size = (n + chunks - 1) / chunks in
@@ -211,3 +249,33 @@ let init_array ?min_chunk n f =
   end
 
 let map_array ?min_chunk f a = init_array ?min_chunk (Array.length a) (fun i -> f a.(i))
+
+type stats = {
+  jobs : int;
+  regions : int;
+  tasks : int;
+  busy_ns : int;
+  region_wall_ns : int;
+  submit_wait_ns : int;
+  seq_regions : int;
+  nested_seq : int;
+  spawned_domains : int;
+}
+
+let stats () =
+  {
+    jobs = jobs ();
+    regions = Obs.Metric.value m_regions;
+    tasks = Obs.Metric.value m_tasks;
+    busy_ns = Obs.Metric.value m_busy;
+    region_wall_ns = Obs.Metric.value m_region_wall;
+    submit_wait_ns = Obs.Metric.value m_submit_wait;
+    seq_regions = Obs.Metric.value m_seq_regions;
+    nested_seq = Obs.Metric.value m_nested_seq;
+    spawned_domains = Obs.Metric.value m_spawned;
+  }
+
+let utilization s =
+  if s.region_wall_ns <= 0 || s.jobs <= 0 then 0.
+  else
+    float_of_int s.busy_ns /. (float_of_int s.jobs *. float_of_int s.region_wall_ns)

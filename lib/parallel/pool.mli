@@ -48,3 +48,35 @@ val init_array : ?min_chunk:int -> int -> (int -> 'a) -> 'a array
 
 val map_array : ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map], with the same contract as [init_array]. *)
+
+(** {2 Telemetry}
+
+    The pool records utilization metrics through {!Zkflow_obs} when
+    telemetry is enabled: per-chunk busy time (accumulated per domain,
+    ["pool.busy_ns"]), region count/wall time, the submitter's
+    residual drain wait, chunk-size histograms, sequential-fallback
+    counters (["pool.seq_regions"] for small-[n]/1-job regions,
+    ["pool.nested_seq"] for nested regions that degraded), and worker
+    domains spawned. When telemetry is disabled all of it costs one
+    branch per region/chunk. *)
+
+type stats = {
+  jobs : int;             (** configured parallelism *)
+  regions : int;          (** pooled regions run *)
+  tasks : int;            (** chunks executed (including ones that raised) *)
+  busy_ns : int;          (** summed in-chunk time across domains *)
+  region_wall_ns : int;   (** summed region wall-clock *)
+  submit_wait_ns : int;   (** submitter time blocked on region drain *)
+  seq_regions : int;      (** regions that ran sequentially (small / 1 job) *)
+  nested_seq : int;       (** nested regions that degraded to sequential *)
+  spawned_domains : int;  (** worker domains created (rebuilds add up) *)
+}
+
+val stats : unit -> stats
+(** Snapshot of the pool metrics recorded since the last
+    [Zkflow_obs.Obs.reset]. All zeros while telemetry is disabled. *)
+
+val utilization : stats -> float
+(** [busy_ns / (jobs × region_wall_ns)] — 1.0 means every
+    participating domain was busy for the whole of every region; 0
+    when no pooled region ran. *)

@@ -6,6 +6,9 @@ module Proof = Zkflow_merkle.Proof
 module T = Zkflow_hash.Transcript
 module D = Zkflow_hash.Digest32
 module Pool = Zkflow_parallel.Pool
+module Obs = Zkflow_obs
+
+let m_fold_rounds = Obs.Metric.counter "fri.fold_rounds"
 
 type query_step = {
   pos : Fp2.t;
@@ -92,6 +95,7 @@ let prove ~transcript ~domain ~degree_bound ~queries values =
   let v = ref values and shift = ref domain.Domain.shift and size = ref m0 in
   let log = ref domain.Domain.log_size in
   while !size > final_size do
+    let t_fold = Obs.Span.start () in
     let leaves = Pool.map_array ~min_chunk:2048 Fp2.to_bytes !v in
     let tree = Tree.of_leaves leaves in
     T.absorb_digest transcript ~label:"fri.layer" (Tree.root tree);
@@ -108,6 +112,10 @@ let prove ~transcript ~domain ~degree_bound ~queries values =
     layers := (tree, !v) :: !layers;
     v := folded;
     shift := F.mul !shift !shift;
+    if t_fold <> 0 then begin
+      Obs.Metric.add m_fold_rounds 1;
+      Obs.Span.finish "fri.fold" ~args:[ ("size", !size) ] t_fold
+    end;
     size := half;
     log := !log - 1
   done;

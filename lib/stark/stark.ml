@@ -7,6 +7,7 @@ module MProof = Zkflow_merkle.Proof
 module T = Zkflow_hash.Transcript
 module D = Zkflow_hash.Digest32
 module Pool = Zkflow_parallel.Pool
+module Obs = Zkflow_obs
 
 type trace_opening = { index : int; leaf : bytes; path : MProof.t }
 
@@ -114,12 +115,14 @@ let prove ?(queries = default_queries) air trace =
     Error "stark: trace length must be a power of two >= 8"
   else begin
     let* () = Air.check_trace air trace in
+    let t_prove = Obs.Span.start () in
     let blowup = blowup_for air in
     let m = blowup * n in
     let lde = Domain.coset ~log_size:(Ntt.log2 m) ~shift:F.generator in
     let omega = F.root_of_unity (Ntt.log2 n) in
     (* Interpolate columns over the trace subgroup, extend to the LDE
        coset. *)
+    let t_lde = Obs.Span.start () in
     let values =
       (* Columns extend independently; each NTT works on its own copy. *)
       Pool.init_array ~min_chunk:1 air.Air.width (fun c ->
@@ -128,14 +131,19 @@ let prove ?(queries = default_queries) air trace =
           let padded = Array.append coeffs (Array.make (m - n) F.zero) in
           Ntt.forward_coset ~shift:F.generator padded)
     in
+    if t_lde <> 0 then
+      Obs.Span.finish "stark.lde" ~args:[ ("columns", air.Air.width); ("m", m) ] t_lde;
+    let t_commit = Obs.Span.start () in
     let leaves = Pool.init_array ~min_chunk:1024 m (leaf_of_row air.Air.width values) in
     let tree = Tree.of_leaves leaves in
+    if t_commit <> 0 then Obs.Span.finish "stark.commit" ~args:[ ("rows", m) ] t_commit;
     let transcript = T.create ~domain:"zkflow.stark.v1" in
     absorb_statement transcript air ~n ~blowup ~queries;
     T.absorb_digest transcript ~label:"trace_root" (Tree.root tree);
     let gammas, deltas = draw_randomizers transcript air in
     let boundary = Air.resolve_boundary air ~trace_length:n in
     let lde_elements = Domain.elements lde in
+    let t_comp = Obs.Span.start () in
     let comp =
       Pool.init_array ~min_chunk:256 m (fun i ->
           let row = Array.init air.Air.width (fun c -> values.(c).(i)) in
@@ -143,9 +151,13 @@ let prove ?(queries = default_queries) air trace =
           composition_at air ~gammas ~deltas ~boundary ~omega ~n
             ~x:lde_elements.(i) row next)
     in
+    if t_comp <> 0 then Obs.Span.finish "stark.composition" ~args:[ ("rows", m) ] t_comp;
     let dbound = degree_bound air ~n in
+    let t_fri = Obs.Span.start () in
     let fri = Fri.prove ~transcript ~domain:lde ~degree_bound:dbound ~queries comp in
+    if t_fri <> 0 then Obs.Span.finish "stark.fri" t_fri;
     (* Trace openings for each query's two composition points. *)
+    let t_open = Obs.Span.start () in
     let open_at i = { index = i; leaf = leaves.(i); path = Tree.prove tree i } in
     let trace_openings =
       Array.map
@@ -160,6 +172,8 @@ let prove ?(queries = default_queries) air trace =
           |])
         fri.Fri.queries
     in
+    if t_open <> 0 then Obs.Span.finish "stark.openings" t_open;
+    if t_prove <> 0 then Obs.Span.finish "stark.prove" ~args:[ ("n", n) ] t_prove;
     Ok { trace_length = n; blowup; trace_root = Tree.root tree; fri; trace_openings }
   end
 

@@ -1,0 +1,243 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quote s = "\"" ^ escape s ^ "\""
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* %.17g is the shortest format that round-trips every float; integral
+   values print without a spurious fraction. *)
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Num f -> num_to_string f
+  | Str s -> quote s
+  | Arr vs -> "[" ^ String.concat "," (List.map to_string vs) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> quote k ^ ":" ^ to_string v) fields)
+    ^ "}"
+
+exception Bad of int * string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Bad (c.pos, msg))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && (match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c ("expected " ^ word)
+
+let hex4 c =
+  if c.pos + 4 > String.length c.src then fail c "truncated \\u escape";
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match c.src.[c.pos] with
+      | '0' .. '9' as x -> Char.code x - Char.code '0'
+      | 'a' .. 'f' as x -> Char.code x - Char.code 'a' + 10
+      | 'A' .. 'F' as x -> Char.code x - Char.code 'A' + 10
+      | _ -> fail c "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d;
+    c.pos <- c.pos + 1
+  done;
+  !v
+
+(* Minimal UTF-8 encode: enough to give \uXXXX escapes a byte
+   representation; surrogate pairs are not recombined. *)
+let add_codepoint b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+      c.pos <- c.pos + 1;
+      (match peek c with
+      | None -> fail c "truncated escape"
+      | Some e ->
+        c.pos <- c.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' -> add_codepoint b (hex4 c)
+        | _ -> fail c "unknown escape"));
+      go ()
+    | Some ch when Char.code ch < 0x20 -> fail c "raw control character in string"
+    | Some ch ->
+      Buffer.add_char b ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let consume pred =
+    while
+      c.pos < String.length c.src && pred c.src.[c.pos]
+    do
+      c.pos <- c.pos + 1
+    done
+  in
+  if peek c = Some '-' then c.pos <- c.pos + 1;
+  let digits0 = c.pos in
+  consume (function '0' .. '9' -> true | _ -> false);
+  if c.pos = digits0 then fail c "expected digit";
+  if peek c = Some '.' then begin
+    c.pos <- c.pos + 1;
+    let d = c.pos in
+    consume (function '0' .. '9' -> true | _ -> false);
+    if c.pos = d then fail c "expected fraction digit"
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+    c.pos <- c.pos + 1;
+    (match peek c with Some ('+' | '-') -> c.pos <- c.pos + 1 | _ -> ());
+    let d = c.pos in
+    consume (function '0' .. '9' -> true | _ -> false);
+    if c.pos = d then fail c "expected exponent digit"
+  | _ -> ());
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some f -> f
+  | None -> fail c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      Arr (elements [])
+    end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let parse src =
+  let c = { src; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length src then
+      Error (Printf.sprintf "json: trailing garbage at byte %d" c.pos)
+    else Ok v
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "json: %s at byte %d" msg pos)
+
+let validate src = Result.map (fun _ -> ()) (parse src)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None

@@ -1,0 +1,45 @@
+(** Dependency-free JSON emission and validation helpers.
+
+    One escaping implementation shared by every machine-readable
+    output in the tree ([zkflow lint --json], [zkflow stats --json],
+    the Chrome-trace exporter, the bench JSON artifacts), plus a
+    small recursive-descent parser used to {e check} that emitted
+    output is well-formed — tests and [zkflow trace-check] parse what
+    the emitters print, so an escaping bug fails loudly instead of
+    producing a file Perfetto rejects. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between JSON double quotes:
+    ["\""], ["\\"], and control characters (as [\n]/[\t]/[\uXXXX]).
+    Bytes [>= 0x20] other than the two specials pass through
+    unchanged, so arbitrary OCaml strings round-trip byte-for-byte
+    through {!escape} then {!parse}. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes — a complete
+    JSON string literal. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Serialize (compact, no whitespace). [Num] values that are integral
+    print without a fraction; NaN/infinity are not representable in
+    JSON and will not round-trip. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document (one value, surrounded only by
+    whitespace). Strings decode the standard escapes; [\uXXXX] below
+    [0x80] decodes to the raw byte, larger code points to their UTF-8
+    encoding. Errors carry a byte offset. *)
+
+val validate : string -> (unit, string) result
+(** [Ok ()] iff the input is a well-formed JSON document. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on other values. *)

@@ -4,6 +4,7 @@ module Trace = Zkflow_zkvm.Trace
 module Tree = Zkflow_merkle.Tree
 module D = Zkflow_hash.Digest32
 module Fp2 = Zkflow_field.Fp2
+module Obs = Zkflow_obs
 
 let open_at tree leaves i =
   { Receipt.index = i; leaf = leaves.(i); path = Tree.prove tree i }
@@ -26,7 +27,9 @@ let prove_result ?(params = Params.default) program (run : Machine.result) =
     in
     let rows = run.Machine.rows and memlog = run.Machine.memlog in
     let n_rows = Array.length rows and n_mem = Array.length memlog in
+    let t_prove = Obs.Span.start () in
     (* Phase 1 commitments. *)
+    let t_commit = Obs.Span.start () in
     let map_leaves f a = Zkflow_parallel.Pool.map_array ~min_chunk:2048 f a in
     let row_leaves = map_leaves Trace.encode_row rows in
     let rows_tree = Tree.of_leaves row_leaves in
@@ -44,6 +47,8 @@ let prove_result ?(params = Params.default) program (run : Machine.result) =
         rows
     in
     let jacc_tree = Tree.of_leaves jacc_leaves in
+    if t_commit <> 0 then
+      Obs.Span.finish "zkproof.trace_commit" ~args:[ ("rows", n_rows); ("mem", n_mem) ] t_commit;
     (* Phase 2 (inside the transcript callback so ordering is right). *)
     let z_time_tree = ref None and z_sorted_tree = ref None in
     let z_time_leaves = ref [||] and z_sorted_leaves = ref [||] in
@@ -58,17 +63,20 @@ let prove_result ?(params = Params.default) program (run : Machine.result) =
       z_sorted_tree := Some ts;
       (Tree.root tt, Tree.root ts)
     in
+    let t_fs = Obs.Span.start () in
     let challenges, root_z_time, root_z_sorted =
       Fs.derive ~claim ~queries:params.Params.queries ~n_rows ~n_mem
         ~root_rows:(Tree.root rows_tree) ~root_time:(Tree.root time_tree)
         ~root_sorted:(Tree.root sorted_tree) ~root_jacc:(Tree.root jacc_tree)
         ~commit_z
     in
+    if t_fs <> 0 then Obs.Span.finish "zkproof.fs" t_fs;
     let { Fs.step_idx; sorted_idx; zt_idx; zs_idx; _ } = challenges in
     let z_time_tree = Option.get !z_time_tree in
     let z_sorted_tree = Option.get !z_sorted_tree in
     let z_time_leaves = !z_time_leaves and z_sorted_leaves = !z_sorted_leaves in
     (* Openings. *)
+    let t_open = Obs.Span.start () in
     let steps =
       Array.map
         (fun i ->
@@ -121,6 +129,9 @@ let prove_result ?(params = Params.default) program (run : Machine.result) =
         z_sorted_last = open_at z_sorted_tree z_sorted_leaves (n_mem - 1);
       }
     in
+    if t_open <> 0 then Obs.Span.finish "zkproof.openings" t_open;
+    if t_prove <> 0 then
+      Obs.Span.finish "zkproof.prove" ~args:[ ("rows", n_rows) ] t_prove;
     Ok
       {
         Receipt.claim;

@@ -1,5 +1,12 @@
 exception Trap of { cycle : int; pc : int; reason : string }
 
+(* Guest-side cost counters. Cycles are added in bulk when a run ends
+   (including on trap), so the fetch/execute loop stays branch-free;
+   ecall and SHA-block counts attribute accelerator usage. *)
+let m_cycles = Zkflow_obs.Metric.counter "zkvm.cycles"
+let m_ecalls = Zkflow_obs.Metric.counter "zkvm.ecalls"
+let m_sha_blocks = Zkflow_obs.Metric.counter "zkvm.sha_blocks"
+
 type result = {
   exit_code : int;
   cycles : int;
@@ -133,6 +140,7 @@ let exec_sha st ~src ~total ~dst =
   if src < 0 || src + total > Trace.ram_limit then trap st "sha: src out of range";
   if dst < 0 || dst + 8 > Trace.ram_limit then trap st "sha: dst out of range";
   let blocks = Trace.sha_block_count total in
+  Zkflow_obs.Metric.add m_sha_blocks blocks;
   let state = ref (Array.copy Zkflow_hash.Sha256.iv) in
   for b = 0 to blocks - 1 do
     let mem_pos = st.memlog.Dyn.len in
@@ -217,6 +225,7 @@ let step st instr =
     st.pc <- next;
     Continue
   | Ecall ->
+    Zkflow_obs.Metric.add m_ecalls 1;
     let n = reg_read st 10 in
     let a1 = reg_read st 11 in
     let a2 = reg_read st 12 in
@@ -283,7 +292,18 @@ let run ?(trace = false) ?(max_cycles = 50_000_000) program ~input =
       | Continue -> loop ()
       | Halted code -> code)
   in
-  let exit_code = loop () in
+  let t_run = Zkflow_obs.Span.start () in
+  let exit_code =
+    match loop () with
+    | code -> code
+    | exception e ->
+      (* Trapped runs still account their cycles. *)
+      Zkflow_obs.Metric.add m_cycles st.cycle;
+      if t_run <> 0 then Zkflow_obs.Span.finish "zkvm.run" ~args:[ ("cycles", st.cycle) ] t_run;
+      raise e
+  in
+  Zkflow_obs.Metric.add m_cycles st.cycle;
+  if t_run <> 0 then Zkflow_obs.Span.finish "zkvm.run" ~args:[ ("cycles", st.cycle) ] t_run;
   {
     exit_code;
     cycles = st.cycle;

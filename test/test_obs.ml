@@ -1,0 +1,279 @@
+(* Telemetry subsystem tests.
+
+   The load-bearing property is the differential one: proving with
+   telemetry enabled yields bit-identical receipts and CLog roots to
+   proving with it disabled — observation never changes what is
+   proven. The rest covers the metric/span primitives, the exporters
+   (parsed back through Jsonx so escaping bugs fail here, not in
+   Perfetto), and the restored-round marker of the service state. *)
+
+module Obs = Zkflow_obs.Obs
+module Metric = Zkflow_obs.Metric
+module Span = Zkflow_obs.Span
+module Export = Zkflow_obs.Export
+module Jsonx = Zkflow_util.Jsonx
+module D = Zkflow_hash.Digest32
+module Gen = Zkflow_netflow.Gen
+module Export_nf = Zkflow_netflow.Export
+open Zkflow_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let digest = Alcotest.testable D.pp D.equal
+let params = Zkflow_zkproof.Params.make ~queries:8
+
+(* ---- differential: telemetry never changes proof outputs ---- *)
+
+let bench_batches () =
+  let rng = Zkflow_util.Rng.create 0x0b5e7L in
+  let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:16 in
+  [ (Export_nf.batch_hash records, records) ]
+
+let prove_once () =
+  match Aggregate.prove_round ~params ~prev:Clog.empty (bench_batches ()) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_differential_receipts () =
+  Obs.disable ();
+  let off = prove_once () in
+  let on = Obs.with_enabled prove_once in
+  check_bool "receipt bit-identical" true
+    (Zkflow_zkproof.Receipt.encode off.Aggregate.receipt
+    = Zkflow_zkproof.Receipt.encode on.Aggregate.receipt);
+  Alcotest.check digest "clog root identical" (Clog.root off.Aggregate.clog)
+    (Clog.root on.Aggregate.clog);
+  Alcotest.check digest "journal new_root identical"
+    off.Aggregate.journal.Guests.new_root on.Aggregate.journal.Guests.new_root;
+  check_int "cycles identical" off.Aggregate.cycles on.Aggregate.cycles
+
+(* ---- metric primitives ---- *)
+
+let test_counter_disabled_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  let c = Metric.counter "test.noop" in
+  Metric.add c 41;
+  check_int "disabled add ignored" 0 (Metric.value c);
+  check_int "disabled span start is 0" 0 (Span.start ())
+
+let test_counter_multidomain () =
+  Obs.with_enabled (fun () ->
+      let c = Metric.counter "test.multidomain" in
+      let workers =
+        Array.init 3 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 1000 do
+                  Metric.add c 1
+                done))
+      in
+      Array.iter Domain.join workers;
+      Metric.add c 5;
+      check_int "cells sum across domains" 3005 (Metric.value c))
+
+let test_histogram_buckets () =
+  Obs.with_enabled (fun () ->
+      let h = Metric.histogram "test.hist" in
+      List.iter (Metric.observe h) [ 1; 2; 3; 1000; 0 ];
+      let s = Metric.snapshot h in
+      check_int "count" 5 s.Metric.count;
+      check_int "sum" 1006 s.Metric.sum;
+      check_int "max" 1000 s.Metric.max_value;
+      (* cumulative: the last bucket holds everything *)
+      match List.rev s.Metric.buckets with
+      | (_, n) :: _ -> check_int "cumulative tail" 5 n
+      | [] -> Alcotest.fail "no buckets")
+
+let test_reset_zeroes () =
+  Obs.with_enabled (fun () ->
+      let c = Metric.counter "test.reset" in
+      Metric.add c 7;
+      ignore (Span.with_span "test.reset_span" (fun () -> ()));
+      Obs.reset ();
+      check_int "counter zeroed" 0 (Metric.value c);
+      check_int "spans dropped" 0 (List.length (Span.events ())))
+
+(* ---- spans: nesting and parent reconstruction ---- *)
+
+let test_span_parents () =
+  Obs.with_enabled (fun () ->
+      Span.with_span "outer" (fun () ->
+          Span.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1))));
+  let events = Span.events () in
+  check_int "two spans" 2 (List.length events);
+  let outer_idx, inner =
+    match events with
+    | [ a; b ] when a.Span.name = "outer" -> (0, b)
+    | [ a; b ] when b.Span.name = "outer" -> (1, a)
+    | _ -> Alcotest.fail "expected outer+inner"
+  in
+  check_int "inner's parent is outer" outer_idx inner.Span.parent
+
+let test_span_totals () =
+  Obs.with_enabled (fun () ->
+      Span.with_span "t" (fun () -> ());
+      Span.with_span "t" (fun () -> ()));
+  match List.assoc_opt "t" (Span.totals ()) with
+  | Some (count, total_ns) ->
+    check_int "count" 2 count;
+    check_bool "total >= 0" true (total_ns >= 0)
+  | None -> Alcotest.fail "span total missing"
+
+(* ---- exporters ---- *)
+
+(* Force a real pool: on a single-core box the default is jobs=1 and
+   every region would take the sequential path, leaving no pool.region
+   span to assert on. *)
+let with_jobs j f =
+  let module Pool = Zkflow_parallel.Pool in
+  let saved = Pool.jobs () in
+  Pool.set_jobs j;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs saved) f
+
+let run_traced_round () =
+  with_jobs 2 (fun () ->
+      Obs.reset ();
+      Obs.enable ();
+      let r = prove_once () in
+      Obs.disable ();
+      r)
+
+let test_trace_json_schema () =
+  ignore (run_traced_round ());
+  let trace = Export.trace_json () in
+  let v =
+    match Jsonx.parse trace with
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("trace does not parse: " ^ e)
+  in
+  let events =
+    match v with Jsonx.Arr l -> l | _ -> Alcotest.fail "trace not an array"
+  in
+  check_bool "has events" true (events <> []);
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          check_bool (Printf.sprintf "event has %S" k) true
+            (Jsonx.member k e <> None))
+        [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+      match Jsonx.member "name" e with
+      | Some (Jsonx.Str n) -> Hashtbl.replace names n ()
+      | _ -> Alcotest.fail "name not a string")
+    events;
+  check_bool "at least 5 distinct span names" true (Hashtbl.length names >= 5);
+  (* the acceptance spans: zkvm + merkle + parallel + proof layers *)
+  List.iter
+    (fun n ->
+      check_bool (n ^ " present") true (Hashtbl.mem names n))
+    [ "zkvm.run"; "merkle.build"; "pool.region"; "zkproof.prove"; "agg.round" ]
+
+let test_stats_json_parses () =
+  ignore (run_traced_round ());
+  (match Jsonx.parse (Export.stats_json ()) with
+  | Ok (Jsonx.Obj fields) ->
+    List.iter
+      (fun k -> check_bool (k ^ " present") true (List.mem_assoc k fields))
+      [ "counters"; "histograms"; "spans" ]
+  | Ok _ -> Alcotest.fail "stats not an object"
+  | Error e -> Alcotest.fail ("stats does not parse: " ^ e));
+  (* the headline counters moved *)
+  let counters = Metric.counters () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name counters with
+      | Some v -> check_bool (name ^ " > 0") true (v > 0)
+      | None -> Alcotest.fail (name ^ " not registered"))
+    [ "sha256.compressions"; "merkle.nodes_hashed"; "zkvm.cycles" ]
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_prometheus_mentions_metrics () =
+  ignore (run_traced_round ());
+  let text = Export.prometheus () in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " in prometheus dump") true (contains ~needle text))
+    [ "zkflow_sha256_compressions"; "zkflow_span_seconds_total" ]
+
+(* ---- restored marker through save/load ---- *)
+
+let test_restored_round_marker () =
+  Obs.disable ();
+  let d = Zkflow.deploy ~proof_params:params () in
+  let rng = Zkflow_util.Rng.create 77L in
+  let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:6 in
+  Array.iter (fun r -> Zkflow_store.Db.insert d.Zkflow.db r) records;
+  let epoch = List.hd (Zkflow_store.Db.epochs d.Zkflow.db) in
+  (match Prover_service.publish_epoch d.Zkflow.service ~epoch with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let round =
+    match Prover_service.aggregate_epoch d.Zkflow.service ~epoch with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "fresh round not restored" false round.Aggregate.restored;
+  let bytes = Prover_service.save d.Zkflow.service in
+  let loaded =
+    match
+      Prover_service.load ~proof_params:params ~db:d.Zkflow.db
+        ~board:d.Zkflow.board bytes
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  (match Prover_service.rounds loaded with
+  | [ r ] ->
+    check_bool "loaded round restored" true r.Aggregate.restored;
+    Alcotest.check digest "loaded root" (Clog.root round.Aggregate.clog)
+      (Clog.root r.Aggregate.clog)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 round, got %d" (List.length rs)));
+  (match Prover_service.summaries loaded with
+  | [ s ] ->
+    check_bool "summary restored flag" true s.Prover_service.restored;
+    check_int "summary entries" (Clog.length round.Aggregate.clog)
+      s.Prover_service.entries
+  | _ -> Alcotest.fail "expected 1 summary");
+  match Jsonx.parse (Prover_service.summary_json loaded) with
+  | Ok v ->
+    check_bool "summary_json has rounds" true (Jsonx.member "rounds" v <> None)
+  | Error e -> Alcotest.fail ("summary_json does not parse: " ^ e)
+
+let () =
+  Alcotest.run "zkflow_obs"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "receipts identical on/off" `Quick
+            test_differential_receipts;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_counter_disabled_noop;
+          Alcotest.test_case "counter sums across domains" `Quick
+            test_counter_multidomain;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "reset zeroes" `Quick test_reset_zeroes;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "parent reconstruction" `Quick test_span_parents;
+          Alcotest.test_case "totals" `Quick test_span_totals;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace_event schema" `Quick test_trace_json_schema;
+          Alcotest.test_case "stats json" `Quick test_stats_json_parses;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_mentions_metrics;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "restored marker survives save/load" `Quick
+            test_restored_round_marker;
+        ] );
+    ]

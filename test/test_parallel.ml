@@ -76,6 +76,65 @@ let test_set_jobs_clamps () =
       Pool.set_jobs 2;
       check_int "takes effect" 2 (Pool.jobs ()))
 
+(* ---- edge cases observed through the pool telemetry ---- *)
+
+module Obs = Zkflow_obs.Obs
+
+let run_region n = Pool.parallel_for ~min_chunk:1 n (fun _ _ -> ())
+
+(* set_jobs between regions tears the pool down and rebuilds it at the
+   new size; the spawned-domains counter proves the rebuild actually
+   happened (and that an unchanged size does NOT rebuild). *)
+let test_set_jobs_rebuilds_pool () =
+  with_jobs 1 (fun () ->
+      Obs.with_enabled (fun () ->
+          Pool.set_jobs 3;
+          run_region 1000;
+          let after_first = (Pool.stats ()).Pool.spawned_domains in
+          check_int "3-job pool spawned 2 workers" 2 after_first;
+          run_region 1000;
+          check_int "same size: no respawn" after_first
+            (Pool.stats ()).Pool.spawned_domains;
+          Pool.set_jobs 2;
+          run_region 1000;
+          check_int "rebuild at 2 jobs spawned 1 more" (after_first + 1)
+            (Pool.stats ()).Pool.spawned_domains))
+
+(* Nested regions must degrade to the sequential path, and the
+   dedicated counter must say so — that counter is how a trace reader
+   distinguishes "pool saturated" from "parallelism disabled". *)
+let test_nested_seq_counter () =
+  with_jobs 4 (fun () ->
+      Obs.with_enabled (fun () ->
+          Pool.parallel_for ~min_chunk:1 64 (fun lo hi ->
+              for _ = lo to hi - 1 do
+                Pool.parallel_for ~min_chunk:1 64 (fun _ _ -> ())
+              done);
+          let s = Pool.stats () in
+          check_int "outer pooled region" 1 s.Pool.regions;
+          check_int "every inner region degraded" 64 s.Pool.nested_seq;
+          check_bool "no top-level sequential fallback" true
+            (s.Pool.seq_regions = 0)))
+
+(* A chunk that raises still counts as an executed task, so the
+   accounting stays consistent: tasks == chunk count of every drained
+   region even on the error path. *)
+let test_exception_keeps_counters_consistent () =
+  with_jobs 4 (fun () ->
+      Obs.with_enabled (fun () ->
+          (try
+             Pool.parallel_for ~min_chunk:1 64 (fun lo _hi ->
+                 if lo >= 32 then failwith "boom")
+           with Failure _ -> ());
+          let s = Pool.stats () in
+          check_int "one region drained" 1 s.Pool.regions;
+          let h = Zkflow_obs.Metric.histogram "pool.region_chunks" in
+          let snap = Zkflow_obs.Metric.snapshot h in
+          check_int "one region observed" 1 snap.Zkflow_obs.Metric.count;
+          check_int "tasks == chunks despite exceptions"
+            snap.Zkflow_obs.Metric.sum s.Pool.tasks;
+          check_bool "busy time recorded" true (s.Pool.busy_ns >= 0)))
+
 (* ---- next_pow2 overflow guard ---- *)
 
 let test_next_pow2 () =
@@ -190,6 +249,10 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
           Alcotest.test_case "nested regions degrade" `Quick test_nested_regions_degrade;
           Alcotest.test_case "set_jobs clamps" `Quick test_set_jobs_clamps;
+          Alcotest.test_case "set_jobs rebuilds pool" `Quick test_set_jobs_rebuilds_pool;
+          Alcotest.test_case "nested-seq counter" `Quick test_nested_seq_counter;
+          Alcotest.test_case "exception keeps counters consistent" `Quick
+            test_exception_keeps_counters_consistent;
         ] );
       ( "merkle",
         [

@@ -283,6 +283,53 @@ let prop_wire_fuzz_no_crash =
       with
       | Ok _ | Error _ -> true)
 
+(* ---- Jsonx ---- *)
+
+let test_jsonx_escape_specials () =
+  check_string "quote+backslash" "a\\\"b\\\\c" (Jsonx.escape "a\"b\\c");
+  check_string "newline tab" "\\n\\t\\r" (Jsonx.escape "\n\t\r");
+  check_string "control" "\\u0001" (Jsonx.escape "\x01");
+  check_string "quoted" "\"x\"" (Jsonx.quote "x")
+
+let test_jsonx_parse_basics () =
+  let ok s v =
+    match Jsonx.parse s with
+    | Ok got -> check_bool ("parse " ^ s) true (got = v)
+    | Error e -> Alcotest.fail (s ^ ": " ^ e)
+  in
+  ok "null" Jsonx.Null;
+  ok " [1, 2.5, -3e2] " (Jsonx.Arr [ Jsonx.Num 1.; Jsonx.Num 2.5; Jsonx.Num (-300.) ]);
+  ok "{\"a\":true,\"b\":[{}]}"
+    (Jsonx.Obj [ ("a", Jsonx.Bool true); ("b", Jsonx.Arr [ Jsonx.Obj [] ]) ]);
+  ok "\"\\u0041\\n\"" (Jsonx.Str "A\n");
+  List.iter
+    (fun s -> check_bool ("reject " ^ s) true (Result.is_error (Jsonx.parse s)))
+    [ ""; "{"; "[1,]"; "nul"; "1 2"; "\"\x01\""; "\"unterminated" ]
+
+(* The escaping helper shared by lint --json, stats --json, and the
+   trace exporter: any OCaml string must survive quote -> parse
+   byte-for-byte, so no emitter can produce output a JSON consumer
+   rejects. *)
+let prop_jsonx_quote_roundtrip =
+  QCheck.Test.make ~name:"Jsonx.quote output parses back to the input" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 120))
+    (fun s -> Jsonx.parse (Jsonx.quote s) = Ok (Jsonx.Str s))
+
+let prop_jsonx_obj_roundtrip =
+  QCheck.Test.make ~name:"Jsonx.to_string output is valid JSON" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 40)) (list_of_size Gen.(0 -- 8) small_int))
+    (fun (s, ints) ->
+      let v =
+        Jsonx.Obj
+          [
+            ("name", Jsonx.Str s);
+            ("xs", Jsonx.Arr (List.map (fun i -> Jsonx.Num (float_of_int i)) ints));
+            ("ok", Jsonx.Bool true);
+            ("none", Jsonx.Null);
+          ]
+      in
+      Jsonx.parse (Jsonx.to_string v) = Ok v)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "zkflow_util"
@@ -336,5 +383,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "rejects malformed" `Quick test_wire_rejects_malformed;
           q prop_wire_fuzz_no_crash;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "escape specials" `Quick test_jsonx_escape_specials;
+          Alcotest.test_case "parse basics" `Quick test_jsonx_parse_basics;
+          q prop_jsonx_quote_roundtrip;
+          q prop_jsonx_obj_roundtrip;
         ] );
     ]
