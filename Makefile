@@ -23,17 +23,27 @@ check: build lint
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par
 
 # Tiny end-to-end pipeline under telemetry: simulate, prove with a
-# Chrome trace, then validate the trace against the trace_event schema
-# (ph/ts/pid/tid/name on every event, and enough distinct spans that
-# the trace says something). CI uploads the trace as an artifact.
+# Chrome trace and the flight-recorder event log, verify, then
+# validate both artifacts (trace_event schema; event-log JSONL with
+# monotone per-track timestamps and router-before-verifier causality)
+# and replay the log into a strict health report. CI uploads the
+# trace and the health report as artifacts.
 bench-smoke: build
 	rm -rf bench-smoke-state
 	dune exec bin/zkflow.exe -- simulate --dir bench-smoke-state \
-	  --routers 2 --flows 6 --rate 50 --duration 1000
+	  --routers 2 --flows 6 --rate 50 --duration 1000 \
+	  --events bench-smoke-state/events.jsonl
 	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- prove --dir bench-smoke-state \
-	  --queries 8 --trace trace-smoke.json
-	dune exec bin/zkflow.exe -- trace-check trace-smoke.json --min-names 5
+	  --queries 8 --trace trace-smoke.json \
+	  --events bench-smoke-state/events.jsonl
+	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- verify --dir bench-smoke-state \
+	  --events bench-smoke-state/events.jsonl
+	dune exec bin/zkflow.exe -- trace-check trace-smoke.json --min-names 5 \
+	  --events bench-smoke-state/events.jsonl
 	dune exec bin/zkflow.exe -- stats --dir bench-smoke-state --json
+	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --strict
+	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --json \
+	  > health-smoke.json
 
 bench:
 	dune exec bench/main.exe

@@ -49,8 +49,27 @@ let board_path dir = dir // "board.txt"
 let receipts_path dir = dir // "receipts.bin"
 let query_path dir = dir // "query.bin"
 let service_path dir = dir // "service.bin"
+let events_path dir = dir // "events.jsonl"
 
 let epoch_policy = Epoch.default
+
+(* Flight-recorder wrapper: when [events] names a file, run [f] with
+   telemetry enabled and flush the event ring to that file afterwards
+   — even when [f] fails, so the log still shows what went wrong.
+   [simulate] truncates ([append:false]); later stages append, so one
+   state directory accumulates a single causal log across the whole
+   simulate -> prove -> verify workflow. *)
+let with_events ?(append = false) events f =
+  match events with
+  | None -> f ()
+  | Some path ->
+    Obs.reset ();
+    Obs.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.write_events ~append path)
+      f
 
 (* ---- simulate ---- *)
 
@@ -58,7 +77,10 @@ let simulate dir routers flows rate duration loss seed =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ wal_path dir; board_path dir; receipts_path dir; query_path dir; service_path dir ];
+    [
+      wal_path dir; board_path dir; receipts_path dir; query_path dir;
+      service_path dir; events_path dir;
+    ];
   let db = Db.create ~wal_path:(wal_path dir) ~epoch:epoch_policy () in
   let board = Board.create () in
   let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
@@ -101,6 +123,10 @@ let simulate dir routers flows rate duration loss seed =
     (List.length packets) !count routers;
   Printf.printf "state written to %s (rlogs.wal, board.txt)\n" dir;
   Ok ()
+
+let simulate dir routers flows rate duration loss seed events =
+  with_events ~append:false events (fun () ->
+      simulate dir routers flows rate duration loss seed)
 
 (* ---- prove ---- *)
 
@@ -241,15 +267,21 @@ let print_phase_totals () =
       (fun (name, (count, s)) -> Printf.printf "  %-24s %6dx %9.3fs\n" name count s)
       totals
 
-let prove dir queries_n src dst metric op zirc trace_out =
-  let tracing = trace_out <> None in
-  if tracing then begin
+let prove dir queries_n src dst metric op zirc trace_out events =
+  let recording = trace_out <> None || events <> None in
+  if recording then begin
     Obs.reset ();
     Obs.enable ()
   end;
   let result =
     Fun.protect
-      ~finally:(fun () -> if tracing then Obs.disable ())
+      ~finally:(fun () ->
+        if recording then begin
+          Obs.disable ();
+          match events with
+          | Some path -> Obs.write_events ~append:true path
+          | None -> ()
+        end)
       (fun () -> prove_inner dir queries_n src dst metric op zirc)
   in
   match (result, trace_out) with
@@ -272,7 +304,18 @@ let stats dir json =
         (Printf.sprintf "%s: not found (run `zkflow prove --dir %s` first)"
            (service_path dir) dir)
   in
-  let* service = Prover_service.load ~db ~board bytes in
+  (* A corrupt state file must be a one-line diagnosis, never a
+     backtrace: decode failures are values, and anything the decoder
+     did not anticipate is caught here. *)
+  let* service =
+    match Prover_service.load ~db ~board bytes with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "%s: corrupt state: %s" (service_path dir) e)
+    | exception e ->
+      Error
+        (Printf.sprintf "%s: corrupt state: %s" (service_path dir)
+           (Printexc.to_string e))
+  in
   if json then print_endline (Prover_service.summary_json service)
   else begin
     let clog = Prover_service.clog service in
@@ -286,7 +329,14 @@ let stats dir json =
           (String.sub s.root 0 12)
           (if s.restored then " (restored)"
            else Printf.sprintf ", proved in %.2fs" s.prove_s))
-      summaries
+      summaries;
+    match List.map (fun (s : Prover_service.round_summary) -> s.cycles) summaries with
+    | [] -> ()
+    | cycles ->
+      let snap = Zkflow_obs.Metric.snapshot_of_values cycles in
+      let p q = Zkflow_obs.Metric.percentile snap q in
+      Printf.printf "  round cycles: p50<=%d p95<=%d p99<=%d max=%d\n" (p 0.50)
+        (p 0.95) (p 0.99) snap.Zkflow_obs.Metric.max_value
   end;
   Ok ()
 
@@ -296,6 +346,56 @@ let stats dir json =
    the JSON, require the schema keys on every complete event, and
    demand enough distinct span names that the trace is actually
    informative. *)
+(* Validate an event-log JSONL file: every line must decode to an
+   event, timestamps must be monotone per track, and causality must
+   hold — an epoch the verifier passed judgement on must have been
+   seen earlier on some router's track (the commitment the verdict is
+   about had to exist first). *)
+let events_check path =
+  let* events = Zkflow_obs.Event.load_jsonl path in
+  let last_ts = Hashtbl.create 16 in
+  let router_epochs = Hashtbl.create 64 in
+  let is_router_track t = String.length t > 7 && String.sub t 0 7 = "router." in
+  let rec go i = function
+    | [] -> Ok ()
+    | (e : Zkflow_obs.Event.t) :: rest ->
+      let* () =
+        match Hashtbl.find_opt last_ts e.Zkflow_obs.Event.track with
+        | Some prev when e.Zkflow_obs.Event.ts_ns < prev ->
+          Error
+            (Printf.sprintf
+               "%s: event %d: timestamp moves backwards on track %S" path i
+               e.Zkflow_obs.Event.track)
+        | _ ->
+          Hashtbl.replace last_ts e.Zkflow_obs.Event.track e.Zkflow_obs.Event.ts_ns;
+          Ok ()
+      in
+      let* () =
+        if is_router_track e.Zkflow_obs.Event.track then begin
+          Option.iter
+            (fun ep -> Hashtbl.replace router_epochs ep ())
+            e.Zkflow_obs.Event.epoch;
+          Ok ()
+        end
+        else if e.Zkflow_obs.Event.track = "verifier" then begin
+          match e.Zkflow_obs.Event.epoch with
+          | Some ep when not (Hashtbl.mem router_epochs ep) ->
+            Error
+              (Printf.sprintf
+                 "%s: event %d: verifier saw epoch %d before any router track did"
+                 path i ep)
+          | _ -> Ok ()
+        end
+        else Ok ()
+      in
+      go (i + 1) rest
+  in
+  let* () = go 0 events in
+  let tracks = Hashtbl.length last_ts in
+  Printf.printf "%s: %d event(s) on %d track(s) — ok\n" path (List.length events)
+    tracks;
+  Ok ()
+
 let trace_check path min_names =
   let* bytes = read_file path in
   let* v = Jsonx.parse (Bytes.to_string bytes) in
@@ -370,7 +470,7 @@ let lint json files =
 
 (* ---- verify ---- *)
 
-let verify dir zirc =
+let verify_inner dir zirc =
   let* board_text = read_file (board_path dir) in
   let* board = Board.import (Bytes.to_string board_text) in
   let* receipt_bytes = read_file (receipts_path dir) in
@@ -384,7 +484,7 @@ let verify dir zirc =
       let* qbytes = read_file (query_path dir) in
       let* receipt = Receipt.decode qbytes in
       let* journal =
-        Verifier_client.verify_query
+        Verifier_client.verify_query ~query:0
           ~expected_root:chain.Verifier_client.final_root receipt
       in
       Printf.printf "verified query receipt: result=%d matches=%d\n"
@@ -420,6 +520,63 @@ let verify dir zirc =
       end
     end
 
+let verify dir zirc events =
+  with_events ~append:true events (fun () -> verify_inner dir zirc)
+
+(* ---- monitor ---- *)
+
+let monitor dir events json strict =
+  let path = match events with Some p -> p | None -> events_path dir in
+  let* events =
+    match Zkflow_obs.Event.load_jsonl path with
+    | Ok evs -> Ok evs
+    | Error e ->
+      Error
+        (Printf.sprintf
+           "%s (run the workflow with --events %s to record a flight log)" e
+           (events_path dir))
+  in
+  (* The saved service state is optional context: without it the
+     report is built from the event log alone. *)
+  let service =
+    match load_state dir with
+    | Error _ -> None
+    | Ok (db, board) -> (
+      match read_file (service_path dir) with
+      | Error _ -> None
+      | Ok bytes -> (
+        match Prover_service.load ~db ~board bytes with
+        | Ok s -> Some s
+        | Error _ | (exception _) -> None))
+  in
+  let report = Monitor.build ?service events in
+  if json then print_endline (Jsonx.to_string (Monitor.to_json report))
+  else Format.printf "%a@." Monitor.pp report;
+  if strict && not (Monitor.healthy report) then
+    Error "monitor: pipeline health degraded"
+  else Ok ()
+
+(* ---- bench-diff ---- *)
+
+let bench_diff old_path new_path threshold min_s json =
+  let parse path =
+    let* bytes = read_file path in
+    match Jsonx.parse (Bytes.to_string bytes) with
+    | Ok v -> Ok v
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  in
+  let* old_json = parse old_path in
+  let* new_json = parse new_path in
+  let* report = Bench_diff.diff ~threshold ~min_s ~old_json ~new_json () in
+  if json then print_endline (Jsonx.to_string (Bench_diff.to_json report))
+  else Format.printf "%a@." Bench_diff.pp report;
+  if Bench_diff.ok report then Ok ()
+  else
+    Error
+      (Printf.sprintf "bench-diff: %d regression(s) beyond %.0f%%"
+         (List.length report.Bench_diff.regressions)
+         (threshold *. 100.))
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
@@ -434,6 +591,12 @@ let dir_arg =
   Arg.(value & opt string "zkflow-state" & info [ "dir"; "d" ] ~docv:"DIR"
          ~doc:"State directory shared between the subcommands.")
 
+let events_arg =
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+         ~doc:"Record the flight-recorder event log to this JSONL file \
+               (conventionally DIR/events.jsonl; simulate truncates, later \
+               stages append).")
+
 let simulate_cmd =
   let routers = Arg.(value & opt int 4 & info [ "routers" ] ~doc:"Vantage points.") in
   let flows = Arg.(value & opt int 30 & info [ "flows" ] ~doc:"Flow population.") in
@@ -441,12 +604,13 @@ let simulate_cmd =
   let duration = Arg.(value & opt int 4000 & info [ "duration" ] ~doc:"Duration (ms).") in
   let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~doc:"Per-hop loss rate.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
-  let run dir routers flows rate duration loss seed =
-    handle (simulate dir routers flows rate duration loss seed)
+  let run dir routers flows rate duration loss seed events =
+    handle (simulate dir routers flows rate duration loss seed events)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Generate traffic, export RLogs, publish commitments.")
-    Term.(const run $ dir_arg $ routers $ flows $ rate $ duration $ loss $ seed)
+    Term.(const run $ dir_arg $ routers $ flows $ rate $ duration $ loss $ seed
+          $ events_arg)
 
 let prove_cmd =
   let queries =
@@ -467,12 +631,13 @@ let prove_cmd =
            ~doc:"Record telemetry and write a Chrome trace_event JSON file \
                  (open in chrome://tracing or ui.perfetto.dev).")
   in
-  let run dir queries src dst metric op zirc trace =
-    handle (prove dir queries src dst metric op zirc trace)
+  let run dir queries src dst metric op zirc trace events =
+    handle (prove dir queries src dst metric op zirc trace events)
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Aggregate every epoch under proof; optionally prove a query.")
-    Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc $ trace)
+    Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc $ trace
+          $ events_arg)
 
 let stats_cmd =
   let json =
@@ -487,18 +652,30 @@ let stats_cmd =
 
 let trace_check_cmd =
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"Chrome trace_event JSON file to validate.")
   in
   let min_names =
     Arg.(value & opt int 1 & info [ "min-names" ]
            ~doc:"Fail unless the trace has at least this many distinct span names.")
   in
-  let run file min_names = handle (trace_check file min_names) in
+  let events =
+    Arg.(value & opt (some file) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Validate a flight-recorder event log: JSONL schema, monotone \
+                 timestamps per track, and router-before-verifier causality.")
+  in
+  let run file min_names events =
+    handle
+      (match (file, events) with
+      | None, None -> Error "trace-check: give a trace FILE and/or --events FILE"
+      | _ ->
+        let* () = match file with Some f -> trace_check f min_names | None -> Ok () in
+        (match events with Some e -> events_check e | None -> Ok ()))
+  in
   Cmd.v
     (Cmd.info "trace-check"
-       ~doc:"Validate a trace file against the Chrome trace_event schema.")
-    Term.(const run $ file $ min_names)
+       ~doc:"Validate a Chrome trace file and/or a flight-recorder event log.")
+    Term.(const run $ file $ min_names $ events)
 
 let lint_cmd =
   let json =
@@ -519,10 +696,64 @@ let verify_cmd =
     Arg.(value & opt (some string) None & info [ "zirc" ]
            ~doc:"Verify the custom-query receipt against this Zirc source.")
   in
-  let run dir zirc = handle (verify dir zirc) in
+  let run dir zirc events = handle (verify dir zirc events) in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify the receipt chain (and query) from public data only.")
-    Term.(const run $ dir_arg $ zirc)
+    Term.(const run $ dir_arg $ zirc $ events_arg)
+
+let monitor_cmd =
+  let events =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Event log to replay (default: DIR/events.jsonl).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Exit nonzero when the report is degraded (any rejection, \
+                 round error, lagging router, or missed epoch).")
+  in
+  let run dir events json strict = handle (monitor dir events json strict) in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Replay the flight-recorder event log (and saved prover state) \
+             into a health report: per-router commitment lag and gaps, round \
+             latency percentiles, verifier rejections by cause, service \
+             backlog.")
+    Term.(const run $ dir_arg $ events $ json $ strict)
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json"
+           ~doc:"Baseline bench artifact.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json"
+           ~doc:"Candidate bench artifact.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.25 & info [ "threshold" ]
+           ~doc:"Relative slowdown that counts as a regression (0.25 = 25%).")
+  in
+  let min_s =
+    Arg.(value & opt float 0.05 & info [ "min-s" ]
+           ~doc:"Ignore timing fields where both sides are below this many \
+                 seconds (absolute noise floor; cycle/byte counts are always \
+                 compared).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let run old_f new_f threshold min_s json =
+    handle (bench_diff old_f new_f threshold min_s json)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench JSON artifacts row by row and exit nonzero on \
+             per-phase latency (or cycle/size) regressions beyond the \
+             threshold.")
+    Term.(const run $ old_file $ new_file $ threshold $ min_s $ json)
 
 let () =
   let info =
@@ -532,4 +763,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ simulate_cmd; prove_cmd; lint_cmd; verify_cmd; stats_cmd; trace_check_cmd ]))
+          [
+            simulate_cmd; prove_cmd; lint_cmd; verify_cmd; stats_cmd;
+            trace_check_cmd; monitor_cmd; bench_diff_cmd;
+          ]))

@@ -14,17 +14,45 @@ let state t router_id =
     Hashtbl.replace t.states router_id s;
     s
 
-let publish_with t ~router_id ~epoch make =
+module Event = Zkflow_obs.Event
+module Jsonx = Zkflow_util.Jsonx
+
+(* Flight-recorder hooks. A fresh publication lands on the publishing
+   router's track (it is the router's liveness signal the monitor
+   reads commitment lag from); a replay of an already-serialized board
+   is a distinct kind on the board's own track so it never counts as a
+   new publication. Rejections name their cause. *)
+let publish_event ~kind ~track (c : Commitment.t) =
+  Event.emit ~router:c.Commitment.router_id ~epoch:c.Commitment.epoch ~track kind
+    ~attrs:
+      [
+        ("records", Jsonx.Num (float_of_int c.Commitment.record_count));
+        ("batch", Jsonx.Str (Zkflow_hash.Digest32.short c.Commitment.batch));
+      ]
+
+let reject_event ~router_id ~epoch reason =
+  Event.emit ~router:router_id ~epoch ~track:"board" "board.reject"
+    ~attrs:[ ("reason", Jsonx.Str reason) ]
+
+let publish_with ?(replay = false) t ~router_id ~epoch make =
   let s = state t router_id in
   match s.entries with
   | last :: _ when last.Commitment.epoch >= epoch ->
-    Error
-      (Printf.sprintf "board: epoch %d not after last published epoch %d" epoch
-         last.Commitment.epoch)
+    let msg =
+      Printf.sprintf "board: epoch %d not after last published epoch %d" epoch
+        last.Commitment.epoch
+    in
+    reject_event ~router_id ~epoch msg;
+    Error msg
   | _ ->
     let c, chain = make ~prev_chain:s.chain in
     s.chain <- chain;
     s.entries <- c :: s.entries;
+    if replay then publish_event ~kind:"board.replay" ~track:"board" c
+    else
+      publish_event ~kind:"board.publish"
+        ~track:(Printf.sprintf "router.%d" router_id)
+        c;
     Ok c
 
 let publish t records ~router_id ~epoch =
@@ -32,7 +60,7 @@ let publish t records ~router_id ~epoch =
       Commitment.of_batch ~prev_chain ~router_id ~epoch records)
 
 let publish_digest t ~batch ~record_count ~router_id ~epoch =
-  publish_with t ~router_id ~epoch (fun ~prev_chain ->
+  publish_with ~replay:true t ~router_id ~epoch (fun ~prev_chain ->
       Commitment.of_digest ~prev_chain ~router_id ~epoch ~batch ~record_count)
 
 let lookup t ~router_id ~epoch =

@@ -1,0 +1,152 @@
+module Jsonx = Zkflow_util.Jsonx
+
+type change = {
+  key : string;
+  field : string;
+  old_v : float;
+  new_v : float;
+  ratio : float;
+}
+
+type report = {
+  compared : int;
+  regressions : change list;
+  improvements : change list;
+  notes : string list;
+}
+
+let rows_of json =
+  match Jsonx.member "rows" json with
+  | Some (Jsonx.Arr rows) -> Ok rows
+  | _ -> (
+    match Jsonx.member "sweep" json with
+    | Some (Jsonx.Arr rows) -> Ok rows
+    | _ -> Error "bench-diff: no \"rows\" or \"sweep\" array in artifact")
+
+(* Row identity: the sweep axes the bench binary writes. A fig4 row is
+   keyed by record count, a parallel-sweep row by job count. *)
+let row_key row =
+  let part name =
+    match Jsonx.member name row with
+    | Some (Jsonx.Num f) -> Some (Printf.sprintf "%s=%d" name (int_of_float f))
+    | _ -> None
+  in
+  match List.filter_map Fun.id [ part "records"; part "jobs" ] with
+  | [] -> None
+  | parts -> Some (String.concat " " parts)
+
+let has_suffix s suf = Filename.check_suffix s suf
+
+(* Flatten one row into comparable numeric fields. Key axes and pool
+   stats are excluded: the former are identity, the latter depend on
+   machine load, not on the code under test. *)
+let numeric_fields row =
+  match row with
+  | Jsonx.Obj members ->
+    List.concat_map
+      (fun (name, v) ->
+        match (name, v) with
+        | ("records" | "jobs" | "pool"), _ -> []
+        | "phases", Jsonx.Obj phases ->
+          List.filter_map
+            (fun (phase, pv) ->
+              match Jsonx.member "total_s" pv with
+              | Some (Jsonx.Num f) ->
+                Some (Printf.sprintf "phases.%s.total_s" phase, f)
+              | _ -> None)
+            phases
+        | _, Jsonx.Num f -> [ (name, f) ]
+        | _ -> [])
+      members
+  | _ -> []
+
+let diff ?(threshold = 0.25) ?(min_s = 0.05) ~old_json ~new_json () =
+  match (rows_of old_json, rows_of new_json) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok old_rows, Ok new_rows ->
+    let keyed rows =
+      List.filter_map (fun r -> Option.map (fun k -> (k, r)) (row_key r)) rows
+    in
+    let old_k = keyed old_rows and new_k = keyed new_rows in
+    let compared = ref 0 in
+    let regressions = ref [] and improvements = ref [] and notes = ref [] in
+    List.iter
+      (fun (key, old_row) ->
+        match List.assoc_opt key new_k with
+        | None -> notes := Printf.sprintf "row [%s] missing in NEW" key :: !notes
+        | Some new_row ->
+          let new_fields = numeric_fields new_row in
+          List.iter
+            (fun (field, old_v) ->
+              match List.assoc_opt field new_fields with
+              | None ->
+                notes :=
+                  Printf.sprintf "field %s of row [%s] missing in NEW" field key
+                  :: !notes
+              | Some new_v ->
+                let timing = has_suffix field "_s" in
+                let counted = timing || has_suffix field "_cycles" || has_suffix field "_bytes" in
+                if counted then begin
+                  incr compared;
+                  let ratio = if old_v = 0. then (if new_v = 0. then 1. else infinity) else new_v /. old_v in
+                  let above_floor = (not timing) || old_v >= min_s || new_v >= min_s in
+                  let change = { key; field; old_v; new_v; ratio } in
+                  if above_floor && ratio > 1. +. threshold then
+                    regressions := change :: !regressions
+                  else if above_floor && ratio < 1. /. (1. +. threshold) then
+                    improvements := change :: !improvements
+                end)
+            (numeric_fields old_row))
+      old_k;
+    List.iter
+      (fun (key, _) ->
+        if not (List.mem_assoc key old_k) then
+          notes := Printf.sprintf "row [%s] only in NEW" key :: !notes)
+      new_k;
+    Ok
+      {
+        compared = !compared;
+        regressions = List.rev !regressions;
+        improvements = List.rev !improvements;
+        notes = List.rev !notes;
+      }
+
+let ok r = r.regressions = []
+
+let pp_change fmt c =
+  Format.fprintf fmt "  [%s] %s: %g -> %g (%.2fx)@," c.key c.field c.old_v c.new_v
+    c.ratio
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>bench-diff: %d field(s) compared@," r.compared;
+  if r.regressions = [] then Format.fprintf fmt "regressions: none@,"
+  else begin
+    Format.fprintf fmt "regressions: %d@," (List.length r.regressions);
+    List.iter (pp_change fmt) r.regressions
+  end;
+  if r.improvements <> [] then begin
+    Format.fprintf fmt "improvements: %d@," (List.length r.improvements);
+    List.iter (pp_change fmt) r.improvements
+  end;
+  List.iter (fun n -> Format.fprintf fmt "note: %s@," n) r.notes;
+  Format.fprintf fmt "verdict: %s@]" (if ok r then "OK" else "REGRESSED")
+
+let change_json c =
+  Jsonx.Obj
+    [
+      ("row", Jsonx.Str c.key);
+      ("field", Jsonx.Str c.field);
+      ("old", Jsonx.Num c.old_v);
+      ("new", Jsonx.Num c.new_v);
+      ("ratio", Jsonx.Num c.ratio);
+    ]
+
+let to_json r =
+  Jsonx.Obj
+    [
+      ("compared", Jsonx.Num (float_of_int r.compared));
+      ("regressions", Jsonx.Arr (List.map change_json r.regressions));
+      ("improvements", Jsonx.Arr (List.map change_json r.improvements));
+      ("notes", Jsonx.Arr (List.map (fun n -> Jsonx.Str n) r.notes));
+      ("ok", Jsonx.Bool (ok r));
+    ]

@@ -1,0 +1,50 @@
+(** Regression detection over the bench JSON artifacts.
+
+    [zkflow bench-diff OLD.json NEW.json] parses two artifacts written
+    by the bench binary ([BENCH_fig4.json], [BENCH_table1.json],
+    [BENCH_par.json]), matches their rows by identity key ([records]
+    and/or [jobs]), and compares every shared numeric field:
+
+    - [*_s] wall-clock fields and per-phase [phases.<name>.total_s]
+      totals regress when the new value exceeds the old by more than
+      [threshold] (relative), with a [min_s] absolute floor so
+      microsecond noise on tiny phases never fails a build;
+    - [*_cycles] and [*_bytes] fields are deterministic outputs and
+      use the ratio test with no floor — any drift beyond [threshold]
+      is flagged.
+
+    Pool-utilization stats are skipped (machine-load dependent). Rows
+    or fields present on one side only are reported as notes, not
+    regressions. *)
+
+type change = {
+  key : string;  (** row identity, e.g. ["records=1000"] or ["jobs=4"] *)
+  field : string;  (** e.g. ["agg_prove_s"], ["phases.merkle.total_s"] *)
+  old_v : float;
+  new_v : float;
+  ratio : float;  (** [new_v /. old_v] *)
+}
+
+type report = {
+  compared : int;  (** numeric field pairs compared *)
+  regressions : change list;
+  improvements : change list;  (** moved beyond [threshold] in the good direction *)
+  notes : string list;  (** rows/fields present on only one side *)
+}
+
+val diff :
+  ?threshold:float ->
+  ?min_s:float ->
+  old_json:Zkflow_util.Jsonx.t ->
+  new_json:Zkflow_util.Jsonx.t ->
+  unit ->
+  (report, string) result
+(** Compare two bench artifacts. [threshold] defaults to [0.25] (25%
+    relative), [min_s] to [0.05] seconds. [Error] only when an
+    artifact has no recognizable [rows]/[sweep] array. *)
+
+val ok : report -> bool
+(** [true] iff no regressions. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Zkflow_util.Jsonx.t

@@ -1,0 +1,285 @@
+module Event = Zkflow_obs.Event
+module Metric = Zkflow_obs.Metric
+module Jsonx = Zkflow_util.Jsonx
+
+type latency = { count : int; p50_ns : int; p95_ns : int; p99_ns : int; max_ns : int }
+
+type router_health = {
+  router_id : int;
+  publishes : int;
+  last_epoch : int option;
+  lag : int;
+  missed : int list;
+}
+
+type report = {
+  events : int;
+  epochs : int list;
+  routers : router_health list;
+  board_rejects : (string * int) list;
+  rounds_started : int;
+  rounds_done : int;
+  rounds_error : int;
+  round_latency : latency option;
+  prove_latency : latency option;
+  queue_depth : (int * int) list;
+  max_queue_depth : int;
+  queries_done : int;
+  queries_error : int;
+  verifier_accepts : int;
+  verifier_rejects : (string * int) list;
+  service_rounds : int option;
+  service_entries : int option;
+  service_root : string option;
+}
+
+let attr_num name (e : Event.t) =
+  match List.assoc_opt name e.Event.attrs with
+  | Some (Jsonx.Num f) -> Some (int_of_float f)
+  | _ -> None
+
+let attr_str name (e : Event.t) =
+  match List.assoc_opt name e.Event.attrs with
+  | Some (Jsonx.Str s) -> Some s
+  | _ -> None
+
+let bump table key = Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let counts_sorted table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let latency_of_values = function
+  | [] -> None
+  | values ->
+    let s = Metric.snapshot_of_values values in
+    Some
+      {
+        count = s.Metric.count;
+        p50_ns = Metric.percentile s 0.50;
+        p95_ns = Metric.percentile s 0.95;
+        p99_ns = Metric.percentile s 0.99;
+        max_ns = s.Metric.max_value;
+      }
+
+let build ?service events =
+  (* Fresh publications only — board replays are recorded under a
+     different kind precisely so re-importing board.txt on every CLI
+     invocation does not look like router liveness. *)
+  let publishes = Hashtbl.create 16 in
+  (* router -> epoch list, newest first *)
+  let board_rejects = Hashtbl.create 8 in
+  let verifier_rejects = Hashtbl.create 8 in
+  let verifier_accepts = ref 0 in
+  let rounds_started = ref 0 and rounds_done = ref 0 and rounds_error = ref 0 in
+  let queries_done = ref 0 and queries_error = ref 0 in
+  let round_start = Hashtbl.create 8 in
+  (* round ix -> start ts *)
+  let round_deltas = ref [] and prove_ns = ref [] in
+  let queue_rev = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | "board.publish" -> (
+        match (e.Event.router, e.Event.epoch) with
+        | Some r, Some ep ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt publishes r) in
+          Hashtbl.replace publishes r (ep :: prev)
+        | _ -> ())
+      | "board.reject" ->
+        bump board_rejects (Option.value ~default:"unknown" (attr_str "reason" e))
+      | "prover.round.start" ->
+        incr rounds_started;
+        (match e.Event.round with
+        | Some ix ->
+          Hashtbl.replace round_start ix e.Event.ts_ns;
+          (match attr_num "queue_depth" e with
+          | Some d -> queue_rev := (ix, d) :: !queue_rev
+          | None -> ())
+        | None -> ())
+      | "prover.round.done" ->
+        incr rounds_done;
+        (match e.Event.round with
+        | Some ix -> (
+          match Hashtbl.find_opt round_start ix with
+          | Some t0 when e.Event.ts_ns >= t0 ->
+            round_deltas := (e.Event.ts_ns - t0) :: !round_deltas
+          | _ -> ())
+        | None -> ());
+        (match attr_num "prove_ns" e with
+        | Some ns -> prove_ns := ns :: !prove_ns
+        | None -> ())
+      | "prover.round.error" -> incr rounds_error
+      | "prover.query.done" -> incr queries_done
+      | "prover.query.error" -> incr queries_error
+      | "verifier.reject" ->
+        bump verifier_rejects (Option.value ~default:"unknown" (attr_str "check" e))
+      | k when String.length k > 9 && String.sub k 0 9 = "verifier."
+               && Filename.check_suffix k ".accept" -> incr verifier_accepts
+      | _ -> ())
+    events;
+  let epochs =
+    Hashtbl.fold (fun _ eps acc -> eps @ acc) publishes [] |> List.sort_uniq Int.compare
+  in
+  let routers =
+    Hashtbl.fold
+      (fun router_id eps acc ->
+        let mine = List.sort_uniq Int.compare eps in
+        let last_epoch = match List.rev mine with [] -> None | ep :: _ -> Some ep in
+        let lag =
+          match last_epoch with
+          | None -> List.length epochs
+          | Some last -> List.length (List.filter (fun ep -> ep > last) epochs)
+        in
+        let missed =
+          match last_epoch with
+          | None -> []
+          | Some last ->
+            List.filter (fun ep -> ep <= last && not (List.mem ep mine)) epochs
+        in
+        { router_id; publishes = List.length eps; last_epoch; lag; missed } :: acc)
+      publishes []
+    |> List.sort (fun a b -> Int.compare a.router_id b.router_id)
+  in
+  let queue_depth = List.rev !queue_rev in
+  {
+    events = List.length events;
+    epochs;
+    routers;
+    board_rejects = counts_sorted board_rejects;
+    rounds_started = !rounds_started;
+    rounds_done = !rounds_done;
+    rounds_error = !rounds_error;
+    round_latency = latency_of_values !round_deltas;
+    prove_latency = latency_of_values !prove_ns;
+    queue_depth;
+    max_queue_depth = List.fold_left (fun acc (_, d) -> max acc d) 0 queue_depth;
+    queries_done = !queries_done;
+    queries_error = !queries_error;
+    verifier_accepts = !verifier_accepts;
+    verifier_rejects = counts_sorted verifier_rejects;
+    service_rounds = Option.map (fun s -> List.length (Prover_service.rounds s)) service;
+    service_entries = Option.map (fun s -> Clog.length (Prover_service.clog s)) service;
+    service_root =
+      Option.map
+        (fun s -> Zkflow_hash.Digest32.to_hex (Prover_service.latest_root s))
+        service;
+  }
+
+let healthy r =
+  r.board_rejects = [] && r.verifier_rejects = [] && r.rounds_error = 0
+  && r.queries_error = 0
+  && List.for_all (fun h -> h.lag = 0 && h.missed = []) r.routers
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp_latency fmt name = function
+  | None -> Format.fprintf fmt "  %-14s (no samples)@," name
+  | Some l ->
+    Format.fprintf fmt "  %-14s n=%d  p50<=%.2fms  p95<=%.2fms  p99<=%.2fms  max=%.2fms@,"
+      name l.count (ms l.p50_ns) (ms l.p95_ns) (ms l.p99_ns) (ms l.max_ns)
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "flight recorder: %d events, %d epoch(s) with publications@,"
+    r.events (List.length r.epochs);
+  (match (r.service_rounds, r.service_entries, r.service_root) with
+  | Some n, Some entries, Some root ->
+    Format.fprintf fmt "service state:  %d round(s), %d CLog entries, root %s@," n
+      entries (String.sub root 0 (min 16 (String.length root)))
+  | _ -> ());
+  Format.fprintf fmt "@,routers:@,";
+  if r.routers = [] then Format.fprintf fmt "  (no publications recorded)@,"
+  else begin
+    Format.fprintf fmt "  %8s %10s %10s %6s %s@," "router" "publishes" "last_epoch"
+      "lag" "missed";
+    List.iter
+      (fun h ->
+        Format.fprintf fmt "  %8d %10d %10s %6d %s@," h.router_id h.publishes
+          (match h.last_epoch with Some ep -> string_of_int ep | None -> "-")
+          h.lag
+          (match h.missed with
+          | [] -> "-"
+          | m -> String.concat "," (List.map string_of_int m)))
+      r.routers
+  end;
+  Format.fprintf fmt "@,prover:@,";
+  Format.fprintf fmt "  rounds: %d started, %d done, %d error; queue depth max %d@,"
+    r.rounds_started r.rounds_done r.rounds_error r.max_queue_depth;
+  pp_latency fmt "round wall" r.round_latency;
+  pp_latency fmt "prove phase" r.prove_latency;
+  Format.fprintf fmt "  queries: %d done, %d error@," r.queries_done r.queries_error;
+  Format.fprintf fmt "@,verifier:@,";
+  Format.fprintf fmt "  accepts: %d@," r.verifier_accepts;
+  if r.verifier_rejects = [] then Format.fprintf fmt "  rejects: none@,"
+  else
+    List.iter
+      (fun (check, n) -> Format.fprintf fmt "  rejects[%s]: %d@," check n)
+      r.verifier_rejects;
+  if r.board_rejects <> [] then
+    List.iter
+      (fun (reason, n) -> Format.fprintf fmt "  board rejects[%s]: %d@," reason n)
+      r.board_rejects;
+  Format.fprintf fmt "@,health: %s@]" (if healthy r then "OK" else "DEGRADED")
+
+let latency_json = function
+  | None -> Jsonx.Null
+  | Some l ->
+    Jsonx.Obj
+      [
+        ("count", Jsonx.Num (float_of_int l.count));
+        ("p50_ns", Jsonx.Num (float_of_int l.p50_ns));
+        ("p95_ns", Jsonx.Num (float_of_int l.p95_ns));
+        ("p99_ns", Jsonx.Num (float_of_int l.p99_ns));
+        ("max_ns", Jsonx.Num (float_of_int l.max_ns));
+      ]
+
+let counts_json pairs =
+  Jsonx.Obj (List.map (fun (k, n) -> (k, Jsonx.Num (float_of_int n))) pairs)
+
+let to_json r =
+  let num n = Jsonx.Num (float_of_int n) in
+  let opt_num = function Some n -> num n | None -> Jsonx.Null in
+  Jsonx.Obj
+    [
+      ("events", num r.events);
+      ("epochs", Jsonx.Arr (List.map num r.epochs));
+      ( "routers",
+        Jsonx.Arr
+          (List.map
+             (fun h ->
+               Jsonx.Obj
+                 [
+                   ("router", num h.router_id);
+                   ("publishes", num h.publishes);
+                   ("last_epoch", opt_num h.last_epoch);
+                   ("lag", num h.lag);
+                   ("missed", Jsonx.Arr (List.map num h.missed));
+                 ])
+             r.routers) );
+      ("board_rejects", counts_json r.board_rejects);
+      ( "rounds",
+        Jsonx.Obj
+          [
+            ("started", num r.rounds_started);
+            ("done", num r.rounds_done);
+            ("error", num r.rounds_error);
+          ] );
+      ("round_latency", latency_json r.round_latency);
+      ("prove_latency", latency_json r.prove_latency);
+      ( "queue_depth",
+        Jsonx.Arr
+          (List.map
+             (fun (ix, d) -> Jsonx.Obj [ ("round", num ix); ("depth", num d) ])
+             r.queue_depth) );
+      ("max_queue_depth", num r.max_queue_depth);
+      ( "queries",
+        Jsonx.Obj [ ("done", num r.queries_done); ("error", num r.queries_error) ] );
+      ("verifier_accepts", num r.verifier_accepts);
+      ("verifier_rejects", counts_json r.verifier_rejects);
+      ("service_rounds", opt_num r.service_rounds);
+      ("service_entries", opt_num r.service_entries);
+      ( "service_root",
+        match r.service_root with Some s -> Jsonx.Str s | None -> Jsonx.Null );
+      ("healthy", Jsonx.Bool (healthy r));
+    ]

@@ -1,0 +1,65 @@
+(** Health/SLO reports replayed from the flight-recorder event log.
+
+    [zkflow monitor] feeds the JSONL event log (and, when available,
+    the saved prover-service state) through {!build} and prints the
+    resulting {!report}: per-router commitment lag and missed-epoch
+    gaps, aggregation-round latency percentiles, verifier rejection
+    counts by failing check, and the prover-service backlog over time.
+    Everything is derived offline from recorded events — building a
+    report never touches the live telemetry gate. *)
+
+(** Latency distribution summary, in nanoseconds, computed from log2
+    histogram buckets (so percentiles are upper bounds, like the
+    Prometheus exporter's quantile lines). *)
+type latency = { count : int; p50_ns : int; p95_ns : int; p99_ns : int; max_ns : int }
+
+type router_health = {
+  router_id : int;
+  publishes : int;  (** fresh board publications seen on this router's track *)
+  last_epoch : int option;  (** newest epoch this router committed to *)
+  lag : int;
+      (** epochs behind the newest epoch any router committed; 0 means
+          the router is current. *)
+  missed : int list;
+      (** board epochs at or before [last_epoch] the router never
+          published — gaps inside its own history. *)
+}
+
+type report = {
+  events : int;  (** total events replayed *)
+  epochs : int list;  (** distinct epochs with at least one fresh publication *)
+  routers : router_health list;
+  board_rejects : (string * int) list;  (** board rejection reason -> count *)
+  rounds_started : int;
+  rounds_done : int;
+  rounds_error : int;
+  round_latency : latency option;
+      (** wall time from [prover.round.start] to [prover.round.done],
+          matched by round index *)
+  prove_latency : latency option;  (** the proving phase alone, from [prove_ns] *)
+  queue_depth : (int * int) list;
+      (** (round index, service backlog at round start), in order *)
+  max_queue_depth : int;
+  queries_done : int;
+  queries_error : int;
+  verifier_accepts : int;  (** accept verdicts of any kind *)
+  verifier_rejects : (string * int) list;  (** failing check -> count *)
+  service_rounds : int option;  (** from the saved service state, when given *)
+  service_entries : int option;
+  service_root : string option;
+}
+
+val build : ?service:Prover_service.t -> Zkflow_obs.Event.t list -> report
+(** Replay a recorded event list into a health report. [?service] adds
+    the persisted prover-service view (round count, CLog size, root)
+    for cross-checking against what the log claims happened. *)
+
+val healthy : report -> bool
+(** No rejections anywhere, no round or query errors, every router
+    current ([lag = 0]) with no missed epochs. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable report: router table, latency percentiles,
+    rejection counts, backlog summary. *)
+
+val to_json : report -> Zkflow_util.Jsonx.t

@@ -42,7 +42,13 @@ let publish_epoch t ~epoch =
   in
   go [] (Db.routers t.db)
 
-let aggregate_epoch t ~epoch =
+(* Epochs the routers have materialized but the service has not yet
+   aggregated — the service's backlog, reported on every round event
+   so a health report can plot queue depth over time. *)
+let queue_depth t = max 0 (List.length (Db.epochs t.db) - List.length t.rounds_rev)
+
+let aggregate_epoch_inner t ~epoch ~round_ix =
+  ignore round_ix;
   let t_fetch = Obs.Span.start () in
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
@@ -75,6 +81,27 @@ let aggregate_epoch t ~epoch =
   t.clog <- round.Aggregate.clog;
   t.rounds_rev <- round :: t.rounds_rev;
   Ok round
+
+let aggregate_epoch t ~epoch =
+  let round_ix = List.length t.rounds_rev in
+  Obs.Event.emit ~epoch ~round:round_ix ~track:"prover" "prover.round.start"
+    ~attrs:[ ("queue_depth", Jsonx.Num (float_of_int (queue_depth t))) ];
+  match aggregate_epoch_inner t ~epoch ~round_ix with
+  | Error e ->
+    Obs.Event.emit ~epoch ~round:round_ix ~track:"prover" "prover.round.error"
+      ~attrs:[ ("detail", Jsonx.Str e) ];
+    Error e
+  | Ok round ->
+    Obs.Event.emit ~epoch ~round:round_ix ~track:"prover" "prover.round.done"
+      ~attrs:
+        [
+          ("cycles", Jsonx.Num (float_of_int round.Aggregate.cycles));
+          ("entries", Jsonx.Num (float_of_int (Clog.length round.Aggregate.clog)));
+          ("prove_ns", Jsonx.Num (Float.round (round.Aggregate.prove_s *. 1e9)));
+          ("execute_ns", Jsonx.Num (Float.round (round.Aggregate.execute_s *. 1e9)));
+          ("queue_depth", Jsonx.Num (float_of_int (queue_depth t)));
+        ];
+    Ok round
 
 type disclosure = {
   indices : int list;
@@ -213,12 +240,27 @@ let summary_json t =
         ("restored", Jsonx.Bool s.restored);
       ]
   in
+  let cycle_percentiles =
+    match List.map (fun s -> s.cycles) (summaries t) with
+    | [] -> Jsonx.Null
+    | cycles ->
+      let snap = Obs.Metric.snapshot_of_values cycles in
+      let p q = float_of_int (Obs.Metric.percentile snap q) in
+      Jsonx.Obj
+        [
+          ("p50", Jsonx.Num (p 0.50));
+          ("p95", Jsonx.Num (p 0.95));
+          ("p99", Jsonx.Num (p 0.99));
+          ("max", Jsonx.Num (float_of_int snap.Obs.Metric.max_value));
+        ]
+  in
   Jsonx.to_string
     (Jsonx.Obj
        [
          ("entries", Jsonx.Num (float_of_int (Clog.length t.clog)));
          ("root", Jsonx.Str (Zkflow_hash.Digest32.to_hex (Clog.root t.clog)));
          ("rounds", Jsonx.Arr (List.map round_obj (summaries t)));
+         ("round_cycles", cycle_percentiles);
        ])
 
 let query t params =

@@ -60,7 +60,13 @@ let execute ~clog params =
 
 let now () = Unix.gettimeofday ()
 
-let prove ?params:proof_params ~clog params =
+(* Correlation ids for query events: monotone per process, threaded by
+   callers into the verifier so a rejected query verdict can be joined
+   back to the proving attempt in the flight-recorder log. *)
+let query_counter = Atomic.make 0
+let fresh_query_id () = Atomic.fetch_and_add query_counter 1
+
+let prove_inner ?params:proof_params ~clog params =
   let t_q = Zkflow_obs.Span.start () in
   let t0 = now () in
   let* run = execute ~clog params in
@@ -93,6 +99,23 @@ let prove ?params:proof_params ~clog params =
       execute_s = t1 -. t0;
       prove_s = t2 -. t1;
     }
+
+let prove ?params ~clog query_params =
+  let qid = fresh_query_id () in
+  match prove_inner ?params ~clog query_params with
+  | Error e ->
+    Zkflow_obs.Event.emit ~query:qid ~track:"prover" "prover.query.error"
+      ~attrs:[ ("detail", Zkflow_util.Jsonx.Str e) ];
+    Error e
+  | Ok row ->
+    Zkflow_obs.Event.emit ~query:qid ~track:"prover" "prover.query.done"
+      ~attrs:
+        [
+          ("cycles", Zkflow_util.Jsonx.Num (float_of_int row.cycles));
+          ("result", Zkflow_util.Jsonx.Num (float_of_int row.journal.Guests.result));
+          ("matches", Zkflow_util.Jsonx.Num (float_of_int row.journal.Guests.matches));
+        ];
+    Ok row
 
 let sum_hops_between ~src ~dst =
   {

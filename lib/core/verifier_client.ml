@@ -3,31 +3,49 @@ module Receipt = Zkflow_zkproof.Receipt
 module Verify = Zkflow_zkproof.Verify
 module Board = Zkflow_commitlog.Board
 module Commitment = Zkflow_commitlog.Commitment
+module Event = Zkflow_obs.Event
+module Jsonx = Zkflow_util.Jsonx
 
 type verified_chain = { final_root : D.t; round_count : int }
 
 let ( let* ) = Result.bind
 
-let verify_round ?expected_prev ~board ~epoch receipt =
+(* Every verdict — accept or reject — is a flight-recorder event on
+   the verifier track, and a rejection names the check that failed so
+   a health report can count rejections by cause. *)
+let reject ?router ?epoch ?round ?query ~check detail =
+  Event.emit ?router ?epoch ?round ?query ~track:"verifier" "verifier.reject"
+    ~attrs:[ ("check", Jsonx.Str check); ("detail", Jsonx.Str detail) ];
+  Error detail
+
+let checked ?router ?epoch ?round ?query ~check = function
+  | Ok _ as ok -> ok
+  | Error detail -> reject ?router ?epoch ?round ?query ~check detail
+
+let verify_round ?expected_prev ?round ~board ~epoch receipt =
+  let check name r = checked ?round ~epoch ~check:name r in
   let program = Lazy.force Guests.aggregation_program in
-  let* () = Verify.verify ~program receipt in
+  let* () = check "proof" (Verify.verify ~program receipt) in
   let* journal =
-    Guests.parse_aggregation_journal receipt.Receipt.claim.Receipt.journal
+    check "journal"
+      (Guests.parse_aggregation_journal receipt.Receipt.claim.Receipt.journal)
   in
   let* () =
-    match expected_prev with
-    | None -> Ok ()
-    | Some root ->
-      if D.equal root journal.Guests.prev_root then Ok ()
-      else Error "client: aggregation round does not chain from expected root"
+    check "chain"
+      (match expected_prev with
+      | None -> Ok ()
+      | Some root ->
+        if D.equal root journal.Guests.prev_root then Ok ()
+        else Error "client: aggregation round does not chain from expected root")
   in
   (* Every router digest the guest consumed must be a commitment that
      was actually published for this epoch. *)
   let published = Board.routers board in
   let* () =
-    if List.length published <> List.length journal.Guests.router_digests then
-      Error "client: round covers a different router set than the board"
-    else Ok ()
+    check "router_set"
+      (if List.length published <> List.length journal.Guests.router_digests then
+         Error "client: round covers a different router set than the board"
+       else Ok ())
   in
   let rec check_routers routers digests =
     match (routers, digests) with
@@ -35,51 +53,90 @@ let verify_round ?expected_prev ~board ~epoch receipt =
     | router_id :: rs, digest :: ds -> (
       match Board.lookup board ~router_id ~epoch with
       | None ->
-        Error (Printf.sprintf "client: router %d published nothing for epoch %d" router_id epoch)
+        reject ?round ~router:router_id ~epoch ~check:"board_lookup"
+          (Printf.sprintf "client: router %d published nothing for epoch %d"
+             router_id epoch)
       | Some c ->
         if D.equal c.Commitment.batch digest then check_routers rs ds
         else
-          Error
-            (Printf.sprintf "client: router %d digest differs from the board" router_id))
-    | _ -> Error "client: router digest arity mismatch"
+          reject ?round ~router:router_id ~epoch ~check:"digest_match"
+            (Printf.sprintf "client: router %d digest differs from the board"
+               router_id))
+    | _ -> reject ?round ~epoch ~check:"arity" "client: router digest arity mismatch"
   in
   let* () = check_routers published journal.Guests.router_digests in
+  Event.emit ?round ~epoch ~track:"verifier" "verifier.round.accept"
+    ~attrs:[ ("new_root", Jsonx.Str (D.short journal.Guests.new_root)) ];
   Ok journal
 
 let verify_chain ~board rounds =
   let rec go prev count = function
-    | [] -> Ok { final_root = prev; round_count = count }
+    | [] ->
+      Event.emit ~track:"verifier" "verifier.chain.accept"
+        ~attrs:
+          [
+            ("rounds", Jsonx.Num (float_of_int count));
+            ("final_root", Jsonx.Str (D.short prev));
+          ];
+      Ok { final_root = prev; round_count = count }
     | (epoch, receipt) :: rest ->
-      let* journal = verify_round ~expected_prev:prev ~board ~epoch receipt in
+      let* journal = verify_round ~expected_prev:prev ~round:count ~board ~epoch receipt in
       go journal.Guests.new_root (count + 1) rest
   in
   go Clog.empty_root 0 rounds
 
-let verify_query ~expected_root receipt =
+let verify_query ?query ~expected_root receipt =
+  let check name r = checked ?query ~check:name r in
   let program = Lazy.force Guests.query_program in
-  let* () = Verify.verify ~program receipt in
-  let* journal = Guests.parse_query_journal receipt.Receipt.claim.Receipt.journal in
-  if D.equal journal.Guests.root expected_root then Ok journal
-  else Error "client: query ran against a different CLog root"
-
-let verify_disclosure ~expected_root (d : Prover_service.disclosure) =
-  let* () =
-    if List.length d.Prover_service.indices = List.length d.Prover_service.entries
-    then Ok ()
-    else Error "client: disclosure arity mismatch"
+  let* () = check "query.proof" (Verify.verify ~program receipt) in
+  let* journal =
+    check "query.journal"
+      (Guests.parse_query_journal receipt.Receipt.claim.Receipt.journal)
   in
   let* () =
-    if d.Prover_service.indices = Zkflow_merkle.Multiproof.indices d.Prover_service.proof
-    then Ok ()
-    else Error "client: disclosure indices do not match the proof"
+    check "query.root"
+      (if D.equal journal.Guests.root expected_root then Ok ()
+       else Error "client: query ran against a different CLog root")
+  in
+  Event.emit ?query ~track:"verifier" "verifier.query.accept"
+    ~attrs:
+      [
+        ("result", Jsonx.Num (float_of_int journal.Guests.result));
+        ("matches", Jsonx.Num (float_of_int journal.Guests.matches));
+      ];
+  Ok journal
+
+let verify_disclosure ~expected_root (d : Prover_service.disclosure) =
+  let check name r = checked ~check:name r in
+  let* () =
+    check "disclosure.arity"
+      (if List.length d.Prover_service.indices = List.length d.Prover_service.entries
+       then Ok ()
+       else Error "client: disclosure arity mismatch")
+  in
+  let* () =
+    check "disclosure.indices"
+      (if d.Prover_service.indices
+          = Zkflow_merkle.Multiproof.indices d.Prover_service.proof
+       then Ok ()
+       else Error "client: disclosure indices do not match the proof")
   in
   let leaf_hashes =
     Array.of_list (List.map Clog.leaf_digest d.Prover_service.entries)
   in
-  if Zkflow_merkle.Multiproof.verify ~root:expected_root d.Prover_service.proof leaf_hashes
-  then Ok d.Prover_service.entries
-  else Error "client: disclosure does not authenticate against the CLog root"
+  let* () =
+    check "disclosure.proof"
+      (if
+         Zkflow_merkle.Multiproof.verify ~root:expected_root d.Prover_service.proof
+           leaf_hashes
+       then Ok ()
+       else Error "client: disclosure does not authenticate against the CLog root")
+  in
+  Event.emit ~track:"verifier" "verifier.disclosure.accept"
+    ~attrs:
+      [ ("entries", Jsonx.Num (float_of_int (List.length d.Prover_service.entries))) ];
+  Ok d.Prover_service.entries
 
-let check_sla ~expected_root receipt ~predicate =
-  let* journal = verify_query ~expected_root receipt in
+let check_sla ?query ~expected_root receipt ~predicate =
+  let* journal = verify_query ?query ~expected_root receipt in
   Ok (predicate ~result:journal.Guests.result ~matches:journal.Guests.matches)

@@ -22,13 +22,18 @@ type verified_chain = {
 
 val verify_round :
   ?expected_prev:Zkflow_hash.Digest32.t ->
+  ?round:int ->
   board:Zkflow_commitlog.Board.t ->
   epoch:int ->
   Zkflow_zkproof.Receipt.t ->
   (Guests.agg_journal, string) result
 (** Verify one aggregation receipt: proof validity, image ID, board
     cross-check for [epoch], and (when given) the [expected_prev]
-    linkage. *)
+    linkage. Each verdict is also a flight-recorder event on the
+    [verifier] track — ["verifier.round.accept"], or
+    ["verifier.reject"] naming the failing check ([proof], [journal],
+    [chain], [router_set], [board_lookup], [digest_match], [arity]).
+    [?round] is the chain index carried on those events. *)
 
 val verify_chain :
   board:Zkflow_commitlog.Board.t ->
@@ -38,12 +43,16 @@ val verify_chain :
     threading the root linkage from the empty CLog. *)
 
 val verify_query :
+  ?query:int ->
   expected_root:Zkflow_hash.Digest32.t ->
   Zkflow_zkproof.Receipt.t ->
   (Guests.query_journal, string) result
 (** Verify a query receipt against the aggregated root the client just
     established via {!verify_chain}. Returns the journal, whose
-    [result]/[matches] are then trustworthy. *)
+    [result]/[matches] are then trustworthy. Emits
+    ["verifier.query.accept"] or ["verifier.reject"] (checks
+    [query.proof], [query.journal], [query.root]); [?query] is the
+    correlation id carried on those events. *)
 
 val verify_disclosure :
   expected_root:Zkflow_hash.Digest32.t ->
@@ -55,6 +64,7 @@ val verify_disclosure :
     now-trustworthy entries. *)
 
 val check_sla :
+  ?query:int ->
   expected_root:Zkflow_hash.Digest32.t ->
   Zkflow_zkproof.Receipt.t ->
   predicate:(result:int -> matches:int -> bool) ->

@@ -57,7 +57,15 @@ let packets rng profile ~flows:flow_arr ~rate_pps ~duration_ms =
       go (p :: acc) (t_ms +. (gap_s *. 1000.0))
     end
   in
-  go [] 0.0
+  let out = go [] 0.0 in
+  Zkflow_obs.Event.emit ~track:"gen" "gen.packets"
+    ~attrs:
+      [
+        ("count", Zkflow_util.Jsonx.Num (float_of_int (List.length out)));
+        ("flows", Zkflow_util.Jsonx.Num (float_of_int (Array.length flow_arr)));
+        ("duration_ms", Zkflow_util.Jsonx.Num (float_of_int duration_ms));
+      ];
+  out
 
 let records rng profile ~router_id ~count =
   let keys =

@@ -28,9 +28,23 @@ let inject t ~rng ~loss_rate (p : Packet.t) =
   in
   walk (t.route p.Packet.key)
 
+(* Every RLog export is a flight-recorder event on that router's
+   track: the origin hop of the round a verifier later accepts. *)
+let export_event kind (router_id, records) =
+  Zkflow_obs.Event.emit ~router:router_id
+    ~track:(Printf.sprintf "router.%d" router_id)
+    kind
+    ~attrs:[ ("records", Zkflow_util.Jsonx.Num (float_of_int (List.length records))) ];
+  (router_id, records)
+
 let expire t ~now =
   Array.to_list
-    (Array.map (fun r -> (Router.id r, Router.expire r ~now)) t.routers)
+    (Array.map
+       (fun r -> export_event "router.expire" (Router.id r, Router.expire r ~now))
+       t.routers)
 
 let flush t ~now =
-  Array.to_list (Array.map (fun r -> (Router.id r, Router.flush r ~now)) t.routers)
+  Array.to_list
+    (Array.map
+       (fun r -> export_event "router.export" (Router.id r, Router.flush r ~now))
+       t.routers)

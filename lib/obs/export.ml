@@ -53,7 +53,15 @@ let prometheus () =
       Buffer.add_string b
         (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n s.Metric.count);
       Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n s.Metric.sum);
-      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.Metric.count))
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.Metric.count);
+      (* Summary-style quantile estimates so a scrape sees tail
+         latency directly, not just raw bucket counts. *)
+      List.iter
+        (fun q ->
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"%g\"} %d\n" n q
+               (Metric.percentile s q)))
+        [ 0.5; 0.95; 0.99 ])
     (Metric.histograms ());
   let spans = Span.totals () in
   if spans <> [] then begin
@@ -85,8 +93,11 @@ let stats_json () =
     String.concat ","
       (List.map
          (fun (name, (s : Metric.histogram_snapshot)) ->
-           Printf.sprintf "%s:{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":[%s]}"
+           Printf.sprintf
+             "%s:{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"buckets\":[%s]}"
              (Jsonx.quote name) s.Metric.count s.Metric.sum s.Metric.max_value
+             (Metric.percentile s 0.5) (Metric.percentile s 0.95)
+             (Metric.percentile s 0.99)
              (String.concat ","
                 (List.map
                    (fun (le, cum) -> Printf.sprintf "[%d,%d]" le cum)

@@ -101,28 +101,62 @@ let observe h v = if Control.on () then begin
     Mutex.unlock h.h_lock
   end
 
-let snapshot h =
-  Mutex.lock h.h_lock;
+let snapshot_of_buckets ~count ~sum ~max_value buckets_arr =
   let last_used = ref (-1) in
-  Array.iteri (fun i n -> if n > 0 then last_used := i) h.buckets;
+  Array.iteri (fun i n -> if n > 0 then last_used := i) buckets_arr;
   let cum = ref 0 in
   let buckets = ref [] in
   for i = 0 to !last_used do
-    cum := !cum + h.buckets.(i);
+    cum := !cum + buckets_arr.(i);
     (* le bound of bucket i: largest value with bit length i. *)
     let le = if i = 0 then 0 else (1 lsl i) - 1 in
     buckets := (le, !cum) :: !buckets
   done;
+  {
+    count;
+    sum;
+    max_value = (if count = 0 then 0 else max_value);
+    buckets = List.rev !buckets;
+  }
+
+let snapshot h =
+  Mutex.lock h.h_lock;
   let s =
-    {
-      count = h.count;
-      sum = h.sum;
-      max_value = (if h.count = 0 then 0 else h.max_value);
-      buckets = List.rev !buckets;
-    }
+    snapshot_of_buckets ~count:h.count ~sum:h.sum ~max_value:h.max_value h.buckets
   in
   Mutex.unlock h.h_lock;
   s
+
+(* Pure variant for consumers that already hold the values (the round
+   summaries a health report replays, for instance) and want the same
+   log2-bucket percentile estimates without touching the registry or
+   the telemetry gate. *)
+let snapshot_of_values vs =
+  let buckets = Array.make 63 0 in
+  let count = ref 0 and sum = ref 0 and max_value = ref min_int in
+  List.iter
+    (fun v ->
+      let i = bucket_index v in
+      buckets.(i) <- buckets.(i) + 1;
+      incr count;
+      sum := !sum + v;
+      if v > !max_value then max_value := v)
+    vs;
+  snapshot_of_buckets ~count:!count ~sum:!sum ~max_value:!max_value buckets
+
+let percentile (s : histogram_snapshot) q =
+  if s.count = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int s.count))) in
+    let rec find = function
+      | [] -> s.max_value
+      | (le, cum) :: rest -> if cum >= rank then le else find rest
+    in
+    (* A bucket's [le] is an upper bound; the true maximum is a
+       tighter one for the top bucket. *)
+    min (find s.buckets) s.max_value
+  end
 
 let sorted_by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
 

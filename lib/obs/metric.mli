@@ -48,6 +48,19 @@ type histogram_snapshot = {
 
 val snapshot : histogram -> histogram_snapshot
 
+val snapshot_of_values : int list -> histogram_snapshot
+(** Bucket a list of values through the same log2 scheme without
+    registering a histogram (and regardless of the telemetry gate) —
+    for offline consumers such as [zkflow monitor] replaying round
+    latencies out of an event log. *)
+
+val percentile : histogram_snapshot -> float -> int
+(** [percentile s q] for [q] in [0..1] (e.g. [0.5], [0.95], [0.99]):
+    the upper bound of the first bucket whose cumulative count reaches
+    rank [ceil (q * count)], capped at the observed maximum. [0] when
+    the histogram is empty. The estimate errs high by at most the
+    bucket width (a factor of 2). *)
+
 val counters : unit -> (string * int) list
 (** Every registered counter with its current value, sorted by name. *)
 

@@ -4,7 +4,8 @@ let disable () = Control.set false
 
 let reset () =
   Metric.reset_all ();
-  Span.reset ()
+  Span.reset ();
+  Event.reset ()
 
 let with_enabled f =
   reset ();
@@ -16,6 +17,8 @@ let write_trace path =
   output_string oc (Export.trace_json ());
   output_char oc '\n';
   close_out oc
+
+let write_events ?append path = Event.write_jsonl ?append path
 
 let span_totals_s () =
   List.map

@@ -30,8 +30,9 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val reset : unit -> unit
-(** Zero all metrics and drop all recorded spans (registrations
-    persist). Call between workloads being compared. *)
+(** Zero all metrics, drop all recorded spans and all buffered
+    events (registrations persist). Call between workloads being
+    compared. *)
 
 val with_enabled : (unit -> 'a) -> 'a
 (** [with_enabled f]: reset, enable, run [f], disable (also on
@@ -40,6 +41,11 @@ val with_enabled : (unit -> 'a) -> 'a
 
 val write_trace : string -> unit
 (** Write {!Export.trace_json} to a file. *)
+
+val write_events : ?append:bool -> string -> unit
+(** Flush the buffered {!Event} log to a JSONL file (and clear the
+    buffer). The pipeline CLI appends each stage's events to one
+    shared file so [zkflow monitor] can replay the whole run. *)
 
 val span_totals_s : unit -> (string * (int * float)) list
 (** Per-span-name [(count, total seconds)], sorted by name — the

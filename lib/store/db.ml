@@ -28,16 +28,21 @@ let insert t record =
 let insert_batch t records = List.iter (insert t) records
 
 let window t ~router_id ~epoch =
-  match Hashtbl.find_opt t.windows (router_id, epoch) with
-  | None -> [||]
-  | Some tbl ->
-    Array.init (Table.length tbl) (fun i ->
-        match Table.get tbl i with
-        | Some row -> (
-          match Codec.record_of_row row with
-          | Ok r -> r
-          | Error e -> failwith ("Db.window: corrupt row: " ^ e))
-        | None -> assert false)
+  let records =
+    match Hashtbl.find_opt t.windows (router_id, epoch) with
+    | None -> [||]
+    | Some tbl ->
+      Array.init (Table.length tbl) (fun i ->
+          match Table.get tbl i with
+          | Some row -> (
+            match Codec.record_of_row row with
+            | Ok r -> r
+            | Error e -> failwith ("Db.window: corrupt row: " ^ e))
+          | None -> assert false)
+  in
+  Zkflow_obs.Event.emit ~router:router_id ~epoch ~track:"store" "store.window"
+    ~attrs:[ ("records", Zkflow_util.Jsonx.Num (float_of_int (Array.length records))) ];
+  records
 
 let routers t =
   Hashtbl.fold (fun (r, _) _ acc -> r :: acc) t.windows []
@@ -80,4 +85,8 @@ let recover ~wal_path ~epoch =
     in
     go rows
 
-let sync t = Option.iter Wal.sync t.wal
+let sync t =
+  Option.iter Wal.sync t.wal;
+  if Zkflow_obs.Control.on () then
+    Zkflow_obs.Event.emit ~track:"store" "store.sync"
+      ~attrs:[ ("records", Zkflow_util.Jsonx.Num (float_of_int (record_count t))) ]

@@ -1,0 +1,190 @@
+(* End-to-end CLI tests: drive the installed binary the way a user
+   (or the CI smoke job) does. Covers the flight-recorder workflow —
+   simulate/prove/verify with --events, then monitor and trace-check
+   over the recorded log — plus the failure-mode contracts: stats on
+   missing/corrupt state is a one-line error with a nonzero exit, and
+   bench-diff exits nonzero exactly when a regression is present. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* This test lives in _build/default/test and the binary in
+   _build/default/bin; resolve it relative to the running executable
+   so the path holds under both `dune runtest` and `dune exec`. *)
+let zkflow =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) Filename.parent_dir_name)
+    (Filename.concat "bin" "zkflow.exe")
+
+let run args =
+  let cmd = Printf.sprintf "%s %s 2>&1" zkflow (String.concat " " args) in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  (code, Buffer.contents buf)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "zkflow-cli-%d-%d" (Unix.getpid ()) !counter)
+    in
+    if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+    d
+
+let write_text path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* ---- stats failure modes ---- *)
+
+let test_stats_missing_state () =
+  let dir = fresh_dir () in
+  let code, out = run [ "stats"; "--dir"; dir ] in
+  check_int "nonzero exit" 1 code;
+  check_bool "one-line error" true (List.length (String.split_on_char '\n' (String.trim out)) = 1);
+  check_bool "says error" true (contains ~needle:"error:" out);
+  check_bool "no backtrace" false (contains ~needle:"Raised" out)
+
+let test_stats_corrupt_service () =
+  let dir = fresh_dir () in
+  let code, _ = run [ "simulate"; "--dir"; dir; "--flows"; "4"; "--rate"; "50"; "--duration"; "1500" ] in
+  check_int "simulate ok" 0 code;
+  write_text (Filename.concat dir "service.bin") "garbage, not wire format";
+  let code, out = run [ "stats"; "--dir"; dir ] in
+  check_int "nonzero exit" 1 code;
+  check_bool "names the file" true (contains ~needle:"service.bin" out);
+  check_bool "diagnosis, not backtrace" true (contains ~needle:"corrupt state" out);
+  check_bool "no backtrace" false (contains ~needle:"Raised" out)
+
+(* ---- the flight-recorder workflow ---- *)
+
+let test_events_workflow () =
+  let dir = fresh_dir () in
+  let events = Filename.concat dir "events.jsonl" in
+  let code, out =
+    run
+      [ "simulate"; "--dir"; dir; "--events"; events; "--flows"; "6"; "--rate";
+        "80"; "--duration"; "2000"; "--routers"; "3" ]
+  in
+  check_int ("simulate: " ^ out) 0 code;
+  let code, out =
+    run [ "prove"; "--dir"; dir; "--events"; events; "--queries"; "8"; "--src"; "10.0.0.1" ]
+  in
+  check_int ("prove: " ^ out) 0 code;
+  let code, out = run [ "verify"; "--dir"; dir; "--events"; events ] in
+  check_int ("verify: " ^ out) 0 code;
+  (* the log validates: schema, monotone tracks, causality *)
+  let code, out = run [ "trace-check"; "--events"; events ] in
+  check_int ("trace-check: " ^ out) 0 code;
+  (* the health report sees a clean pipeline *)
+  let code, out = run [ "monitor"; "--dir"; dir; "--strict" ] in
+  check_int ("monitor: " ^ out) 0 code;
+  check_bool "healthy" true (contains ~needle:"health: OK" out);
+  check_bool "no rejects" true (contains ~needle:"rejects: none" out);
+  check_bool "latency percentiles" true (contains ~needle:"p99" out);
+  (* machine-readable report parses and agrees *)
+  let code, out = run [ "monitor"; "--dir"; dir; "--json" ] in
+  check_int "monitor --json exit" 0 code;
+  (match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("monitor json does not parse: " ^ e)
+  | Ok v ->
+    check_bool "healthy in json" true
+      (Zkflow_util.Jsonx.member "healthy" v = Some (Zkflow_util.Jsonx.Bool true)));
+  (* stats works and surfaces percentiles *)
+  let code, out = run [ "stats"; "--dir"; dir ] in
+  check_int ("stats: " ^ out) 0 code;
+  check_bool "round cycle percentiles" true (contains ~needle:"round cycles: p50" out)
+
+let test_monitor_missing_log () =
+  let dir = fresh_dir () in
+  let code, out = run [ "monitor"; "--dir"; dir ] in
+  check_int "nonzero exit" 1 code;
+  check_bool "points at --events" true (contains ~needle:"--events" out)
+
+(* ---- bench-diff ---- *)
+
+let old_bench =
+  {|{"env":{},"rows":[
+     {"records":100,"agg_prove_s":1.0,"agg_cycles":5000,
+      "phases":{"merkle":{"count":3,"total_s":0.4}},"pool":{"utilization":0.5}},
+     {"records":200,"agg_prove_s":2.0,"agg_cycles":9000,
+      "phases":{"merkle":{"count":3,"total_s":0.8}}}]}|}
+
+let regressed_bench =
+  {|{"env":{},"rows":[
+     {"records":100,"agg_prove_s":1.6,"agg_cycles":5000,
+      "phases":{"merkle":{"count":3,"total_s":0.4}},"pool":{"utilization":0.5}},
+     {"records":200,"agg_prove_s":2.0,"agg_cycles":9000,
+      "phases":{"merkle":{"count":3,"total_s":0.8}}}]}|}
+
+let test_bench_diff_regression () =
+  let dir = fresh_dir () in
+  let old_f = Filename.concat dir "old.json" in
+  let new_f = Filename.concat dir "new.json" in
+  write_text old_f old_bench;
+  write_text new_f regressed_bench;
+  let code, out = run [ "bench-diff"; old_f; new_f ] in
+  check_int "regression exits nonzero" 1 code;
+  check_bool "names the field" true (contains ~needle:"agg_prove_s" out);
+  check_bool "names the row" true (contains ~needle:"records=100" out);
+  (* identical artifacts pass, and so does the regressed one at a
+     threshold above the slowdown *)
+  let code, _ = run [ "bench-diff"; old_f; old_f ] in
+  check_int "identity passes" 0 code;
+  let code, _ = run [ "bench-diff"; old_f; new_f; "--threshold"; "0.8" ] in
+  check_int "loose threshold passes" 0 code
+
+let test_bench_diff_json () =
+  let dir = fresh_dir () in
+  let old_f = Filename.concat dir "old.json" in
+  write_text old_f old_bench;
+  let code, out = run [ "bench-diff"; old_f; old_f; "--json" ] in
+  check_int "exit" 0 code;
+  match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("bench-diff json does not parse: " ^ e)
+  | Ok v ->
+    check_bool "ok flag" true
+      (Zkflow_util.Jsonx.member "ok" v = Some (Zkflow_util.Jsonx.Bool true))
+
+let () =
+  Alcotest.run "zkflow_cli"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "missing state is a one-line error" `Quick
+            test_stats_missing_state;
+          Alcotest.test_case "corrupt service.bin is a one-line error" `Quick
+            test_stats_corrupt_service;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "simulate/prove/verify -> monitor" `Quick
+            test_events_workflow;
+          Alcotest.test_case "monitor without a log" `Quick test_monitor_missing_log;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "regression detection and thresholds" `Quick
+            test_bench_diff_regression;
+          Alcotest.test_case "json output" `Quick test_bench_diff_json;
+        ] );
+    ]

@@ -91,6 +91,90 @@ let test_board_chains_per_router () =
   Alcotest.(check (list int)) "routers" [ 0; 1 ] (Board.routers board);
   check_int "router 0 history" 2 (List.length (Board.commitments board ~router_id:0))
 
+(* ---- Board export/replay round-trip (property) ---- *)
+
+(* Arbitrary publication schedules: raw (router, epoch, count) triples
+   are normalized into the valid subsequence a real deployment would
+   produce (strictly increasing epochs per router), published via
+   digests, exported, and replayed through [import] (which drives
+   [publish_digest]). The replayed board must be observationally equal
+   — same export text, same chain heads — and the publications the
+   normalization dropped must be exactly the ones the board rejects. *)
+let normalize_schedule triples =
+  let last = Hashtbl.create 8 in
+  List.filter
+    (fun (router_id, epoch, _) ->
+      match Hashtbl.find_opt last router_id with
+      | Some prev when epoch <= prev -> false
+      | _ ->
+        Hashtbl.replace last router_id epoch;
+        true)
+    triples
+
+let schedule_digest ~router_id ~epoch =
+  Zkflow_hash.Digest32.hash_string (Printf.sprintf "pub-%d-%d" router_id epoch)
+
+let publish_schedule board =
+  List.iter (fun (router_id, epoch, record_count) ->
+      match
+        Board.publish_digest board
+          ~batch:(schedule_digest ~router_id ~epoch)
+          ~record_count ~router_id ~epoch
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("valid publication rejected: " ^ e))
+
+let prop_board_export_roundtrip =
+  QCheck.Test.make ~name:"export/import replay is observationally equal" ~count:100
+    QCheck.(
+      list_of_size Gen.(0 -- 25)
+        (triple (int_bound 3) (int_bound 30) (int_bound 100)))
+    (fun triples ->
+      let valid = normalize_schedule triples in
+      let board = Board.create () in
+      publish_schedule board valid;
+      let text = Board.export board in
+      match Board.import text with
+      | Error e -> QCheck.Test.fail_reportf "replay failed: %s" e
+      | Ok replayed ->
+        Board.export replayed = text
+        && List.for_all
+             (fun router_id ->
+               Zkflow_hash.Digest32.equal
+                 (Board.chain_head board ~router_id)
+                 (Board.chain_head replayed ~router_id))
+             (Board.routers board))
+
+let prop_board_rejects_invalid =
+  QCheck.Test.make ~name:"double and out-of-order publications rejected" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 15)
+           (triple (int_bound 3) (int_bound 30) (int_bound 100)))
+        (pair (int_bound 3) (int_bound 30)))
+    (fun (triples, (router_id, epoch)) ->
+      let valid = normalize_schedule triples in
+      let board = Board.create () in
+      publish_schedule board valid;
+      let republish ep =
+        Board.publish_digest board
+          ~batch:(schedule_digest ~router_id ~epoch:ep)
+          ~record_count:1 ~router_id ~epoch:ep
+      in
+      match
+        List.rev (List.filter (fun (r, _, _) -> r = router_id) valid)
+      with
+      | [] ->
+        (* No history for this router: any epoch is acceptable. *)
+        Result.is_ok (republish epoch)
+      | (_, last, _) :: _ ->
+        (* Double publication of the last epoch and any out-of-order
+           (non-advancing) epoch are both rejected; the next epoch is
+           accepted. *)
+        Result.is_error (republish last)
+        && Result.is_error (republish (min last epoch))
+        && Result.is_ok (republish (last + 1)))
+
 (* ---- TEE ---- *)
 
 open Zkflow_tee
@@ -191,6 +275,8 @@ let () =
           Alcotest.test_case "rejects rewrite" `Quick test_board_rejects_rewrite;
           Alcotest.test_case "epoch monotonic" `Quick test_board_epoch_monotonic;
           Alcotest.test_case "per-router chains" `Quick test_board_chains_per_router;
+          QCheck_alcotest.to_alcotest prop_board_export_roundtrip;
+          QCheck_alcotest.to_alcotest prop_board_rejects_invalid;
         ] );
       ( "enclave",
         [

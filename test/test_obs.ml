@@ -93,6 +93,181 @@ let test_reset_zeroes () =
       check_int "counter zeroed" 0 (Metric.value c);
       check_int "spans dropped" 0 (List.length (Span.events ())))
 
+(* ---- percentiles from log2 buckets ---- *)
+
+let test_percentile () =
+  let s = Metric.snapshot_of_values (List.init 100 (fun i -> i + 1)) in
+  check_int "count" 100 s.Metric.count;
+  (* values 1..100: rank 50 lands in the [32,63] bucket, whose le
+     bound is the reported (upper-bound) percentile *)
+  check_int "p50 upper bound" 63 (Metric.percentile s 0.50);
+  (* the tail bucket's bound exceeds the max, so the max wins *)
+  check_int "p99 capped at max" 100 (Metric.percentile s 0.99);
+  check_int "p100 is max" 100 (Metric.percentile s 1.0);
+  check_int "q clamped below" 1 (Metric.percentile s (-3.0));
+  let single = Metric.snapshot_of_values [ 7 ] in
+  check_int "single value" 7 (Metric.percentile single 0.5);
+  let empty = Metric.snapshot_of_values [] in
+  check_int "empty is 0" 0 (Metric.percentile empty 0.5)
+
+(* ---- events: the pipeline flight recorder ---- *)
+
+module Event = Zkflow_obs.Event
+
+let test_event_disabled_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  Event.emit ~track:"test" "test.noop";
+  check_int "disabled emit ignored" 0 (List.length (Event.events ()))
+
+let test_event_fields () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      Event.emit ~router:2 ~epoch:5 ~round:1 ~track:"prover" "prover.round.done"
+        ~attrs:[ ("cycles", Jsonx.Num 42.) ]);
+  match Event.events () with
+  | [ e ] ->
+    Alcotest.(check string) "track" "prover" e.Event.track;
+    Alcotest.(check string) "kind" "prover.round.done" e.Event.kind;
+    Alcotest.(check (option int)) "router" (Some 2) e.Event.router;
+    Alcotest.(check (option int)) "epoch" (Some 5) e.Event.epoch;
+    Alcotest.(check (option int)) "round" (Some 1) e.Event.round;
+    Alcotest.(check (option int)) "query" None e.Event.query;
+    check_bool "ts positive" true (e.Event.ts_ns > 0);
+    check_bool "attr kept" true
+      (List.assoc_opt "cycles" e.Event.attrs = Some (Jsonx.Num 42.))
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs))
+
+let test_event_ring_drops_oldest () =
+  Obs.reset ();
+  let saved = Event.capacity () in
+  Event.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () -> Event.set_capacity saved)
+    (fun () ->
+      Obs.with_enabled (fun () ->
+          for i = 0 to 5 do
+            Event.emit ~epoch:i ~track:"test" "test.tick"
+          done);
+      let evs = Event.events () in
+      check_int "ring holds capacity" 4 (List.length evs);
+      check_int "two dropped" 2 (Event.dropped ());
+      match evs with
+      | first :: _ ->
+        Alcotest.(check (option int)) "oldest surviving epoch" (Some 2)
+          first.Event.epoch
+      | [] -> Alcotest.fail "empty ring")
+
+let test_event_json_roundtrip () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      Event.emit ~router:1 ~epoch:3 ~track:"board" "board.publish"
+        ~attrs:[ ("batch", Jsonx.Str "ab\"cd\n"); ("records", Jsonx.Num 8.) ]);
+  let e = List.hd (Event.events ()) in
+  let line = Jsonx.to_string (Event.to_json e) in
+  match Event.parse_line line with
+  | Error err -> Alcotest.fail ("round-trip parse failed: " ^ err)
+  | Ok e' ->
+    check_bool "round-trips" true (e = e');
+    (* flush produces the same line (plus newline) and clears the ring *)
+    let buf = Buffer.create 128 in
+    Event.flush (Buffer.add_string buf);
+    Alcotest.(check string) "flush line" (line ^ "\n") (Buffer.contents buf);
+    check_int "flushed ring empty" 0 (List.length (Event.events ()))
+
+(* ---- prometheus quantiles ---- *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_prometheus_quantiles () =
+  Obs.with_enabled (fun () ->
+      let h = Metric.histogram "test.quant" in
+      List.iter (Metric.observe h) [ 1; 10; 100 ]);
+  let text = Export.prometheus () in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " in prometheus dump") true (contains ~needle text))
+    [ "quantile=\"0.5\""; "quantile=\"0.95\""; "quantile=\"0.99\"" ]
+
+(* ---- monitor: health reports from synthetic event logs ---- *)
+
+let ev ?router ?epoch ?round ?(attrs = []) ~ts track kind =
+  { Event.ts_ns = ts; track; kind; router; epoch; round; query = None; attrs }
+
+let test_monitor_lag_and_gaps () =
+  let events =
+    [
+      (* router 0 publishes epochs 0,1,2; router 1 publishes 0 then 2
+         (gap at 1); router 2 stops after epoch 0 (lag 2) *)
+      ev ~router:0 ~epoch:0 ~ts:1 "router.0" "board.publish";
+      ev ~router:1 ~epoch:0 ~ts:2 "router.1" "board.publish";
+      ev ~router:2 ~epoch:0 ~ts:3 "router.2" "board.publish";
+      ev ~router:0 ~epoch:1 ~ts:4 "router.0" "board.publish";
+      ev ~router:0 ~epoch:2 ~ts:5 "router.0" "board.publish";
+      ev ~router:1 ~epoch:2 ~ts:6 "router.1" "board.publish";
+      (* a replay must NOT count as a publication *)
+      ev ~router:2 ~epoch:1 ~ts:7 "board" "board.replay";
+    ]
+  in
+  let r = Monitor.build events in
+  Alcotest.(check (list int)) "epochs" [ 0; 1; 2 ] r.Monitor.epochs;
+  (match r.Monitor.routers with
+  | [ r0; r1; r2 ] ->
+    check_int "r0 lag" 0 r0.Monitor.lag;
+    Alcotest.(check (list int)) "r0 no gaps" [] r0.Monitor.missed;
+    check_int "r1 lag" 0 r1.Monitor.lag;
+    Alcotest.(check (list int)) "r1 gap at epoch 1" [ 1 ] r1.Monitor.missed;
+    check_int "r2 lag" 2 r2.Monitor.lag;
+    Alcotest.(check (option int)) "r2 last epoch" (Some 0) r2.Monitor.last_epoch
+  | rs -> Alcotest.fail (Printf.sprintf "expected 3 routers, got %d" (List.length rs)));
+  check_bool "degraded" false (Monitor.healthy r)
+
+let test_monitor_rounds_and_rejects () =
+  let ms n = n * 1_000_000 in
+  let events =
+    [
+      ev ~router:0 ~epoch:0 ~ts:1 "router.0" "board.publish";
+      ev ~epoch:0 ~round:0 ~ts:(ms 10) "prover" "prover.round.start"
+        ~attrs:[ ("queue_depth", Jsonx.Num 2.) ];
+      ev ~epoch:0 ~round:0 ~ts:(ms 30) "prover" "prover.round.done"
+        ~attrs:[ ("prove_ns", Jsonx.Num (float_of_int (ms 15))) ];
+      ev ~epoch:1 ~round:1 ~ts:(ms 40) "prover" "prover.round.start"
+        ~attrs:[ ("queue_depth", Jsonx.Num 1.) ];
+      ev ~epoch:1 ~round:1 ~ts:(ms 45) "prover" "prover.round.error"
+        ~attrs:[ ("detail", Jsonx.Str "router 1 has no published commitment") ];
+      ev ~epoch:0 ~round:0 ~ts:(ms 50) "verifier" "verifier.round.accept";
+      ev ~epoch:1 ~round:1 ~ts:(ms 60) "verifier" "verifier.reject"
+        ~attrs:[ ("check", Jsonx.Str "digest_match") ];
+      ev ~epoch:1 ~round:1 ~ts:(ms 61) "verifier" "verifier.reject"
+        ~attrs:[ ("check", Jsonx.Str "digest_match") ];
+      ev ~ts:(ms 62) "verifier" "verifier.reject"
+        ~attrs:[ ("check", Jsonx.Str "query.root") ];
+    ]
+  in
+  let r = Monitor.build events in
+  check_int "started" 2 r.Monitor.rounds_started;
+  check_int "done" 1 r.Monitor.rounds_done;
+  check_int "error" 1 r.Monitor.rounds_error;
+  check_int "accepts" 1 r.Monitor.verifier_accepts;
+  Alcotest.(check (list (pair string int)))
+    "rejects by cause"
+    [ ("digest_match", 2); ("query.root", 1) ]
+    r.Monitor.verifier_rejects;
+  check_int "max queue depth" 2 r.Monitor.max_queue_depth;
+  (match r.Monitor.round_latency with
+  | Some l ->
+    check_int "one completed round measured" 1 l.Monitor.count;
+    check_bool "p50 bounds 20ms" true (l.Monitor.p50_ns >= ms 20)
+  | None -> Alcotest.fail "no round latency");
+  check_bool "degraded" false (Monitor.healthy r);
+  (* report serializes *)
+  match Jsonx.parse (Jsonx.to_string (Monitor.to_json r)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("monitor json: " ^ e)
+
 (* ---- spans: nesting and parent reconstruction ---- *)
 
 let test_span_parents () =
@@ -187,11 +362,6 @@ let test_stats_json_parses () =
       | None -> Alcotest.fail (name ^ " not registered"))
     [ "sha256.compressions"; "merkle.nodes_hashed"; "zkvm.cycles" ]
 
-let contains ~needle hay =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  nn = 0 || go 0
-
 let test_prometheus_mentions_metrics () =
   ignore (run_traced_round ());
   let text = Export.prometheus () in
@@ -199,6 +369,79 @@ let test_prometheus_mentions_metrics () =
     (fun needle ->
       check_bool (needle ^ " in prometheus dump") true (contains ~needle text))
     [ "zkflow_sha256_compressions"; "zkflow_span_seconds_total" ]
+
+(* ---- differential: the event log never changes proof outputs ---- *)
+
+(* A full pipeline pass — insert, publish, aggregate, query — run
+   twice from the same seed: once with the flight recorder off, once
+   on. Receipts, roots, and journals must be bit-identical; only the
+   event log differs. *)
+let pipeline_pass () =
+  let d = Zkflow.deploy ~proof_params:params () in
+  let rng = Zkflow_util.Rng.create 0xf11e5L in
+  let records = Gen.records rng Gen.default_profile ~router_id:0 ~count:6 in
+  Array.iter (fun r -> Zkflow_store.Db.insert d.Zkflow.db r) records;
+  let epoch = List.hd (Zkflow_store.Db.epochs d.Zkflow.db) in
+  (match Prover_service.publish_epoch d.Zkflow.service ~epoch with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let round =
+    match Prover_service.aggregate_epoch d.Zkflow.service ~epoch with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let row =
+    match Prover_service.query d.Zkflow.service Query.flow_count with
+    | Ok row -> row
+    | Error e -> Alcotest.fail e
+  in
+  (round, row)
+
+let test_differential_pipeline_events () =
+  Obs.reset ();
+  Obs.disable ();
+  let off_round, off_q = pipeline_pass () in
+  check_int "no events while disabled" 0 (List.length (Event.events ()));
+  let on_round, on_q = Obs.with_enabled pipeline_pass in
+  check_bool "round receipt bit-identical" true
+    (Zkflow_zkproof.Receipt.encode off_round.Aggregate.receipt
+    = Zkflow_zkproof.Receipt.encode on_round.Aggregate.receipt);
+  Alcotest.check digest "clog root identical"
+    (Clog.root off_round.Aggregate.clog)
+    (Clog.root on_round.Aggregate.clog);
+  Alcotest.check digest "journal root identical"
+    off_round.Aggregate.journal.Guests.new_root
+    on_round.Aggregate.journal.Guests.new_root;
+  check_bool "query receipt bit-identical" true
+    (Zkflow_zkproof.Receipt.encode off_q.Query.receipt
+    = Zkflow_zkproof.Receipt.encode on_q.Query.receipt);
+  (* and the enabled run actually recorded the pipeline story *)
+  let kinds =
+    List.sort_uniq String.compare
+      (List.map (fun e -> e.Event.kind) (Event.events ()))
+  in
+  List.iter
+    (fun k -> check_bool (k ^ " recorded") true (List.mem k kinds))
+    [ "board.publish"; "store.window"; "prover.round.start"; "prover.round.done";
+      "prover.query.done" ]
+
+let test_tamper_reject_event () =
+  Obs.reset ();
+  let outcome = Obs.with_enabled Tamper.forge_query_state in
+  check_bool "tamper detected" true outcome.Tamper.detected;
+  let rejects =
+    List.filter (fun e -> e.Event.kind = "verifier.reject") (Event.events ())
+  in
+  check_bool "rejection recorded" true (rejects <> []);
+  check_bool "cause named" true
+    (List.exists
+       (fun e -> List.assoc_opt "check" e.Event.attrs = Some (Jsonx.Str "query.root"))
+       rejects);
+  (* the health report surfaces it by cause *)
+  let r = Monitor.build (Event.events ()) in
+  check_bool "monitor counts the rejection" true
+    (List.assoc_opt "query.root" r.Monitor.verifier_rejects = Some 1);
+  check_bool "monitor reports degraded" false (Monitor.healthy r)
 
 (* ---- restored marker through save/load ---- *)
 
@@ -251,6 +494,10 @@ let () =
         [
           Alcotest.test_case "receipts identical on/off" `Quick
             test_differential_receipts;
+          Alcotest.test_case "pipeline identical with event log" `Quick
+            test_differential_pipeline_events;
+          Alcotest.test_case "tamper rejection reaches the flight log" `Quick
+            test_tamper_reject_event;
         ] );
       ( "metric",
         [
@@ -259,6 +506,21 @@ let () =
             test_counter_multidomain;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "reset zeroes" `Quick test_reset_zeroes;
+          Alcotest.test_case "percentiles from log2 buckets" `Quick test_percentile;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_event_disabled_noop;
+          Alcotest.test_case "fields and attrs" `Quick test_event_fields;
+          Alcotest.test_case "ring drops oldest" `Quick test_event_ring_drops_oldest;
+          Alcotest.test_case "json round-trip and flush" `Quick
+            test_event_json_roundtrip;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "lag and gap detection" `Quick test_monitor_lag_and_gaps;
+          Alcotest.test_case "rounds, latency, rejects by cause" `Quick
+            test_monitor_rounds_and_rejects;
         ] );
       ( "span",
         [
@@ -270,6 +532,7 @@ let () =
           Alcotest.test_case "trace_event schema" `Quick test_trace_json_schema;
           Alcotest.test_case "stats json" `Quick test_stats_json_parses;
           Alcotest.test_case "prometheus" `Quick test_prometheus_mentions_metrics;
+          Alcotest.test_case "prometheus quantiles" `Quick test_prometheus_quantiles;
         ] );
       ( "service",
         [
