@@ -2,7 +2,7 @@
 # bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
 # exercised even where the default would be sequential, plus the
 # static analyzer over the built-in guests and every example query.
-.PHONY: all build test check lint bench bench-smoke
+.PHONY: all build test check lint bench bench-smoke chaos
 
 all: build
 
@@ -44,6 +44,35 @@ bench-smoke: build
 	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --strict
 	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --json \
 	  > health-smoke.json
+
+# Deterministic fault-injection matrix: 8 seeded random plans plus the
+# curated ones under chaos/plans/. Every run must end verified — either
+# complete or explicitly degraded (safety: the final root is
+# bit-identical to an uninterrupted twin; liveness: any open gap names
+# a destroyed export). Per-plan artifacts land in chaos-out/<plan>/:
+# the flight-recorder event log, the machine-readable report, and the
+# strict health verdict (advisory — plans that inject board rejects or
+# unhealable drops degrade health by design, which is what the
+# recorded verdict documents).
+chaos: build
+	rm -rf chaos-out
+	mkdir -p chaos-out
+	for seed in 1 2 3 4 5 6 7 8; do \
+	  dune exec bin/zkflow.exe -- chaos --seed $$seed \
+	    --dir chaos-out/seed-$$seed --json \
+	    > chaos-out/seed-$$seed-report.json || exit 1; \
+	  dune exec bin/zkflow.exe -- monitor --dir chaos-out/seed-$$seed --strict \
+	    > chaos-out/seed-$$seed-health.txt || true; \
+	done
+	for plan in chaos/plans/*.json; do \
+	  name=$$(basename $$plan .json); \
+	  dune exec bin/zkflow.exe -- chaos --plan $$plan \
+	    --dir chaos-out/$$name --json \
+	    > chaos-out/$$name-report.json || exit 1; \
+	  dune exec bin/zkflow.exe -- monitor --dir chaos-out/$$name --strict \
+	    > chaos-out/$$name-health.txt || true; \
+	done
+	@echo "chaos: all plans ended verified (reports in chaos-out/)"
 
 bench:
 	dune exec bench/main.exe

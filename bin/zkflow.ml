@@ -28,10 +28,10 @@ open Zkflow_core
 let ( let* ) = Result.bind
 let ( // ) = Filename.concat
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_bytes oc contents;
-  close_out oc
+(* All state files land via write-temp-then-rename: a crash mid-write
+   (or a concurrent reader) sees either the old complete file or the
+   new complete file, never a torn one. *)
+let write_file path contents = Zkflow_store.Wal.write_file_atomic path contents
 
 let read_file path =
   if not (Sys.file_exists path) then Error (path ^ ": not found")
@@ -50,6 +50,7 @@ let receipts_path dir = dir // "receipts.bin"
 let query_path dir = dir // "query.bin"
 let service_path dir = dir // "service.bin"
 let events_path dir = dir // "events.jsonl"
+let ckpt_path dir = dir // "checkpoints.wal"
 
 let epoch_policy = Epoch.default
 
@@ -79,7 +80,7 @@ let simulate dir routers flows rate duration loss seed =
     (fun p -> if Sys.file_exists p then Sys.remove p)
     [
       wal_path dir; board_path dir; receipts_path dir; query_path dir;
-      service_path dir; events_path dir;
+      service_path dir; events_path dir; ckpt_path dir;
     ];
   let db = Db.create ~wal_path:(wal_path dir) ~epoch:epoch_policy () in
   let board = Board.create () in
@@ -218,21 +219,38 @@ let prove_zirc ~params ~clog path =
 let prove_inner dir queries_n src dst metric op zirc =
   let* db, board = load_state dir in
   let params = Zkflow_zkproof.Params.make ~queries:queries_n in
-  let service = Prover_service.create ~proof_params:params ~db ~board () in
-  let* rounds =
+  (* Crash-consistent: every round is journaled to checkpoints.wal
+     before it is visible, and an interrupted prove picks up from the
+     synced prefix instead of re-proving history. *)
+  let* service, restored =
+    Prover_service.resume ~proof_params:params ~db ~board ~path:(ckpt_path dir) ()
+  in
+  if restored > 0 then
+    Printf.printf "resumed %d checkpointed round(s) from %s\n" restored
+      (ckpt_path dir);
+  let covered = Prover_service.covered_epochs service in
+  let* () =
     List.fold_left
       (fun acc epoch ->
-        let* acc = acc in
-        let* round = Prover_service.aggregate_epoch service ~epoch in
-        Printf.printf "epoch %d: %d flows, %d cycles, proved in %.2fs (%d KB)\n"
-          epoch
-          (Clog.length round.Aggregate.clog)
-          round.Aggregate.cycles round.Aggregate.prove_s
-          (Receipt.size round.Aggregate.receipt / 1024);
-        Ok ((epoch, round.Aggregate.receipt) :: acc))
-      (Ok []) (Db.epochs db)
+        let* () = acc in
+        if List.mem epoch covered then Ok ()
+        else
+          let* round = Prover_service.aggregate_epoch service ~epoch in
+          Printf.printf "epoch %d: %d flows, %d cycles, proved in %.2fs (%d KB)\n"
+            epoch
+            (Clog.length round.Aggregate.clog)
+            round.Aggregate.cycles round.Aggregate.prove_s
+            (Receipt.size round.Aggregate.receipt / 1024);
+          Ok ())
+      (Ok ()) (Db.epochs db)
   in
-  let rounds = List.rev rounds in
+  let rounds =
+    List.filter_map
+      (fun ((cov : Prover_service.coverage), (round : Aggregate.round)) ->
+        if cov.Prover_service.heal then None
+        else Some (cov.Prover_service.epoch, round.Aggregate.receipt))
+      (List.combine (Prover_service.coverage service) (Prover_service.rounds service))
+  in
   write_file (receipts_path dir) (encode_rounds rounds);
   write_file (service_path dir) (Prover_service.save service);
   Printf.printf "receipts written to %s\n" (receipts_path dir);
@@ -525,7 +543,7 @@ let verify dir zirc events =
 
 (* ---- monitor ---- *)
 
-let monitor dir events json strict =
+let monitor dir events json strict gap_grace =
   let path = match events with Some p -> p | None -> events_path dir in
   let* events =
     match Zkflow_obs.Event.load_jsonl path with
@@ -549,12 +567,49 @@ let monitor dir events json strict =
         | Ok s -> Some s
         | Error _ | (exception _) -> None))
   in
-  let report = Monitor.build ?service events in
+  let report = Monitor.build ?service ~gap_grace events in
   if json then print_endline (Jsonx.to_string (Monitor.to_json report))
   else Format.printf "%a@." Monitor.pp report;
   if strict && not (Monitor.healthy report) then
     Error "monitor: pipeline health degraded"
   else Ok ()
+
+(* ---- chaos ---- *)
+
+let chaos dir seed plan_file routers flows rate duration loss queries
+    max_restarts json events =
+  let events = match events with Some p -> Some p | None -> Some (events_path dir) in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  with_events ~append:false events (fun () ->
+      let module Fault = Zkflow_fault.Fault in
+      let* plan =
+        match plan_file with
+        | Some path -> Fault.load_plan path
+        | None -> Ok (Fault.random_plan ~routers ~seed ())
+      in
+      let config =
+        {
+          Chaos.routers;
+          flows;
+          rate_pps = rate;
+          duration_ms = duration;
+          loss_rate = loss;
+          queries;
+          max_restarts;
+        }
+      in
+      let* report = Chaos.run ~dir ~config ~plan () in
+      if json then print_endline (Jsonx.to_string (Chaos.to_json report))
+      else Format.printf "%a@." Chaos.pp report;
+      if report.Chaos.safety_ok && report.Chaos.liveness_ok then Ok ()
+      else
+        Error
+          (Printf.sprintf "chaos: %s violated under plan %S"
+             (match (report.Chaos.safety_ok, report.Chaos.liveness_ok) with
+             | false, false -> "safety and liveness"
+             | false, true -> "safety"
+             | _ -> "liveness")
+             report.Chaos.plan.Fault.name))
 
 (* ---- bench-diff ---- *)
 
@@ -712,16 +767,68 @@ let monitor_cmd =
   let strict =
     Arg.(value & flag & info [ "strict" ]
            ~doc:"Exit nonzero when the report is degraded (any rejection, \
-                 round error, lagging router, or missed epoch).")
+                 round error, lagging router, missed epoch, or coverage gap \
+                 unhealed past the grace window).")
   in
-  let run dir events json strict = handle (monitor dir events json strict) in
+  let gap_grace =
+    Arg.(value & opt int 0 & info [ "gap-grace" ] ~docv:"ROUNDS"
+           ~doc:"How many rounds a coverage gap may stay open before it \
+                 counts as stale (and fails --strict). Default 0: any open \
+                 gap is stale.")
+  in
+  let run dir events json strict gap_grace =
+    handle (monitor dir events json strict gap_grace)
+  in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Replay the flight-recorder event log (and saved prover state) \
              into a health report: per-router commitment lag and gaps, round \
-             latency percentiles, verifier rejections by cause, service \
-             backlog.")
-    Term.(const run $ dir_arg $ events $ json $ strict)
+             latency percentiles, verifier rejections by cause, degraded \
+             rounds and open coverage gaps, service backlog.")
+    Term.(const run $ dir_arg $ events $ json $ strict $ gap_grace)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-plan seed (ignored with --plan).")
+  in
+  let plan =
+    Arg.(value & opt (some file) None & info [ "plan" ] ~docv:"FILE"
+           ~doc:"JSON fault plan to run (default: a random plan from --seed).")
+  in
+  let routers = Arg.(value & opt int 3 & info [ "routers" ] ~doc:"Vantage points.") in
+  let flows = Arg.(value & opt int 8 & info [ "flows" ] ~doc:"Flow population.") in
+  let rate = Arg.(value & opt float 30.0 & info [ "rate" ] ~doc:"Packets per second.") in
+  let duration =
+    Arg.(value & opt int 11_000 & info [ "duration" ] ~doc:"Duration (ms).")
+  in
+  let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Per-hop loss rate.") in
+  let queries =
+    Arg.(value & opt int 8 & info [ "queries" ] ~doc:"Proof spot-check count.")
+  in
+  let max_restarts =
+    Arg.(value & opt int 40 & info [ "max-restarts" ]
+           ~doc:"Kill/resume budget before the harness gives up.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let run dir seed plan routers flows rate duration loss queries max_restarts
+      json events =
+    handle
+      (chaos dir seed plan routers flows rate duration loss queries max_restarts
+         json events)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run one deterministic chaos cycle: simulate traffic, inject the \
+             plan's faults (router drops/delays/duplicates, prover crashes, \
+             checkpoint corruption), kill and resume the prover, then assert \
+             safety (every receipt verifies; the final root is bit-identical \
+             to an uninterrupted twin run) and liveness (everything verified \
+             or explicitly degraded — never silent loss). Exits nonzero on \
+             any violation.")
+    Term.(const run $ dir_arg $ seed $ plan $ routers $ flows $ rate $ duration
+          $ loss $ queries $ max_restarts $ json $ events_arg)
 
 let bench_diff_cmd =
   let old_file =
@@ -765,5 +872,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; prove_cmd; lint_cmd; verify_cmd; stats_cmd;
-            trace_check_cmd; monitor_cmd; bench_diff_cmd;
+            trace_check_cmd; monitor_cmd; chaos_cmd; bench_diff_cmd;
           ]))

@@ -45,6 +45,9 @@ let publish_with ?(replay = false) t ~router_id ~epoch make =
     reject_event ~router_id ~epoch msg;
     Error msg
   | _ ->
+    (* Crash site sits before any mutation: a publication either lands
+       completely (entry + chain head) or not at all. *)
+    Zkflow_fault.Fault.crashpoint "board.publish";
     let c, chain = make ~prev_chain:s.chain in
     s.chain <- chain;
     s.entries <- c :: s.entries;

@@ -1,0 +1,497 @@
+module Db = Zkflow_store.Db
+module Epoch = Zkflow_store.Epoch
+module Board = Zkflow_commitlog.Board
+module Gen = Zkflow_netflow.Gen
+module Topology = Zkflow_netflow.Topology
+module Rng = Zkflow_util.Rng
+module Jsonx = Zkflow_util.Jsonx
+module Fault = Zkflow_fault.Fault
+module Event = Zkflow_obs.Event
+module Obs = Zkflow_obs.Obs
+module D = Zkflow_hash.Digest32
+
+type config = {
+  routers : int;
+  flows : int;
+  rate_pps : float;
+  duration_ms : int;
+  loss_rate : float;
+  queries : int;
+  max_restarts : int;
+}
+
+let default_config =
+  {
+    routers = 3;
+    flows = 8;
+    rate_pps = 30.;
+    duration_ms = 11_000;
+    loss_rate = 0.;
+    queries = 8;
+    max_restarts = 40;
+  }
+
+type status = Complete | Degraded
+
+type report = {
+  plan : Fault.plan;
+  status : status;
+  packets : int;
+  records : int;
+  epochs : int;
+  rounds : int;
+  heal_rounds : int;
+  crashes : int;
+  resumes : int;
+  restored_rounds : int;
+  open_gaps : (int * int) list;
+  final_root : string;
+  twin_root : string;
+  safety_ok : bool;
+  liveness_ok : bool;
+}
+
+let ( let* ) = Result.bind
+
+(* ---- deterministic traffic ---- *)
+
+let simulate ~cfg ~seed ~wal_path =
+  let db =
+    Db.create ~wal_path ~epoch:(Epoch.make ~interval_ms:5000) ()
+  in
+  let rng = Rng.create (Int64.of_int seed) in
+  let profile = { Gen.default_profile with Gen.flow_count = cfg.flows } in
+  let flow_keys = Gen.flows rng profile in
+  let packets =
+    Gen.packets rng profile ~flows:flow_keys ~rate_pps:cfg.rate_pps
+      ~duration_ms:cfg.duration_ms
+  in
+  (* Short active timeout: flows export mid-run, so the traffic spreads
+     over several epochs — the fault grid (drops/delays at epoch > 0)
+     needs real windows to hit. *)
+  let topology =
+    Topology.linear
+      (List.init cfg.routers (fun id ->
+           {
+             Zkflow_netflow.Router.id;
+             active_timeout_ms = 3_000;
+             inactive_timeout_ms = 1_500;
+             sampling_interval = 1;
+           }))
+  in
+  let losses = Array.make cfg.routers cfg.loss_rate in
+  let records = ref 0 in
+  let drain exports =
+    List.iter
+      (fun (_, recs) ->
+        List.iter
+          (fun r ->
+            incr records;
+            Db.insert db r)
+          recs)
+      exports
+  in
+  (* Pump the timeout clock while injecting: without periodic expiry
+     every flow would sit in the cache until the final flush and the
+     whole run would collapse into one epoch. *)
+  let tick_ms = 1_000 in
+  let next_tick = ref tick_ms in
+  List.iter
+    (fun (p : Zkflow_netflow.Packet.t) ->
+      while p.Zkflow_netflow.Packet.ts >= !next_tick do
+        drain (Topology.expire topology ~now:!next_tick);
+        next_tick := !next_tick + tick_ms
+      done;
+      Topology.inject topology ~rng ~loss_rate:losses p)
+    packets;
+  drain (Topology.flush topology ~now:cfg.duration_ms);
+  Db.sync db;
+  (db, List.length packets, !records)
+
+(* ---- publication phase ----
+
+   Routers publish epoch by epoch, router by router, with the plan's
+   data faults applied:
+
+   - a Drop never publishes (and never will — the export was lost);
+   - a Delay holds the publication back until the heal phase, and —
+     because the board enforces monotone epochs per router — every
+     later epoch of the same router queues behind it;
+   - a Duplicate publishes twice and the board must reject the copy.
+
+   The walk is idempotent (already-published pairs are skipped), so
+   the crash-retry loop can simply run it again after a crash at the
+   "board.publish" site; [emitted] keeps fault events from being
+   recorded twice across such retries. *)
+
+let blocked plan ~router ~epoch =
+  let rec go e = e <= epoch && (Fault.delayed plan ~router ~epoch:e || go (e + 1)) in
+  go 0
+
+let emit_once emitted ~kind ~router ~epoch =
+  if not (Hashtbl.mem emitted (kind, router, epoch)) then begin
+    Hashtbl.replace emitted (kind, router, epoch) ();
+    Event.emit ~router ~epoch ~track:"fault" kind
+  end
+
+let publish_pair board db ~router_id ~epoch =
+  let records = Db.window db ~router_id ~epoch in
+  Board.publish board records ~router_id ~epoch
+
+let attempt_duplicate emitted board db ~plan ~emit ~router_id ~epoch =
+  if Fault.duplicated plan ~router:router_id ~epoch
+     && not (Hashtbl.mem emitted ("fault.duplicate.done", router_id, epoch))
+  then begin
+    if emit then emit_once emitted ~kind:"fault.duplicate" ~router:router_id ~epoch;
+    match publish_pair board db ~router_id ~epoch with
+    | Ok _ ->
+      Error
+        (Printf.sprintf
+           "chaos: board accepted a duplicate publication (router %d epoch %d)"
+           router_id epoch)
+    | Error _ ->
+      (* The reject is the correct reaction; remember it happened so a
+         crash-retry does not provoke (and count) it twice. *)
+      Hashtbl.replace emitted ("fault.duplicate.done", router_id, epoch) ();
+      Ok ()
+  end
+  else Ok ()
+
+let publish_prompt emitted board db ~plan ~emit =
+  let epochs = Db.epochs db in
+  let rec per_epoch = function
+    | [] -> Ok ()
+    | epoch :: rest ->
+      let rec per_router = function
+        | [] -> per_epoch rest
+        | router_id :: rs ->
+          if Board.lookup board ~router_id ~epoch <> None then per_router rs
+          else if Fault.dropped plan ~router:router_id ~epoch then begin
+            if emit then emit_once emitted ~kind:"fault.drop" ~router:router_id ~epoch;
+            per_router rs
+          end
+          else if blocked plan ~router:router_id ~epoch then begin
+            if emit && Fault.delayed plan ~router:router_id ~epoch then
+              emit_once emitted ~kind:"fault.delay" ~router:router_id ~epoch;
+            per_router rs
+          end
+          else
+            let* _ = publish_pair board db ~router_id ~epoch in
+            let* () = attempt_duplicate emitted board db ~plan ~emit ~router_id ~epoch in
+            per_router rs
+      in
+      per_router (Db.routers_for db ~epoch)
+  in
+  per_epoch epochs
+
+(* Deliver everything the delay faults held back, per router in epoch
+   order (the board insists). Also idempotent. *)
+let publish_held emitted board db ~plan ~emit =
+  let epochs = Db.epochs db in
+  let rec per_epoch = function
+    | [] -> Ok ()
+    | epoch :: rest ->
+      let rec per_router = function
+        | [] -> per_epoch rest
+        | router_id :: rs ->
+          if
+            Board.lookup board ~router_id ~epoch <> None
+            || Fault.dropped plan ~router:router_id ~epoch
+            || not (blocked plan ~router:router_id ~epoch)
+          then per_router rs
+          else
+            let* _ = publish_pair board db ~router_id ~epoch in
+            let* () = attempt_duplicate emitted board db ~plan ~emit ~router_id ~epoch in
+            per_router rs
+      in
+      per_router (Db.routers_for db ~epoch)
+  in
+  per_epoch epochs
+
+(* ---- aggregation phase (shared by twin and chaos runs) ---- *)
+
+let aggregate_uncovered service db =
+  let covered = Prover_service.covered_epochs service in
+  let rec go = function
+    | [] -> Ok ()
+    | epoch :: rest ->
+      if List.mem epoch covered then go rest
+      else
+        let* _ = Prover_service.aggregate_available service ~epoch in
+        go rest
+  in
+  go (Db.epochs db)
+
+(* ---- the uninterrupted twin ----
+
+   Same records, same data faults (they shape {e what} is available to
+   aggregate), but no crashes, no storage corruption, no flight
+   recorder: the clean-room control run. Safety's acid test is that
+   the chaos run's final CLog root is bit-identical to this one. *)
+let twin_root ~cfg ~plan db =
+  let was_on = Obs.on () in
+  Obs.disable ();
+  Fun.protect
+    ~finally:(fun () -> if was_on then Obs.enable ())
+    (fun () ->
+      let emitted = Hashtbl.create 16 in
+      let board = Board.create () in
+      let service =
+        Prover_service.create
+          ~proof_params:(Zkflow_zkproof.Params.make ~queries:cfg.queries)
+          ~db ~board ()
+      in
+      let* () = publish_prompt emitted board db ~plan ~emit:false in
+      let* () = aggregate_uncovered service db in
+      let* () = publish_held emitted board db ~plan ~emit:false in
+      let* _ = Prover_service.heal service in
+      Ok (Prover_service.latest_root service))
+
+(* ---- storage corruption while the prover is down ---- *)
+
+let apply_storage_fault ~seed ~serial path = function
+  | Fault.Torn_write { target = "checkpoint"; drop_bytes } ->
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let size = in_channel_length ic in
+      let keep = max 0 (size - drop_bytes) in
+      let data = really_input_string ic keep in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      Event.emit ~track:"fault" "fault.torn_write"
+        ~attrs:
+          [
+            ("target", Jsonx.Str "checkpoint");
+            ("bytes", Jsonx.Num (float_of_int (size - keep)));
+          ]
+    end
+  | Fault.Bit_flip { target = "checkpoint" } ->
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let size = in_channel_length ic in
+      let data = Bytes.create size in
+      really_input ic data 0 size;
+      close_in ic;
+      if size > 0 then begin
+        let rng = Rng.create (Int64.of_int (0xf11b + seed + (131 * serial))) in
+        let byte = Rng.int rng size and bit = Rng.int rng 8 in
+        Bytes.set data byte
+          (Char.chr (Char.code (Bytes.get data byte) lxor (1 lsl bit)));
+        let oc = open_out_bin path in
+        output_bytes oc data;
+        close_out oc;
+        Event.emit ~track:"fault" "fault.bit_flip"
+          ~attrs:
+            [
+              ("target", Jsonx.Str "checkpoint");
+              ("byte", Jsonx.Num (float_of_int byte));
+              ("bit", Jsonx.Num (float_of_int bit));
+            ]
+      end
+    end
+  | _ -> ()
+
+(* ---- the chaos run ---- *)
+
+exception Recovery_failed of string
+
+let run ?dir ?(config = default_config) ~plan () =
+  let cfg = config in
+  let dir =
+    match dir with
+    | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      d
+    | None ->
+      let d = Filename.temp_file "zkflow-chaos" "" in
+      Sys.remove d;
+      Sys.mkdir d 0o755;
+      d
+  in
+  let ckpt_path = Filename.concat dir "checkpoints.wal" in
+  if Sys.file_exists ckpt_path then Sys.remove ckpt_path;
+  let db, packets, records =
+    simulate ~cfg ~seed:plan.Fault.seed ~wal_path:(Filename.concat dir "rlogs.wal")
+  in
+  let proof_params = Zkflow_zkproof.Params.make ~queries:cfg.queries in
+  (* Control run first, before any fault is armed. *)
+  let* twin = twin_root ~cfg ~plan db in
+  (* Now the chaos. *)
+  Fault.install plan;
+  let emitted = Hashtbl.create 16 in
+  let board = Board.create () in
+  let crashes = ref 0 and resumes = ref 0 and restored = ref 0 in
+  let service = ref (Prover_service.create ~proof_params ~db ~board ()) in
+  Prover_service.with_checkpoints !service ~path:ckpt_path;
+  let storage_queue = ref (Fault.storage_faults plan) in
+  let serial = ref 0 in
+  (* Kill/restart loop: a Fault.Crash anywhere inside [step] plays the
+     process dying — the in-memory service is abandoned (its unsynced
+     checkpoint buffer lost), at most one pending storage fault
+     corrupts the checkpoint file "while the process is down", and
+     resume rebuilds a fresh service from disk. [step] bodies are
+     idempotent against the recovered state, so re-running them picks
+     up exactly where the synced history ends. Resume itself runs
+     inside the protection: a crash site armed inside recovery (e.g.
+     "atomic.pre_rename" during compaction) triggers another
+     restart. *)
+  let rec step name f =
+    match f !service with
+    | result -> result
+    | exception Fault.Crash _site ->
+      incr crashes;
+      if !crashes > cfg.max_restarts then
+        Error (Printf.sprintf "chaos: %s: exceeded %d restarts" name cfg.max_restarts)
+      else begin
+        Prover_service.abandon !service;
+        (match !storage_queue with
+        | [] -> ()
+        | fault :: rest ->
+          storage_queue := rest;
+          incr serial;
+          apply_storage_fault ~seed:plan.Fault.seed ~serial:!serial ckpt_path fault);
+        (match
+           try
+             Prover_service.resume ~proof_params ~db ~board ~path:ckpt_path ()
+           with Fault.Crash _ ->
+             (* Died again during recovery; count it and go around. *)
+             Error "crashed during resume"
+         with
+        | Ok (s, n) ->
+          incr resumes;
+          restored := n;
+          service := s
+        | Error e ->
+          if e <> "crashed during resume" then raise (Recovery_failed e)
+          else incr crashes);
+        step name f
+      end
+  in
+  let result =
+    try
+      let* () = step "publish" (fun _ -> publish_prompt emitted board db ~plan ~emit:true) in
+      let* () = step "aggregate" (fun s -> aggregate_uncovered s db) in
+      let* () = step "deliver" (fun _ -> publish_held emitted board db ~plan ~emit:true) in
+      let* _ = step "heal" (fun s -> Prover_service.heal s) in
+      Ok ()
+    with Recovery_failed e -> Error ("chaos: resume failed: " ^ e)
+  in
+  Fault.clear ();
+  let* () = result in
+  let service = !service in
+  (* Verification: every receipt must verify against its claimed
+     coverage from public data only, the history must be honest about
+     its holes (no silent loss), and the final root must be
+     bit-identical to the uninterrupted twin's. *)
+  let covered_rounds =
+    List.map2
+      (fun (cov : Prover_service.coverage) (round : Aggregate.round) ->
+        {
+          Verifier_client.epoch = cov.Prover_service.epoch;
+          routers = cov.Prover_service.routers;
+          degraded = cov.Prover_service.degraded;
+          heal = cov.Prover_service.heal;
+          receipt = round.Aggregate.receipt;
+        })
+      (Prover_service.coverage service)
+      (Prover_service.rounds service)
+  in
+  let open_gaps = Prover_service.open_gaps service in
+  let verified =
+    Verifier_client.verify_coverage ~board ~gaps:open_gaps covered_rounds
+  in
+  let final = Prover_service.latest_root service in
+  let safety_ok = Result.is_ok verified && D.equal final twin in
+  (* Liveness: the run ended with every window either verified or
+     explicitly degraded — an open gap is legitimate only for an
+     export the plan destroyed (a Drop); anything else still missing
+     means the pipeline lost data it was given. *)
+  let liveness_ok =
+    Result.is_ok verified
+    && List.for_all
+         (fun (router, epoch) -> Fault.dropped plan ~router ~epoch)
+         open_gaps
+  in
+  let coverage = Prover_service.coverage service in
+  (* Leave artifacts behind for `zkflow stats` / `monitor`: the public
+     board and the saved service state, both written atomically. *)
+  Zkflow_store.Wal.write_file_atomic
+    (Filename.concat dir "board.txt")
+    (Bytes.of_string (Board.export board));
+  Zkflow_store.Wal.write_file_atomic
+    (Filename.concat dir "service.bin")
+    (Prover_service.save service);
+  Ok
+    {
+      plan;
+      status = (if open_gaps = [] then Complete else Degraded);
+      packets;
+      records;
+      epochs = List.length (Db.epochs db);
+      rounds = List.length coverage;
+      heal_rounds =
+        List.length
+          (List.filter (fun (c : Prover_service.coverage) -> c.Prover_service.heal) coverage);
+      crashes = !crashes;
+      resumes = !resumes;
+      restored_rounds = !restored;
+      open_gaps;
+      final_root = D.to_hex final;
+      twin_root = D.to_hex twin;
+      safety_ok;
+      liveness_ok;
+    }
+
+(* ---- reporting ---- *)
+
+let status_string = function Complete -> "complete" | Degraded -> "degraded"
+
+let to_json r =
+  let num n = Jsonx.Num (float_of_int n) in
+  Jsonx.Obj
+    [
+      ("plan", Fault.plan_to_json r.plan);
+      ("status", Jsonx.Str (status_string r.status));
+      ("packets", num r.packets);
+      ("records", num r.records);
+      ("epochs", num r.epochs);
+      ("rounds", num r.rounds);
+      ("heal_rounds", num r.heal_rounds);
+      ("crashes", num r.crashes);
+      ("resumes", num r.resumes);
+      ("restored_rounds", num r.restored_rounds);
+      ( "open_gaps",
+        Jsonx.Arr
+          (List.map
+             (fun (router, epoch) ->
+               Jsonx.Obj [ ("router", num router); ("epoch", num epoch) ])
+             r.open_gaps) );
+      ("final_root", Jsonx.Str r.final_root);
+      ("twin_root", Jsonx.Str r.twin_root);
+      ("safety_ok", Jsonx.Bool r.safety_ok);
+      ("liveness_ok", Jsonx.Bool r.liveness_ok);
+    ]
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "chaos plan %S (seed %d): %d fault(s)@," r.plan.Fault.name
+    r.plan.Fault.seed
+    (List.length r.plan.Fault.faults);
+  Format.fprintf fmt "traffic: %d packets -> %d records over %d epoch(s)@," r.packets
+    r.records r.epochs;
+  Format.fprintf fmt "prover: %d round(s) (%d heal), %d crash(es), %d resume(s), %d restored@,"
+    r.rounds r.heal_rounds r.crashes r.resumes r.restored_rounds;
+  (match r.open_gaps with
+  | [] -> Format.fprintf fmt "gaps: none open@,"
+  | gs ->
+    Format.fprintf fmt "gaps: %d open (%s)@," (List.length gs)
+      (String.concat ", "
+         (List.map (fun (router, ep) -> Printf.sprintf "r%d/e%d" router ep) gs)));
+  Format.fprintf fmt "final root: %s@," (String.sub r.final_root 0 16);
+  Format.fprintf fmt "twin root:  %s@," (String.sub r.twin_root 0 16);
+  Format.fprintf fmt "safety: %s, liveness: %s -> %s@]"
+    (if r.safety_ok then "OK" else "VIOLATED")
+    (if r.liveness_ok then "OK" else "VIOLATED")
+    (status_string r.status)

@@ -1,0 +1,74 @@
+(** Deterministic chaos harness: one seeded fault plan, one full
+    simulate → publish → prove → kill/resume → verify cycle, two
+    verdicts.
+
+    The harness runs the same deterministic traffic twice. First the
+    {e twin}: data faults only (drops, delays, duplicates — they shape
+    what is available to aggregate), no crashes, no corruption, flight
+    recorder off. Then the {e chaos run}: same data faults plus the
+    plan's armed crash sites, flaky reads and storage corruption, with
+    the prover checkpointing to [dir/checkpoints.wal] and a
+    kill/restart loop playing the process dying at every armed site.
+
+    Two properties are asserted, and reported per run:
+
+    - {b safety} — every receipt verifies against its claimed coverage
+      ({!Verifier_client.verify_coverage}), and the chaos run's final
+      CLog root is {e bit-identical} to the twin's: crashes, retries
+      and recoveries changed nothing about the attested history.
+    - {b liveness} — the run ends with every integrity window either
+      verified or {e explicitly} degraded: any gap still open names an
+      export the plan destroyed (a [Drop]); silent loss of data the
+      pipeline was given fails the run. *)
+
+type config = {
+  routers : int;
+  flows : int;
+  rate_pps : float;
+  duration_ms : int;
+  loss_rate : float;
+  queries : int;       (** FRI queries — proof-size/speed knob *)
+  max_restarts : int;  (** kill/resume budget before giving up *)
+}
+
+val default_config : config
+(** 3 routers, ~11 s of traffic across 3 epochs, fast proof params,
+    up to 40 restarts. *)
+
+type status = Complete | Degraded
+
+type report = {
+  plan : Zkflow_fault.Fault.plan;
+  status : status;            (** [Degraded] iff gaps remain open *)
+  packets : int;
+  records : int;
+  epochs : int;
+  rounds : int;               (** aggregation rounds, heal included *)
+  heal_rounds : int;
+  crashes : int;              (** injected kills (including re-kills during recovery) *)
+  resumes : int;              (** successful checkpoint recoveries *)
+  restored_rounds : int;      (** rounds replayed from disk by the last resume *)
+  open_gaps : (int * int) list;  (** unhealed (router, epoch) pairs *)
+  final_root : string;        (** chaos run's final CLog root, hex *)
+  twin_root : string;         (** uninterrupted twin's root, hex *)
+  safety_ok : bool;
+  liveness_ok : bool;
+}
+
+val run :
+  ?dir:string ->
+  ?config:config ->
+  plan:Zkflow_fault.Fault.plan ->
+  unit ->
+  (report, string) result
+(** Execute one chaos cycle. [?dir] (default: a fresh temp directory)
+    receives [rlogs.wal] and [checkpoints.wal]; an existing
+    [checkpoints.wal] there is removed first so every run starts
+    cold. [Error _] means the harness itself could not complete (e.g.
+    the restart budget was exhausted, or the board accepted a
+    duplicate) — fault-induced degradation is {e not} an error, it is
+    a [Degraded] report. *)
+
+val status_string : status -> string
+val to_json : report -> Zkflow_util.Jsonx.t
+val pp : Format.formatter -> report -> unit

@@ -12,6 +12,13 @@ type router_health = {
   missed : int list;
 }
 
+type gap_status = {
+  gap_router : int;
+  gap_epoch : int;
+  opened_round : int;
+  healed_round : int option;
+}
+
 type report = {
   events : int;
   epochs : int list;
@@ -20,6 +27,9 @@ type report = {
   rounds_started : int;
   rounds_done : int;
   rounds_error : int;
+  rounds_skipped : int;
+  degraded_rounds : int;
+  heal_rounds : int;
   round_latency : latency option;
   prove_latency : latency option;
   queue_depth : (int * int) list;
@@ -28,6 +38,14 @@ type report = {
   queries_error : int;
   verifier_accepts : int;
   verifier_rejects : (string * int) list;
+  gaps : gap_status list;
+  open_gap_count : int;
+  stale_gap_count : int;
+  gap_grace : int;
+  crashes : int;
+  resumes : int;
+  retries : int;
+  fault_events : (string * int) list;
   service_rounds : int option;
   service_entries : int option;
   service_root : string option;
@@ -62,7 +80,7 @@ let latency_of_values = function
         max_ns = s.Metric.max_value;
       }
 
-let build ?service events =
+let build ?service ?(gap_grace = 0) events =
   (* Fresh publications only — board replays are recorded under a
      different kind precisely so re-importing board.txt on every CLI
      invocation does not look like router liveness. *)
@@ -77,6 +95,18 @@ let build ?service events =
   (* round ix -> start ts *)
   let round_deltas = ref [] and prove_ns = ref [] in
   let queue_rev = ref [] in
+  let rounds_skipped = ref 0 and degraded_rounds = ref 0 and heal_rounds = ref 0 in
+  (* (router, epoch) -> gap_status; the first open wins, a heal marks it *)
+  let gap_table : (int * int, gap_status) Hashtbl.t = Hashtbl.create 8 in
+  let gap_order = ref [] in
+  let crashes = ref 0 and resumes = ref 0 and retries = ref 0 in
+  let fault_events = Hashtbl.create 8 in
+  let max_round = ref (-1) in
+  let note_round (e : Event.t) =
+    match e.Event.round with
+    | Some ix -> max_round := max !max_round ix
+    | None -> ()
+  in
   List.iter
     (fun (e : Event.t) ->
       match e.Event.kind with
@@ -90,6 +120,7 @@ let build ?service events =
         bump board_rejects (Option.value ~default:"unknown" (attr_str "reason" e))
       | "prover.round.start" ->
         incr rounds_started;
+        note_round e;
         (match e.Event.round with
         | Some ix ->
           Hashtbl.replace round_start ix e.Event.ts_ns;
@@ -99,6 +130,7 @@ let build ?service events =
         | None -> ())
       | "prover.round.done" ->
         incr rounds_done;
+        note_round e;
         (match e.Event.round with
         | Some ix -> (
           match Hashtbl.find_opt round_start ix with
@@ -108,14 +140,54 @@ let build ?service events =
         | None -> ());
         (match attr_num "prove_ns" e with
         | Some ns -> prove_ns := ns :: !prove_ns
-        | None -> ())
+        | None -> ());
+        (match attr_num "missing" e with
+        | Some m when m > 0 -> incr degraded_rounds
+        | _ -> ());
+        (match attr_num "heal" e with
+        | Some 1 -> incr heal_rounds
+        | _ -> ())
       | "prover.round.error" -> incr rounds_error
+      | "prover.round.skipped" -> incr rounds_skipped
+      | "prover.gap.open" -> (
+        note_round e;
+        match (e.Event.router, e.Event.epoch) with
+        | Some r, Some ep ->
+          if not (Hashtbl.mem gap_table (r, ep)) then begin
+            Hashtbl.replace gap_table (r, ep)
+              {
+                gap_router = r;
+                gap_epoch = ep;
+                opened_round = Option.value ~default:0 e.Event.round;
+                healed_round = None;
+              };
+            gap_order := (r, ep) :: !gap_order
+          end
+        | _ -> ())
+      | "prover.gap.heal" -> (
+        note_round e;
+        match (e.Event.router, e.Event.epoch) with
+        | Some r, Some ep -> (
+          match Hashtbl.find_opt gap_table (r, ep) with
+          | Some g when g.healed_round = None ->
+            Hashtbl.replace gap_table (r, ep) { g with healed_round = e.Event.round }
+          | _ -> ())
+        | _ -> ())
+      | "prover.resume" -> incr resumes
       | "prover.query.done" -> incr queries_done
       | "prover.query.error" -> incr queries_error
       | "verifier.reject" ->
         bump verifier_rejects (Option.value ~default:"unknown" (attr_str "check" e))
+      | "fault.crash" ->
+        incr crashes;
+        bump fault_events "fault.crash"
+      | "fault.retry" ->
+        incr retries;
+        bump fault_events "fault.retry"
       | k when String.length k > 9 && String.sub k 0 9 = "verifier."
                && Filename.check_suffix k ".accept" -> incr verifier_accepts
+      | k when String.length k > 6 && String.sub k 0 6 = "fault." ->
+        bump fault_events k
       | _ -> ())
     events;
   let epochs =
@@ -142,6 +214,15 @@ let build ?service events =
     |> List.sort (fun a b -> Int.compare a.router_id b.router_id)
   in
   let queue_depth = List.rev !queue_rev in
+  let gaps =
+    List.rev_map (fun key -> Hashtbl.find gap_table key) !gap_order
+  in
+  let open_gaps = List.filter (fun g -> g.healed_round = None) gaps in
+  let stale_gaps =
+    (* A gap is stale once it has stayed open for more than [gap_grace]
+       subsequent rounds — with the default grace of 0, any open gap. *)
+    List.filter (fun g -> !max_round - g.opened_round >= gap_grace) open_gaps
+  in
   {
     events = List.length events;
     epochs;
@@ -150,6 +231,9 @@ let build ?service events =
     rounds_started = !rounds_started;
     rounds_done = !rounds_done;
     rounds_error = !rounds_error;
+    rounds_skipped = !rounds_skipped;
+    degraded_rounds = !degraded_rounds;
+    heal_rounds = !heal_rounds;
     round_latency = latency_of_values !round_deltas;
     prove_latency = latency_of_values !prove_ns;
     queue_depth;
@@ -158,6 +242,14 @@ let build ?service events =
     queries_error = !queries_error;
     verifier_accepts = !verifier_accepts;
     verifier_rejects = counts_sorted verifier_rejects;
+    gaps;
+    open_gap_count = List.length open_gaps;
+    stale_gap_count = List.length stale_gaps;
+    gap_grace;
+    crashes = !crashes;
+    resumes = !resumes;
+    retries = !retries;
+    fault_events = counts_sorted fault_events;
     service_rounds = Option.map (fun s -> List.length (Prover_service.rounds s)) service;
     service_entries = Option.map (fun s -> Clog.length (Prover_service.clog s)) service;
     service_root =
@@ -166,9 +258,14 @@ let build ?service events =
         service;
   }
 
+(* Injected-fault counts (the chaos, track "fault") never degrade
+   health by themselves — health judges the pipeline's {e reaction}:
+   no rejects, no errors, no router behind, and no gap left open past
+   the grace window. Degraded and heal rounds are the intended
+   reaction, so they do not count against health either. *)
 let healthy r =
   r.board_rejects = [] && r.verifier_rejects = [] && r.rounds_error = 0
-  && r.queries_error = 0
+  && r.queries_error = 0 && r.stale_gap_count = 0
   && List.for_all (fun h -> h.lag = 0 && h.missed = []) r.routers
 
 let ms ns = float_of_int ns /. 1e6
@@ -206,9 +303,33 @@ let pp fmt r =
   Format.fprintf fmt "@,prover:@,";
   Format.fprintf fmt "  rounds: %d started, %d done, %d error; queue depth max %d@,"
     r.rounds_started r.rounds_done r.rounds_error r.max_queue_depth;
+  if r.degraded_rounds + r.heal_rounds + r.rounds_skipped > 0 then
+    Format.fprintf fmt "  degraded: %d round(s), %d heal round(s), %d skipped@,"
+      r.degraded_rounds r.heal_rounds r.rounds_skipped;
+  if r.crashes + r.resumes > 0 then
+    Format.fprintf fmt "  crashes: %d injected, %d resume(s), %d retry(ies)@,"
+      r.crashes r.resumes r.retries;
   pp_latency fmt "round wall" r.round_latency;
   pp_latency fmt "prove phase" r.prove_latency;
   Format.fprintf fmt "  queries: %d done, %d error@," r.queries_done r.queries_error;
+  if r.gaps <> [] then begin
+    Format.fprintf fmt "@,gaps (%d open, %d stale past grace %d):@,"
+      r.open_gap_count r.stale_gap_count r.gap_grace;
+    List.iter
+      (fun g ->
+        Format.fprintf fmt "  router %d epoch %d: opened round %d, %s@," g.gap_router
+          g.gap_epoch g.opened_round
+          (match g.healed_round with
+          | Some ix -> Printf.sprintf "healed round %d" ix
+          | None -> "OPEN"))
+      r.gaps
+  end;
+  if r.fault_events <> [] then begin
+    Format.fprintf fmt "@,injected faults:@,";
+    List.iter
+      (fun (kind, n) -> Format.fprintf fmt "  %s: %d@," kind n)
+      r.fault_events
+  end;
   Format.fprintf fmt "@,verifier:@,";
   Format.fprintf fmt "  accepts: %d@," r.verifier_accepts;
   if r.verifier_rejects = [] then Format.fprintf fmt "  rejects: none@,"
@@ -277,6 +398,36 @@ let to_json r =
         Jsonx.Obj [ ("done", num r.queries_done); ("error", num r.queries_error) ] );
       ("verifier_accepts", num r.verifier_accepts);
       ("verifier_rejects", counts_json r.verifier_rejects);
+      ( "degraded",
+        Jsonx.Obj
+          [
+            ("rounds", num r.degraded_rounds);
+            ("heal_rounds", num r.heal_rounds);
+            ("skipped", num r.rounds_skipped);
+          ] );
+      ( "gaps",
+        Jsonx.Arr
+          (List.map
+             (fun g ->
+               Jsonx.Obj
+                 [
+                   ("router", num g.gap_router);
+                   ("epoch", num g.gap_epoch);
+                   ("opened_round", num g.opened_round);
+                   ("healed_round", opt_num g.healed_round);
+                 ])
+             r.gaps) );
+      ("open_gaps", num r.open_gap_count);
+      ("stale_gaps", num r.stale_gap_count);
+      ("gap_grace", num r.gap_grace);
+      ( "chaos",
+        Jsonx.Obj
+          [
+            ("crashes", num r.crashes);
+            ("resumes", num r.resumes);
+            ("retries", num r.retries);
+            ("fault_events", counts_json r.fault_events);
+          ] );
       ("service_rounds", opt_num r.service_rounds);
       ("service_entries", opt_num r.service_entries);
       ( "service_root",

@@ -25,6 +25,15 @@ type router_health = {
           published — gaps inside its own history. *)
 }
 
+type gap_status = {
+  gap_router : int;
+  gap_epoch : int;
+  opened_round : int;        (** round that first proceeded without it *)
+  healed_round : int option; (** heal round that folded it in, if any *)
+}
+(** One coverage gap replayed from ["prover.gap.open"] /
+    ["prover.gap.heal"] events. *)
+
 type report = {
   events : int;  (** total events replayed *)
   epochs : int list;  (** distinct epochs with at least one fresh publication *)
@@ -33,6 +42,9 @@ type report = {
   rounds_started : int;
   rounds_done : int;
   rounds_error : int;
+  rounds_skipped : int;  (** degraded rounds with nothing to aggregate *)
+  degraded_rounds : int; (** rounds that proceeded with missing routers *)
+  heal_rounds : int;     (** catch-up rounds folding in late arrivals *)
   round_latency : latency option;
       (** wall time from [prover.round.start] to [prover.round.done],
           matched by round index *)
@@ -44,19 +56,36 @@ type report = {
   queries_error : int;
   verifier_accepts : int;  (** accept verdicts of any kind *)
   verifier_rejects : (string * int) list;  (** failing check -> count *)
+  gaps : gap_status list;  (** every gap ever opened, in open order *)
+  open_gap_count : int;
+  stale_gap_count : int;
+      (** open gaps that have stayed open for more than [gap_grace]
+          rounds — the [--strict] failure condition *)
+  gap_grace : int;  (** the grace window this report was built with *)
+  crashes : int;  (** injected ["fault.crash"] events *)
+  resumes : int;  (** ["prover.resume"] recoveries *)
+  retries : int;  (** ["fault.retry"] backoff attempts *)
+  fault_events : (string * int) list;  (** injected fault kind -> count *)
   service_rounds : int option;  (** from the saved service state, when given *)
   service_entries : int option;
   service_root : string option;
 }
 
-val build : ?service:Prover_service.t -> Zkflow_obs.Event.t list -> report
+val build :
+  ?service:Prover_service.t -> ?gap_grace:int -> Zkflow_obs.Event.t list -> report
 (** Replay a recorded event list into a health report. [?service] adds
     the persisted prover-service view (round count, CLog size, root)
-    for cross-checking against what the log claims happened. *)
+    for cross-checking against what the log claims happened.
+    [?gap_grace] (default 0) is how many rounds a coverage gap may
+    stay open before it counts as stale. *)
 
 val healthy : report -> bool
 (** No rejections anywhere, no round or query errors, every router
-    current ([lag = 0]) with no missed epochs. *)
+    current ([lag = 0]) with no missed epochs, and no open gap stale
+    past the grace window. Injected-fault counts and degraded/heal
+    rounds do {e not} degrade health — they are the chaos and the
+    intended reaction to it; health judges whether the reaction
+    worked. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable report: router table, latency percentiles,

@@ -22,7 +22,7 @@ let checked ?router ?epoch ?round ?query ~check = function
   | Ok _ as ok -> ok
   | Error detail -> reject ?router ?epoch ?round ?query ~check detail
 
-let verify_round ?expected_prev ?round ~board ~epoch receipt =
+let verify_round ?expected_prev ?round ?routers ~board ~epoch receipt =
   let check name r = checked ?round ~epoch ~check:name r in
   let program = Lazy.force Guests.aggregation_program in
   let* () = check "proof" (Verify.verify ~program receipt) in
@@ -39,12 +39,16 @@ let verify_round ?expected_prev ?round ~board ~epoch receipt =
         else Error "client: aggregation round does not chain from expected root")
   in
   (* Every router digest the guest consumed must be a commitment that
-     was actually published for this epoch. *)
-  let published = Board.routers board in
+     was actually published for this epoch. A degraded round claims a
+     subset via [?routers]; the claim is still checked digest by
+     digest, so it can only name routers that really published. *)
+  let published =
+    match routers with Some rs -> rs | None -> Board.routers board
+  in
   let* () =
     check "router_set"
       (if List.length published <> List.length journal.Guests.router_digests then
-         Error "client: round covers a different router set than the board"
+         Error "client: round covers a different router set than claimed"
        else Ok ())
   in
   let rec check_routers routers digests =
@@ -84,6 +88,116 @@ let verify_chain ~board rounds =
       go journal.Guests.new_root (count + 1) rest
   in
   go Clog.empty_root 0 rounds
+
+(* ---- degraded-history verification ---- *)
+
+type covered_round = {
+  epoch : int;
+  routers : int list;
+  degraded : bool;
+  heal : bool;
+  receipt : Receipt.t;
+}
+
+type coverage_report = {
+  final_root : D.t;
+  round_count : int;
+  complete : bool;
+}
+
+(* The degraded-mode counterpart of [verify_chain]: the operator hands
+   over, per round, {e which} (router, epoch) pairs it covered, plus
+   the gap journal's open entries. The client then enforces, from
+   public data alone, that the history is honest about its own holes:
+
+   - each round verifies against its claimed subset (so a claim can
+     only name really-published commitments, in the claimed order);
+   - no (router, epoch) pair is aggregated twice across rounds
+     (a heal round must not double-count a pair a degraded round
+     already folded in);
+   - every pair on the board is either covered by some round or
+     explicitly named as an open gap — a pair that is neither is
+     {e silent loss}, and the whole history is rejected;
+   - an "open gap" that some round did cover is an inconsistent claim
+     and is likewise rejected.
+
+   [complete] is true when there are no open gaps: the aggregate
+   covers everything the board promised. *)
+let verify_coverage ~board ~gaps rounds =
+  let covered = Hashtbl.create 64 in
+  let rec go prev count = function
+    | [] -> Ok (prev, count)
+    | r :: rest ->
+      let* journal =
+        verify_round ~expected_prev:prev ~round:count ~routers:r.routers ~board
+          ~epoch:r.epoch r.receipt
+      in
+      let* () =
+        let rec claim = function
+          | [] -> Ok ()
+          | router_id :: rs ->
+            if Hashtbl.mem covered (router_id, r.epoch) then
+              reject ~round:count ~router:router_id ~epoch:r.epoch
+                ~check:"coverage.duplicate"
+                (Printf.sprintf
+                   "client: router %d epoch %d aggregated by two rounds"
+                   router_id r.epoch)
+            else begin
+              Hashtbl.replace covered (router_id, r.epoch) ();
+              claim rs
+            end
+        in
+        claim r.routers
+      in
+      go journal.Guests.new_root (count + 1) rest
+  in
+  let* final_root, round_count = go Clog.empty_root 0 rounds in
+  let* () =
+    let rec check_gaps = function
+      | [] -> Ok ()
+      | (router_id, epoch) :: rest ->
+        if Hashtbl.mem covered (router_id, epoch) then
+          reject ~router:router_id ~epoch ~check:"coverage.gap_covered"
+            (Printf.sprintf
+               "client: router %d epoch %d claimed as an open gap but covered"
+               router_id epoch)
+        else check_gaps rest
+    in
+    check_gaps gaps
+  in
+  let* () =
+    let rec check_board = function
+      | [] -> Ok ()
+      | router_id :: rest ->
+        let rec check_commitments = function
+          | [] -> check_board rest
+          | (c : Commitment.t) :: cs ->
+            let epoch = c.Commitment.epoch in
+            if
+              Hashtbl.mem covered (router_id, epoch)
+              || List.mem (router_id, epoch) gaps
+            then check_commitments cs
+            else
+              reject ~router:router_id ~epoch ~check:"coverage.silent_loss"
+                (Printf.sprintf
+                   "client: router %d epoch %d on the board but neither \
+                    covered nor declared a gap"
+                   router_id epoch)
+        in
+        check_commitments (Board.commitments board ~router_id)
+    in
+    check_board (Board.routers board)
+  in
+  let complete = gaps = [] in
+  Event.emit ~track:"verifier" "verifier.coverage.accept"
+    ~attrs:
+      [
+        ("rounds", Jsonx.Num (float_of_int round_count));
+        ("covered", Jsonx.Num (float_of_int (Hashtbl.length covered)));
+        ("open_gaps", Jsonx.Num (float_of_int (List.length gaps)));
+        ("final_root", Jsonx.Str (D.short final_root));
+      ];
+  Ok { final_root; round_count; complete }
 
 let verify_query ?query ~expected_root receipt =
   let check name r = checked ?query ~check:name r in

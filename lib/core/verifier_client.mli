@@ -23,17 +23,22 @@ type verified_chain = {
 val verify_round :
   ?expected_prev:Zkflow_hash.Digest32.t ->
   ?round:int ->
+  ?routers:int list ->
   board:Zkflow_commitlog.Board.t ->
   epoch:int ->
   Zkflow_zkproof.Receipt.t ->
   (Guests.agg_journal, string) result
 (** Verify one aggregation receipt: proof validity, image ID, board
     cross-check for [epoch], and (when given) the [expected_prev]
-    linkage. Each verdict is also a flight-recorder event on the
-    [verifier] track — ["verifier.round.accept"], or
-    ["verifier.reject"] naming the failing check ([proof], [journal],
-    [chain], [router_set], [board_lookup], [digest_match], [arity]).
-    [?round] is the chain index carried on those events. *)
+    linkage. [?routers] is the router subset a degraded round claims
+    to cover (default: every router on the board) — the claim is
+    checked digest by digest against the board, so it can only name
+    routers that really published. Each verdict is also a
+    flight-recorder event on the [verifier] track —
+    ["verifier.round.accept"], or ["verifier.reject"] naming the
+    failing check ([proof], [journal], [chain], [router_set],
+    [board_lookup], [digest_match], [arity]). [?round] is the chain
+    index carried on those events. *)
 
 val verify_chain :
   board:Zkflow_commitlog.Board.t ->
@@ -41,6 +46,40 @@ val verify_chain :
   (verified_chain, string) result
 (** Verify a whole history of [(epoch, receipt)] rounds, oldest first,
     threading the root linkage from the empty CLog. *)
+
+type covered_round = {
+  epoch : int;
+  routers : int list;   (** the (claimed) covered subset, ascending *)
+  degraded : bool;
+  heal : bool;
+  receipt : Zkflow_zkproof.Receipt.t;
+}
+(** One round of a possibly-degraded history, as handed over by the
+    operator: the receipt plus its coverage claim
+    (cf. {!Prover_service.coverage}). *)
+
+type coverage_report = {
+  final_root : Zkflow_hash.Digest32.t;
+  round_count : int;
+  complete : bool;  (** no open gaps — the board is fully covered *)
+}
+
+val verify_coverage :
+  board:Zkflow_commitlog.Board.t ->
+  gaps:(int * int) list ->
+  covered_round list ->
+  (coverage_report, string) result
+(** Verify a degraded history end to end from public data: each round
+    against its claimed router subset (chained from the empty root),
+    no [(router, epoch)] pair covered twice, no pair claimed both
+    covered and an open gap — and, the safety core, {e no silent
+    loss}: every commitment on the board is either covered by some
+    round or explicitly named in [gaps] (the open entries of the
+    prover's gap journal). A history that drops a pair without
+    declaring it is rejected (check [coverage.silent_loss]; the other
+    new checks are [coverage.duplicate] and [coverage.gap_covered]).
+    [complete] is true when [gaps] is empty: verified {e and} whole.
+    An accepted history emits ["verifier.coverage.accept"]. *)
 
 val verify_query :
   ?query:int ->

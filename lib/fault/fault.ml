@@ -1,0 +1,291 @@
+module Jsonx = Zkflow_util.Jsonx
+module Rng = Zkflow_util.Rng
+module Event = Zkflow_obs.Event
+
+exception Crash of string
+
+type site = string
+
+type kind =
+  | Drop of { router : int; epoch : int }
+  | Delay of { router : int; epoch : int }
+  | Duplicate of { router : int; epoch : int }
+  | Crash_at of { site : site; hits : int }
+  | Flaky of { site : site; failures : int }
+  | Torn_write of { target : string; drop_bytes : int }
+  | Bit_flip of { target : string }
+
+type plan = { seed : int; name : string; faults : kind list }
+
+(* ---- JSON ---- *)
+
+let num f = Jsonx.Num (float_of_int f)
+
+let kind_to_json = function
+  | Drop { router; epoch } ->
+    Jsonx.Obj [ ("kind", Jsonx.Str "drop"); ("router", num router); ("epoch", num epoch) ]
+  | Delay { router; epoch } ->
+    Jsonx.Obj [ ("kind", Jsonx.Str "delay"); ("router", num router); ("epoch", num epoch) ]
+  | Duplicate { router; epoch } ->
+    Jsonx.Obj
+      [ ("kind", Jsonx.Str "duplicate"); ("router", num router); ("epoch", num epoch) ]
+  | Crash_at { site; hits } ->
+    Jsonx.Obj [ ("kind", Jsonx.Str "crash"); ("site", Jsonx.Str site); ("hits", num hits) ]
+  | Flaky { site; failures } ->
+    Jsonx.Obj
+      [ ("kind", Jsonx.Str "flaky"); ("site", Jsonx.Str site); ("failures", num failures) ]
+  | Torn_write { target; drop_bytes } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.Str "torn_write");
+        ("target", Jsonx.Str target);
+        ("bytes", num drop_bytes);
+      ]
+  | Bit_flip { target } ->
+    Jsonx.Obj [ ("kind", Jsonx.Str "bit_flip"); ("target", Jsonx.Str target) ]
+
+let plan_to_json p =
+  Jsonx.Obj
+    [
+      ("seed", num p.seed);
+      ("name", Jsonx.Str p.name);
+      ("faults", Jsonx.Arr (List.map kind_to_json p.faults));
+    ]
+
+let ( let* ) = Result.bind
+
+let int_field v k =
+  match Jsonx.member k v with
+  | Some (Jsonx.Num f) -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "fault plan: missing numeric %S" k)
+
+let str_field v k =
+  match Jsonx.member k v with
+  | Some (Jsonx.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "fault plan: missing string %S" k)
+
+let kind_of_json v =
+  let* kind = str_field v "kind" in
+  match kind with
+  | "drop" ->
+    let* router = int_field v "router" in
+    let* epoch = int_field v "epoch" in
+    Ok (Drop { router; epoch })
+  | "delay" ->
+    let* router = int_field v "router" in
+    let* epoch = int_field v "epoch" in
+    Ok (Delay { router; epoch })
+  | "duplicate" ->
+    let* router = int_field v "router" in
+    let* epoch = int_field v "epoch" in
+    Ok (Duplicate { router; epoch })
+  | "crash" ->
+    let* site = str_field v "site" in
+    let* hits = int_field v "hits" in
+    if hits < 1 then Error "fault plan: crash hits must be >= 1"
+    else Ok (Crash_at { site; hits })
+  | "flaky" ->
+    let* site = str_field v "site" in
+    let* failures = int_field v "failures" in
+    if failures < 1 then Error "fault plan: flaky failures must be >= 1"
+    else Ok (Flaky { site; failures })
+  | "torn_write" ->
+    let* target = str_field v "target" in
+    let* drop_bytes = int_field v "bytes" in
+    if drop_bytes < 1 then Error "fault plan: torn_write bytes must be >= 1"
+    else Ok (Torn_write { target; drop_bytes })
+  | "bit_flip" ->
+    let* target = str_field v "target" in
+    Ok (Bit_flip { target })
+  | k -> Error (Printf.sprintf "fault plan: unknown fault kind %S" k)
+
+let plan_of_json v =
+  let* seed = int_field v "seed" in
+  let name =
+    match Jsonx.member "name" v with Some (Jsonx.Str s) -> s | _ -> "unnamed"
+  in
+  let* faults =
+    match Jsonx.member "faults" v with
+    | Some (Jsonx.Arr fs) ->
+      List.fold_left
+        (fun acc f ->
+          let* acc = acc in
+          let* k = kind_of_json f in
+          Ok (k :: acc))
+        (Ok []) fs
+      |> Result.map List.rev
+    | _ -> Error "fault plan: missing \"faults\" array"
+  in
+  Ok { seed; name; faults }
+
+let plan_to_string p = Jsonx.to_string (plan_to_json p)
+let plan_of_string s = Result.bind (Jsonx.parse s) plan_of_json
+
+let load_plan path =
+  if not (Sys.file_exists path) then Error (path ^ ": not found")
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    match plan_of_string b with
+    | Ok p -> Ok p
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  end
+
+(* ---- plan queries ---- *)
+
+let dropped p ~router ~epoch =
+  List.exists (function Drop d -> d.router = router && d.epoch = epoch | _ -> false) p.faults
+
+let delayed p ~router ~epoch =
+  List.exists (function Delay d -> d.router = router && d.epoch = epoch | _ -> false) p.faults
+
+let duplicated p ~router ~epoch =
+  List.exists
+    (function Duplicate d -> d.router = router && d.epoch = epoch | _ -> false)
+    p.faults
+
+let storage_faults p =
+  List.filter (function Torn_write _ | Bit_flip _ -> true | _ -> false) p.faults
+
+(* ---- deterministic plan synthesis ---- *)
+
+let crash_site_catalogue =
+  [
+    "agg.pre_prove";
+    "agg.pre_checkpoint";
+    "ckpt.pre_sync";
+    "agg.post_checkpoint";
+    "board.publish";
+  ]
+
+let random_plan ?(routers = 3) ?(epochs = 2) ~seed () =
+  let rng = Rng.create (Int64.of_int (0x51ab1e + seed)) in
+  let sites = Array.of_list crash_site_catalogue in
+  let pick_site () = sites.(Rng.int rng (Array.length sites)) in
+  let pick_pair () = (Rng.int rng routers, Rng.int rng epochs) in
+  let faults = ref [] in
+  let add f = faults := f :: !faults in
+  (* Always at least one crash — this is a chaos plan, not a dry run. *)
+  let crashes = 1 + Rng.int rng 2 in
+  for _ = 1 to crashes do
+    add (Crash_at { site = pick_site (); hits = 1 + Rng.int rng 2 })
+  done;
+  if Rng.bool rng then begin
+    let router, epoch = pick_pair () in
+    add (Drop { router; epoch })
+  end;
+  if Rng.bool rng then begin
+    let router, epoch = pick_pair () in
+    add (Delay { router; epoch })
+  end;
+  if Rng.bool rng then begin
+    let router, epoch = pick_pair () in
+    add (Duplicate { router; epoch })
+  end;
+  if Rng.bool rng then add (Flaky { site = "agg.fetch"; failures = 1 + Rng.int rng 2 });
+  if Rng.int rng 3 = 0 then
+    add (Torn_write { target = "checkpoint"; drop_bytes = 1 + Rng.int rng 24 });
+  if Rng.int rng 3 = 0 then add (Bit_flip { target = "checkpoint" });
+  { seed; name = Printf.sprintf "random-%d" seed; faults = List.rev !faults }
+
+(* ---- arming ----
+
+   One global armed table guarded by a mutex; the unarmed fast path is
+   a single read of [active]. Crash countdowns disarm before raising
+   so a resumed prover passing the same site makes progress. *)
+
+let lock = Mutex.create ()
+let active = ref false
+let crash_sites : (site, int ref) Hashtbl.t = Hashtbl.create 8
+let flaky_sites : (site, int ref) Hashtbl.t = Hashtbl.create 8
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset crash_sites;
+  Hashtbl.reset flaky_sites;
+  active := false;
+  Mutex.unlock lock
+
+let install p =
+  Mutex.lock lock;
+  Hashtbl.reset crash_sites;
+  Hashtbl.reset flaky_sites;
+  List.iter
+    (function
+      | Crash_at { site; hits } -> Hashtbl.replace crash_sites site (ref hits)
+      | Flaky { site; failures } -> Hashtbl.replace flaky_sites site (ref failures)
+      | _ -> ())
+    p.faults;
+  active := true;
+  Mutex.unlock lock
+
+let armed () = !active
+
+let crashpoint site =
+  if !active then begin
+    let fire = ref false in
+    Mutex.lock lock;
+    (match Hashtbl.find_opt crash_sites site with
+    | Some r when !r > 0 ->
+      decr r;
+      if !r = 0 then begin
+        Hashtbl.remove crash_sites site;
+        fire := true
+      end
+    | _ -> ());
+    Mutex.unlock lock;
+    if !fire then begin
+      Event.emit ~track:"fault" "fault.crash" ~attrs:[ ("site", Jsonx.Str site) ];
+      raise (Crash site)
+    end
+  end
+
+let failpoint site =
+  if not !active then Ok ()
+  else begin
+    let fail = ref false in
+    Mutex.lock lock;
+    (match Hashtbl.find_opt flaky_sites site with
+    | Some r when !r > 0 ->
+      decr r;
+      fail := true
+    | _ -> ());
+    Mutex.unlock lock;
+    if !fail then begin
+      Event.emit ~track:"fault" "fault.flaky" ~attrs:[ ("site", Jsonx.Str site) ];
+      Error (site ^ ": injected transient fault")
+    end
+    else Ok ()
+  end
+
+(* ---- retry ---- *)
+
+module Retry = struct
+  let with_backoff ?(max_attempts = 5) ?(base_ms = 1.) ?(max_ms = 50.)
+      ?(sleep = fun (_ : float) -> ()) ~rng ~label f =
+    if max_attempts < 1 then invalid_arg "Retry.with_backoff: max_attempts";
+    let rec go attempt =
+      match f () with
+      | Ok _ as ok -> ok
+      | Error e when attempt >= max_attempts ->
+        Event.emit ~track:"fault" "fault.retry.exhausted"
+          ~attrs:
+            [ ("label", Jsonx.Str label); ("attempts", num max_attempts) ];
+        Error (Printf.sprintf "%s: %s (gave up after %d attempts)" label e max_attempts)
+      | Error _ ->
+        let cap = Float.min max_ms (base_ms *. (2. ** float_of_int (attempt - 1))) in
+        let jitter_ms = Rng.float rng (Float.max cap 1e-9) in
+        Event.emit ~track:"fault" "fault.retry"
+          ~attrs:
+            [
+              ("label", Jsonx.Str label);
+              ("attempt", num attempt);
+              ("backoff_ms", Jsonx.Num jitter_ms);
+            ];
+        sleep (jitter_ms /. 1000.);
+        go (attempt + 1)
+    in
+    go 1
+end

@@ -1,0 +1,135 @@
+(** Deterministic fault injection.
+
+    A {!plan} is a seedable, JSON-serializable description of the
+    faults one chaos run injects: router export drops, late (delayed)
+    or duplicated board publications, transient read failures, prover
+    crashes at named {e crash sites}, and storage corruption (torn
+    writes, bit flips) applied to the checkpoint file while the prover
+    is "down". Everything is derived from explicit seeds — the same
+    plan replays the same chaos, in CI, forever.
+
+    Instrumented modules thread two kinds of hooks through their code:
+
+    - {!crashpoint}[ "agg.pre_checkpoint"] raises {!Crash} when an
+      installed plan arms that site, simulating the process dying at
+      exactly that instruction. Disarmed sites cost one branch on a
+      global flag — production runs never pay more.
+    - {!failpoint}[ "agg.fetch"] returns [Error _] for the first [n]
+      calls when armed, simulating a transient store/board read
+      failure; callers wrap it in {!Retry.with_backoff}.
+
+    Every injected fault is recorded as a flight-recorder
+    {!Zkflow_obs.Event} (track ["fault"]) so [zkflow monitor] replays
+    the chaos alongside the pipeline's reaction to it. *)
+
+exception Crash of string
+(** Raised by {!crashpoint} at an armed site. The payload is the site
+    name. *)
+
+type site = string
+(** Crash/fail sites are dotted names; the catalogue lives in
+    DESIGN.md §11 (e.g. ["agg.pre_checkpoint"], ["ckpt.pre_sync"],
+    ["board.publish"], ["store.sync"], ["atomic.pre_rename"]). *)
+
+type kind =
+  | Drop of { router : int; epoch : int }
+      (** The router's export for this epoch is lost before it reaches
+          the board: the commitment is never published and never will
+          be. The round proceeds degraded; the gap stays open. *)
+  | Delay of { router : int; epoch : int }
+      (** The publication arrives late — after the aggregation deadline
+          — and is delivered during the heal phase. Per-router order is
+          preserved: every later epoch of the same router queues behind
+          it (the board enforces monotone epochs per router). *)
+  | Duplicate of { router : int; epoch : int }
+      (** The router publishes the same epoch twice; the board must
+          reject the second copy. *)
+  | Crash_at of { site : site; hits : int }
+      (** Raise {!Crash} on the [hits]-th pass through [site] (1 =
+          first), then disarm so the resumed prover can make progress.
+          One armed countdown per site: a later [Crash_at] for the same
+          site replaces the earlier one. *)
+  | Flaky of { site : site; failures : int }
+      (** {!failpoint}[ site] returns [Error _] for the first
+          [failures] calls, then succeeds. *)
+  | Torn_write of { target : string; drop_bytes : int }
+      (** Truncate [drop_bytes] from the tail of the target file
+          (["checkpoint"]) after a crash — a partial flush frozen at
+          the instant of death. *)
+  | Bit_flip of { target : string }
+      (** Flip one seeded bit of the target file after a crash. *)
+
+type plan = { seed : int; name : string; faults : kind list }
+
+(* ---- JSON ---- *)
+
+val plan_to_json : plan -> Zkflow_util.Jsonx.t
+val plan_of_json : Zkflow_util.Jsonx.t -> (plan, string) result
+val plan_to_string : plan -> string
+val plan_of_string : string -> (plan, string) result
+val load_plan : string -> (plan, string) result
+(** Read and parse a plan file. *)
+
+val random_plan : ?routers:int -> ?epochs:int -> seed:int -> unit -> plan
+(** A deterministic plan drawn from [seed]: a mix of crashes, data
+    faults over the given router/epoch grid, flaky reads, and storage
+    corruption. Equal seeds give equal plans — the [make chaos] matrix
+    is just seeds 1..8. *)
+
+val crash_site_catalogue : site list
+(** Sites {!random_plan} draws from (all fire during the prove/heal
+    phase, which is where arming happens). *)
+
+(* ---- plan queries (pure) ---- *)
+
+val dropped : plan -> router:int -> epoch:int -> bool
+val delayed : plan -> router:int -> epoch:int -> bool
+val duplicated : plan -> router:int -> epoch:int -> bool
+
+val storage_faults : plan -> kind list
+(** The [Torn_write]/[Bit_flip] entries, in plan order. *)
+
+(* ---- arming ---- *)
+
+val install : plan -> unit
+(** Arm the plan's [Crash_at]/[Flaky] sites (replacing any previous
+    installation). Data faults ([Drop]/[Delay]/…) are pure plan
+    queries and need no arming. *)
+
+val clear : unit -> unit
+(** Disarm everything. *)
+
+val armed : unit -> bool
+
+val crashpoint : site -> unit
+(** Raise {!Crash site} if an installed plan's countdown for [site]
+    reaches zero on this call; otherwise a no-op. The site is disarmed
+    {e before} raising, so the same site passed after resume does not
+    fire again. Emits a ["fault.crash"] event when it fires. *)
+
+val failpoint : site -> (unit, string) result
+(** [Error _] while the site's failure budget lasts (emitting a
+    ["fault.flaky"] event per injected failure), [Ok ()] otherwise. *)
+
+(* ---- bounded exponential backoff with seeded jitter ---- *)
+
+module Retry : sig
+  val with_backoff :
+    ?max_attempts:int ->
+    ?base_ms:float ->
+    ?max_ms:float ->
+    ?sleep:(float -> unit) ->
+    rng:Zkflow_util.Rng.t ->
+    label:string ->
+    (unit -> ('a, string) result) ->
+    ('a, string) result
+  (** Run [f], retrying transient [Error]s up to [max_attempts] (default
+      5) times total. Before attempt [k+1] it backs off by a jittered
+      delay uniform in [\[0, min max_ms (base_ms * 2^(k-1)))] drawn
+      from [rng] (full jitter — seeded, so a replayed run retries on
+      the same schedule), passed to [sleep] in {e seconds} (default: no
+      actual sleeping, so tests and chaos replays run at full speed).
+      Defaults: [base_ms = 1.], [max_ms = 50.]. Each retry emits a
+      ["fault.retry"] event; exhaustion emits ["fault.retry.exhausted"]
+      and returns the last error tagged with [label]. *)
+end

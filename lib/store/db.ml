@@ -20,6 +20,7 @@ let table t ~router_id ~epoch =
     tbl
 
 let insert t record =
+  Zkflow_fault.Fault.crashpoint "store.insert";
   let epoch = Epoch.of_ts t.epoch record.Record.last_ts in
   let row = Codec.record_to_row record in
   ignore (Table.append (table t ~router_id:record.Record.router_id ~epoch) row);
@@ -46,6 +47,10 @@ let window t ~router_id ~epoch =
 
 let routers t =
   Hashtbl.fold (fun (r, _) _ acc -> r :: acc) t.windows []
+  |> List.sort_uniq Int.compare
+
+let routers_for t ~epoch =
+  Hashtbl.fold (fun (r, e) _ acc -> if e = epoch then r :: acc else acc) t.windows []
   |> List.sort_uniq Int.compare
 
 let epochs t =
@@ -86,6 +91,7 @@ let recover ~wal_path ~epoch =
     go rows
 
 let sync t =
+  Zkflow_fault.Fault.crashpoint "store.sync";
   Option.iter Wal.sync t.wal;
   if Zkflow_obs.Control.on () then
     Zkflow_obs.Event.emit ~track:"store" "store.sync"

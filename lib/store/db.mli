@@ -31,6 +31,10 @@ val routers : t -> int list
 val epochs : t -> int list
 (** Epochs present (any router), ascending. *)
 
+val routers_for : t -> epoch:int -> int list
+(** Router ids with a window at [epoch], ascending — the set a
+    degraded-mode aggregation round measures its coverage against. *)
+
 val record_count : t -> int
 
 val tamper :

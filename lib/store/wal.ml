@@ -1,3 +1,5 @@
+module Fault = Zkflow_fault.Fault
+
 type t = { path : string; oc : out_channel }
 
 let open_log path =
@@ -10,8 +12,20 @@ let append t row =
   output_bytes t.oc header;
   output_bytes t.oc row
 
-let sync t = flush t.oc
+let sync t =
+  flush t.oc;
+  try Unix.fsync (Unix.descr_of_out_channel t.oc) with
+  | Unix.Unix_error _ | Sys_error _ -> ()
+
 let close t = close_out t.oc
+
+(* Closing the raw descriptor under the channel discards its buffer:
+   unsynced appends vanish, exactly like a crash. Later flush attempts
+   on the dead channel (e.g. the stdlib's at-exit flush_all) fail
+   silently. *)
+let abandon t =
+  try Unix.close (Unix.descr_of_out_channel t.oc) with
+  | Unix.Unix_error _ | Sys_error _ -> ()
 
 let replay path =
   if not (Sys.file_exists path) then Ok []
@@ -40,3 +54,26 @@ let replay path =
       close_in_noerr ic;
       Error (Printexc.to_string e)
   end
+
+let write_file_atomic ?(fsync = true) path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  output_bytes oc data;
+  flush oc;
+  if fsync then (
+    try Unix.fsync (Unix.descr_of_out_channel oc) with
+    | Unix.Unix_error _ | Sys_error _ -> ());
+  close_out oc;
+  Fault.crashpoint "atomic.pre_rename";
+  Sys.rename tmp path
+
+let rewrite path rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length row));
+      Buffer.add_bytes buf header;
+      Buffer.add_bytes buf row)
+    rows;
+  write_file_atomic path (Buffer.to_bytes buf)

@@ -120,6 +120,55 @@ let test_monitor_missing_log () =
   check_int "nonzero exit" 1 code;
   check_bool "points at --events" true (contains ~needle:"--events" out)
 
+(* ---- chaos ---- *)
+
+let chaos_flags = [ "--routers"; "2"; "--flows"; "6"; "--rate"; "25"; "--duration"; "9000" ]
+
+let test_chaos_crash_plan_stays_healthy () =
+  let dir = fresh_dir () in
+  let plan = Filename.concat dir "plan.json" in
+  write_text plan
+    {|{"seed": 1, "name": "cli-crash",
+       "faults": [{"kind": "crash", "site": "agg.pre_checkpoint", "hits": 1}]}|};
+  let code, out =
+    run ([ "chaos"; "--dir"; dir; "--plan"; plan; "--json" ] @ chaos_flags)
+  in
+  check_int ("chaos: " ^ out) 0 code;
+  (match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("chaos json does not parse: " ^ e)
+  | Ok v ->
+    let bool_field k = Zkflow_util.Jsonx.member k v = Some (Zkflow_util.Jsonx.Bool true) in
+    check_bool "safety_ok" true (bool_field "safety_ok");
+    check_bool "liveness_ok" true (bool_field "liveness_ok");
+    check_bool "root bit-identical to twin" true
+      (Zkflow_util.Jsonx.member "final_root" v = Zkflow_util.Jsonx.member "twin_root" v);
+    check_bool "status complete" true
+      (Zkflow_util.Jsonx.member "status" v = Some (Zkflow_util.Jsonx.Str "complete")));
+  (* injected crashes and the recovery are chaos, not ill health *)
+  let code, out = run [ "monitor"; "--dir"; dir; "--strict" ] in
+  check_int ("monitor --strict: " ^ out) 0 code;
+  check_bool "healthy" true (contains ~needle:"health: OK" out);
+  check_bool "reports the crash" true (contains ~needle:"crashes: 1 injected" out)
+
+let test_chaos_dropped_export_fails_strict_monitor () =
+  let dir = fresh_dir () in
+  let plan = Filename.concat dir "plan.json" in
+  write_text plan
+    {|{"seed": 4, "name": "cli-drop",
+       "faults": [{"kind": "drop", "router": 1, "epoch": 0}]}|};
+  let code, out = run ([ "chaos"; "--dir"; dir; "--plan"; plan ] @ chaos_flags) in
+  (* explicit degradation is a successful chaos run... *)
+  check_int ("chaos: " ^ out) 0 code;
+  check_bool "degraded verdict" true (contains ~needle:"degraded" out);
+  check_bool "gap names the export" true (contains ~needle:"r1/e0" out);
+  (* ...but a gap past the grace window fails the strict health gate *)
+  let code, out = run [ "monitor"; "--dir"; dir; "--strict" ] in
+  check_int "strict monitor fails" 1 code;
+  check_bool "says degraded" true (contains ~needle:"DEGRADED" out);
+  (* inside the grace window the same gap is tolerated *)
+  let code, _ = run [ "monitor"; "--dir"; dir; "--gap-grace"; "99" ] in
+  check_int "lenient monitor exit" 0 code
+
 (* ---- bench-diff ---- *)
 
 let old_bench =
@@ -180,6 +229,13 @@ let () =
           Alcotest.test_case "simulate/prove/verify -> monitor" `Quick
             test_events_workflow;
           Alcotest.test_case "monitor without a log" `Quick test_monitor_missing_log;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "crash plan: verified, root matches twin, healthy" `Slow
+            test_chaos_crash_plan_stays_healthy;
+          Alcotest.test_case "dropped export: degraded + strict monitor fails" `Slow
+            test_chaos_dropped_export_fails_strict_monitor;
         ] );
       ( "bench-diff",
         [

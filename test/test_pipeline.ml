@@ -34,7 +34,9 @@ let test_service_single_epoch () =
   let d = deployment () in
   load_epoch d.Zkflow.db ~epoch:0 ~routers:4 ~per_router:3 ~seed:1;
   (match Prover_service.publish_epoch d.Zkflow.service ~epoch:0 with
-   | Ok cs -> check_int "4 commitments" 4 (List.length cs)
+   | Ok r ->
+     check_int "4 commitments" 4 (List.length r.Prover_service.published);
+     check_int "none skipped" 0 (List.length r.Prover_service.skipped)
    | Error e -> Alcotest.fail e);
   match Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0 with
   | Error e -> Alcotest.fail e

@@ -121,6 +121,113 @@ let test_wal_torn_tail_dropped () =
       | Ok l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l))
       | Error e -> Alcotest.fail e)
 
+(* A log's row boundaries: byte offsets at which a replay prefix is
+   whole. Truncating anywhere else must yield exactly the rows that
+   fit entirely before the cut. *)
+let intact_prefix rows cut =
+  let rec go acc off = function
+    | [] -> List.rev acc
+    | r :: rest ->
+      let off' = off + 4 + Bytes.length r in
+      if off' <= cut then go (r :: acc) off' rest else List.rev acc
+  in
+  go [] 0 rows
+
+let framed_prefix rows cut =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      let n = Bytes.length r in
+      Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+      Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+      Buffer.add_char buf (Char.chr (n land 0xff));
+      Buffer.add_bytes buf r)
+    rows;
+  String.sub (Buffer.contents buf) 0 cut
+
+let replay_equals path expect =
+  match Wal.replay path with
+  | Error e -> Alcotest.fail e
+  | Ok got ->
+    List.length got = List.length expect
+    && List.for_all2 Bytes.equal got expect
+
+(* Satellite (c): crash anywhere — truncate a valid log at EVERY byte
+   offset — and replay returns exactly the intact prefix, never an
+   error, never a phantom row. *)
+let test_wal_truncate_every_offset () =
+  with_tmp (fun path ->
+      let rows =
+        [ Bytes.empty; Bytes.of_string "a"; Bytes.of_string "row-two";
+          Bytes.make 300 'x'; Bytes.of_string "tail" ]
+      in
+      let total = List.fold_left (fun a r -> a + 4 + Bytes.length r) 0 rows in
+      for cut = 0 to total do
+        let oc = open_out_bin path in
+        output_string oc (framed_prefix rows cut);
+        close_out oc;
+        Alcotest.(check bool)
+          (Printf.sprintf "cut at %d" cut)
+          true
+          (replay_equals path (intact_prefix rows cut))
+      done)
+
+let qcheck_wal_torn_tail =
+  QCheck.Test.make ~count:100 ~name:"torn tail keeps exactly the intact prefix"
+    QCheck.(
+      pair
+        (small_list (string_of_size Gen.(int_bound 40)))
+        (float_bound_exclusive 1.0))
+    (fun (strs, frac) ->
+      let rows = List.map Bytes.of_string strs in
+      let total = List.fold_left (fun a r -> a + 4 + Bytes.length r) 0 rows in
+      let cut = int_of_float (frac *. float_of_int (total + 1)) in
+      let path = Filename.temp_file "zkflow_wal_qc" ".log" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc (framed_prefix rows cut);
+          close_out oc;
+          replay_equals path (intact_prefix rows cut)))
+
+let test_wal_abandon_loses_unsynced_tail () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      Wal.append w (Bytes.of_string "durable");
+      Wal.sync w;
+      Wal.append w (Bytes.of_string "in flight");
+      (* the process dies: buffered rows never reach the disk *)
+      Wal.abandon w;
+      match Wal.replay path with
+      | Ok [ a ] -> Alcotest.(check bytes) "synced row survives" (Bytes.of_string "durable") a
+      | Ok l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l))
+      | Error e -> Alcotest.fail e)
+
+let test_wal_rewrite_compacts () =
+  with_tmp (fun path ->
+      Sys.remove path;
+      let w = Wal.open_log path in
+      List.iter (Wal.append w) [ Bytes.of_string "keep"; Bytes.of_string "drop" ];
+      Wal.close w;
+      Wal.rewrite path [ Bytes.of_string "keep" ];
+      (match Wal.replay path with
+       | Ok [ a ] -> Alcotest.(check bytes) "compacted" (Bytes.of_string "keep") a
+       | _ -> Alcotest.fail "expected exactly the kept row");
+      check_bool "no temp residue" false (Sys.file_exists (path ^ ".tmp")))
+
+let test_write_file_atomic () =
+  with_tmp (fun path ->
+      Wal.write_file_atomic path (Bytes.of_string "first");
+      Wal.write_file_atomic path (Bytes.of_string "second");
+      let ic = open_in_bin path in
+      let got = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "last write wins" "second" got;
+      check_bool "no temp residue" false (Sys.file_exists (path ^ ".tmp")))
+
 (* ---- Db ---- *)
 
 let test_db_window_partitioning () =
@@ -213,6 +320,13 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "missing file" `Quick test_wal_missing_file;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail_dropped;
+          Alcotest.test_case "truncate at every offset" `Quick
+            test_wal_truncate_every_offset;
+          QCheck_alcotest.to_alcotest qcheck_wal_torn_tail;
+          Alcotest.test_case "abandon loses unsynced tail" `Quick
+            test_wal_abandon_loses_unsynced_tail;
+          Alcotest.test_case "rewrite compacts" `Quick test_wal_rewrite_compacts;
+          Alcotest.test_case "write_file_atomic" `Quick test_write_file_atomic;
         ] );
       ( "db",
         [
