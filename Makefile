@@ -23,23 +23,29 @@ check: build lint
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par
 
 # Tiny end-to-end pipeline under telemetry: simulate, prove with a
-# Chrome trace and the flight-recorder event log, verify, then
-# validate both artifacts (trace_event schema; event-log JSONL with
-# monotone per-track timestamps and router-before-verifier causality)
-# and replay the log into a strict health report. CI uploads the
-# trace and the health report as artifacts.
+# Chrome trace, the flight-recorder event log and the counter
+# snapshot, verify, then validate all three artifacts (trace_event
+# schema; event-log JSONL with monotone per-track timestamps and
+# router-before-verifier causality; counters) and replay the log into
+# a strict health report. CI uploads the trace and the health report
+# as artifacts. The simulation spans 3 epochs over 200 flows so the
+# prover chains multiple rounds — the --require assertion then proves
+# the incremental Merkle path actually reused subtrees on the warm
+# rounds rather than silently falling back to full rebuilds.
 bench-smoke: build
 	rm -rf bench-smoke-state
 	dune exec bin/zkflow.exe -- simulate --dir bench-smoke-state \
-	  --routers 2 --flows 6 --rate 50 --duration 1000 \
+	  --routers 2 --flows 200 --rate 20 --duration 12000 \
 	  --events bench-smoke-state/events.jsonl
 	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- prove --dir bench-smoke-state \
 	  --queries 8 --trace trace-smoke.json \
-	  --events bench-smoke-state/events.jsonl
+	  --events bench-smoke-state/events.jsonl \
+	  --stats stats-smoke.json
 	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- verify --dir bench-smoke-state \
 	  --events bench-smoke-state/events.jsonl
 	dune exec bin/zkflow.exe -- trace-check trace-smoke.json --min-names 5 \
-	  --events bench-smoke-state/events.jsonl
+	  --events bench-smoke-state/events.jsonl \
+	  --counters stats-smoke.json --require merkle.nodes_reused=1
 	dune exec bin/zkflow.exe -- stats --dir bench-smoke-state --json
 	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --strict
 	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --json \

@@ -11,7 +11,7 @@
                  baseline, and sketch-based logging.
      micro     — substrate microbenchmarks (bechamel).
 
-   Usage: dune exec bench/main.exe [-- fig4|table1|tamper|ablations|micro|all]
+   Usage: dune exec bench/main.exe [-- fig4|table1|tamper|ablations|incr|micro|all]
    Set ZKFLOW_BENCH_QUICK=1 to cap the sweep at 500 records. *)
 
 module D = Zkflow_hash.Digest32
@@ -101,6 +101,8 @@ type sweep_row = {
   proof_bytes : int;       (* wrapped seal: constant *)
   journal_bytes : int;
   receipt_bytes : int;
+  clog_rebuild_s : float;  (* second batch, tree rebuilt from scratch *)
+  clog_incr_s : float;     (* second batch, dirty-subtree update *)
   phases : (string * (int * float)) list; (* span name -> count, total s *)
   pool : Pool.stats;
 }
@@ -118,6 +120,7 @@ let run_size n =
        round also carry its phase breakdown and pool utilization. *)
     Obs.reset ();
     Obs.enable ();
+    Zkflow_zkproof.Prove.clear_commit_cache ();
     let rng = Zkflow_util.Rng.create (Int64.of_int (0xbe5c + n)) in
     let batches =
       List.init routers (fun r ->
@@ -157,6 +160,45 @@ let run_size n =
           | Ok () -> ()
           | Error e -> failwith e)
     in
+    (* CLog maintenance cost of a follow-up batch: the same k-flow
+       update applied with a from-scratch tree rebuild vs the
+       incremental dirty-subtree path — the per-round host cost the
+       incremental tree is for. Roots must agree bit for bit. *)
+    let clog0 = round.Aggregate.clog in
+    let upd =
+      let entries = Clog.entries clog0 in
+      let k = max 1 (Array.length entries / 50) in
+      Array.init k (fun i ->
+          Zkflow_netflow.Record.make ~key:entries.(i).Clog.key
+            { Zkflow_netflow.Record.packets = 1; bytes = 64; hop_count = 1; losses = 0 })
+    in
+    (* Best of a few repetitions: both paths are ~ms-scale here, and a
+       single shot is scheduler-noise dominated. *)
+    let best f =
+      let reps = 5 in
+      let r = ref None in
+      for _ = 1 to reps do
+        let v, s = time f in
+        match !r with
+        | Some (_, s0) when s0 <= s -> ()
+        | _ -> r := Some (v, s)
+      done;
+      Option.get !r
+    in
+    let rebuilt, clog_rebuild_s =
+      best (fun () ->
+          let c = Clog.apply_batch_rebuild clog0 upd in
+          ignore (Clog.root c);
+          c)
+    in
+    let incremented, clog_incr_s =
+      best (fun () ->
+          let c = Clog.apply_batch clog0 upd in
+          ignore (Clog.root c);
+          c)
+    in
+    if not (D.equal (Clog.root rebuilt) (Clog.root incremented)) then
+      failwith "bench: incremental CLog root diverges from rebuild";
     (* Constant-size wrapped proof (Table 1 "Proof" column). *)
     let vkey = Zkflow_zkproof.Wrap.setup ~seed:(Bytes.of_string "bench-setup") in
     let wrapped =
@@ -179,6 +221,8 @@ let run_size n =
         proof_bytes = Bytes.length wrapped.Zkflow_zkproof.Wrap.seal256;
         journal_bytes = Receipt.journal_size round.Aggregate.receipt;
         receipt_bytes = Receipt.size round.Aggregate.receipt;
+        clog_rebuild_s;
+        clog_incr_s;
         phases = Obs.span_totals_s ();
         pool = Pool.stats ();
       }
@@ -220,6 +264,12 @@ let fig4 () =
                          ("q_exec_s", Jsonx.Num r.q_exec_s);
                          ("q_prove_s", Jsonx.Num r.q_prove_s);
                          ("q_verify_s", Jsonx.Num r.q_verify_s);
+                         ("clog_rebuild_s", Jsonx.Num r.clog_rebuild_s);
+                         ("clog_incr_s", Jsonx.Num r.clog_incr_s);
+                         ( "clog_incr_speedup",
+                           Jsonx.Num
+                             (if r.clog_incr_s > 0. then r.clog_rebuild_s /. r.clog_incr_s
+                              else 0.) );
                          ("phases", phases_json r.phases);
                          ("pool", pool_json r.pool);
                        ])
@@ -680,6 +730,89 @@ let ablation_merkle_maintenance () =
     "   per-window break-even: SMT wins when < %.0f%% of flows change per window.\n"
     (100. *. rebuild_s /. (smt_s /. float_of_int k) /. float_of_int n)
 
+let ablation_incr () =
+  print_endline "== Ablation: incremental CLog Merkle — full rebuild vs dirty-subtree ==";
+  (* Host-side CLog maintenance only (no zkVM proving): apply the same
+     sequence of k-flow update batches to the same starting state with
+     (a) a from-scratch tree rebuild per batch and (b) the incremental
+     dirty-path update, asserting root identity after every batch. *)
+  let sweep = if quick () then [ 1_000; 10_000 ] else [ 1_000; 10_000; 50_000 ] in
+  let rounds = 4 in
+  Obs.reset ();
+  Obs.enable ();
+  Printf.printf "%10s %8s %14s %14s %10s %12s %12s\n" "entries" "k/round"
+    "rebuild (ms)" "incr (ms)" "speedup" "rehashed" "reused";
+  let rows =
+    List.map
+      (fun n ->
+        let k = max 1 (n / 100) in
+        let rng = Zkflow_util.Rng.create (Int64.of_int (0xd1a7 + n)) in
+        let base =
+          Gen.records rng
+            { Gen.default_profile with Gen.flow_count = n }
+            ~router_id:0 ~count:n
+        in
+        let clog0 = Clog.apply_batch Clog.empty base in
+        ignore (Clog.root clog0);
+        let entries = Clog.entries clog0 in
+        let m = Array.length entries in
+        let batch r =
+          Array.init k (fun i ->
+              let e = entries.(((i * (m / k)) + r) mod m) in
+              Zkflow_netflow.Record.make ~key:e.Clog.key
+                { Zkflow_netflow.Record.packets = 1; bytes = 64; hop_count = 1; losses = 0 })
+        in
+        let c_rehashed = Zkflow_obs.Metric.counter "merkle.nodes_rehashed" in
+        let c_reused = Zkflow_obs.Metric.counter "merkle.nodes_reused" in
+        let rehashed0 = Zkflow_obs.Metric.value c_rehashed in
+        let reused0 = Zkflow_obs.Metric.value c_reused in
+        let rebuild_s = ref 0. and incr_s = ref 0. in
+        let rb = ref clog0 and inc = ref clog0 in
+        for r = 0 to rounds - 1 do
+          let b = batch r in
+          let c1, t1 =
+            time (fun () ->
+                let c = Clog.apply_batch_rebuild !rb b in
+                ignore (Clog.root c);
+                c)
+          in
+          let c2, t2 =
+            time (fun () ->
+                let c = Clog.apply_batch !inc b in
+                ignore (Clog.root c);
+                c)
+          in
+          if not (D.equal (Clog.root c1) (Clog.root c2)) then
+            failwith "incr ablation: incremental root diverges from rebuild";
+          rebuild_s := !rebuild_s +. t1;
+          incr_s := !incr_s +. t2;
+          rb := c1;
+          inc := c2
+        done;
+        let rehashed = Zkflow_obs.Metric.value c_rehashed - rehashed0 in
+        let reused = Zkflow_obs.Metric.value c_reused - reused0 in
+        let speedup = if !incr_s > 0. then !rebuild_s /. !incr_s else 0. in
+        Printf.printf "%10d %8d %14.2f %14.2f %9.1fx %12d %12d\n%!" m k
+          (1000. *. !rebuild_s) (1000. *. !incr_s) speedup rehashed reused;
+        Jsonx.Obj
+          [
+            ("entries", Jsonx.Num (float_of_int m));
+            ("update_k", Jsonx.Num (float_of_int k));
+            ("rounds", Jsonx.Num (float_of_int rounds));
+            ("rebuild_s", Jsonx.Num !rebuild_s);
+            ("incr_s", Jsonx.Num !incr_s);
+            ("speedup", Jsonx.Num speedup);
+            ("nodes_rehashed", Jsonx.Num (float_of_int rehashed));
+            ("nodes_reused", Jsonx.Num (float_of_int reused));
+          ])
+      sweep
+  in
+  Obs.disable ();
+  write_json "BENCH_incr.json"
+    (Jsonx.to_string (Jsonx.Obj [ ("env", env_json ()); ("rows", Jsonx.Arr rows) ]));
+  print_endline
+    "   shape checks: incr time ~ k·log n, independent of n; rebuild grows with n."
+
 let ablation_queries () =
   print_endline "== Ablation: spot-check count (receipt size vs assurance) ==";
   let n = if quick () then 100 else 500 in
@@ -724,6 +857,8 @@ let ablations () =
   ablation_parallel ();
   print_newline ();
   ablation_queries ();
+  print_newline ();
+  ablation_incr ();
   print_newline ();
   ablation_merkle_maintenance ();
   print_newline ();
@@ -813,6 +948,7 @@ let () =
   | "tamper" -> tamper ()
   | "ablations" -> ablations ()
   | "par" -> ablation_par ()
+  | "incr" -> ablation_incr ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->

@@ -285,8 +285,8 @@ let print_phase_totals () =
       (fun (name, (count, s)) -> Printf.printf "  %-24s %6dx %9.3fs\n" name count s)
       totals
 
-let prove dir queries_n src dst metric op zirc trace_out events =
-  let recording = trace_out <> None || events <> None in
+let prove dir queries_n src dst metric op zirc trace_out events stats_out =
+  let recording = trace_out <> None || events <> None || stats_out <> None in
   if recording then begin
     Obs.reset ();
     Obs.enable ()
@@ -296,8 +296,15 @@ let prove dir queries_n src dst metric op zirc trace_out events =
       ~finally:(fun () ->
         if recording then begin
           Obs.disable ();
-          match events with
+          (match events with
           | Some path -> Obs.write_events ~append:true path
+          | None -> ());
+          match stats_out with
+          | Some path ->
+            (* Counter cells survive [Obs.disable] until the next
+               reset, so the snapshot still carries the full run. *)
+            write_file path (Bytes.of_string (Zkflow_obs.Export.stats_json ()));
+            Printf.printf "stats written to %s\n" path
           | None -> ()
         end)
       (fun () -> prove_inner dir queries_n src dst metric op zirc)
@@ -448,6 +455,44 @@ let trace_check path min_names =
       (List.length events) distinct;
     Ok ()
   end
+
+(* Assertions over a `prove --stats` snapshot: each --require NAME=MIN
+   must name a recorded counter whose value reached MIN. This is how
+   the smoke gate proves the incremental Merkle path actually ran
+   (e.g. --require merkle.nodes_reused=1), not just that timings
+   looked plausible. *)
+let counters_check path requires =
+  let* bytes = read_file path in
+  let* v = Jsonx.parse (Bytes.to_string bytes) in
+  let* counters =
+    match Jsonx.member "counters" v with
+    | Some (Jsonx.Obj members) -> Ok members
+    | _ -> Error (path ^ ": no \"counters\" object (expected a prove --stats file)")
+  in
+  let rec go = function
+    | [] ->
+      Printf.printf "%s: %d counter(s), %d requirement(s) met — ok\n" path
+        (List.length counters) (List.length requires);
+      Ok ()
+    | req :: rest -> (
+      match String.index_opt req '=' with
+      | None -> Error (Printf.sprintf "--require %S: expected NAME=MIN" req)
+      | Some i -> (
+        let name = String.sub req 0 i in
+        match int_of_string_opt (String.sub req (i + 1) (String.length req - i - 1)) with
+        | None -> Error (Printf.sprintf "--require %S: expected NAME=MIN" req)
+        | Some min_v -> (
+          match List.assoc_opt name counters with
+          | Some (Jsonx.Num f) ->
+            let actual = int_of_float f in
+            if actual >= min_v then go rest
+            else
+              Error
+                (Printf.sprintf "%s: counter %s = %d, need >= %d" path name actual
+                   min_v)
+          | _ -> Error (Printf.sprintf "%s: counter %s not recorded" path name))))
+  in
+  go requires
 
 (* ---- lint ---- *)
 
@@ -686,13 +731,18 @@ let prove_cmd =
            ~doc:"Record telemetry and write a Chrome trace_event JSON file \
                  (open in chrome://tracing or ui.perfetto.dev).")
   in
-  let run dir queries src dst metric op zirc trace events =
-    handle (prove dir queries src dst metric op zirc trace events)
+  let stats_out =
+    Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE"
+           ~doc:"Record telemetry and write the counter/histogram/span \
+                 snapshot as JSON (checkable with trace-check --counters).")
+  in
+  let run dir queries src dst metric op zirc trace events stats_out =
+    handle (prove dir queries src dst metric op zirc trace events stats_out)
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Aggregate every epoch under proof; optionally prove a query.")
     Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc $ trace
-          $ events_arg)
+          $ events_arg $ stats_out)
 
 let stats_cmd =
   let json =
@@ -719,18 +769,34 @@ let trace_check_cmd =
            ~doc:"Validate a flight-recorder event log: JSONL schema, monotone \
                  timestamps per track, and router-before-verifier causality.")
   in
-  let run file min_names events =
+  let counters =
+    Arg.(value & opt (some file) None & info [ "counters" ] ~docv:"FILE"
+           ~doc:"Validate a prove --stats snapshot; combine with --require.")
+  in
+  let requires =
+    Arg.(value & opt_all string [] & info [ "require" ] ~docv:"NAME=MIN"
+           ~doc:"With --counters: fail unless counter NAME reached MIN \
+                 (repeatable).")
+  in
+  let run file min_names events counters_file requires =
     handle
-      (match (file, events) with
-      | None, None -> Error "trace-check: give a trace FILE and/or --events FILE"
+      (match (file, events, counters_file) with
+      | None, None, None ->
+        Error "trace-check: give a trace FILE, --events FILE and/or --counters FILE"
       | _ ->
         let* () = match file with Some f -> trace_check f min_names | None -> Ok () in
-        (match events with Some e -> events_check e | None -> Ok ()))
+        let* () = match events with Some e -> events_check e | None -> Ok () in
+        (match counters_file with
+        | Some c -> counters_check c requires
+        | None ->
+          if requires = [] then Ok ()
+          else Error "trace-check: --require needs --counters FILE"))
   in
   Cmd.v
     (Cmd.info "trace-check"
-       ~doc:"Validate a Chrome trace file and/or a flight-recorder event log.")
-    Term.(const run $ file $ min_names $ events)
+       ~doc:"Validate a Chrome trace file, a flight-recorder event log and/or \
+             a telemetry counter snapshot.")
+    Term.(const run $ file $ min_names $ events $ counters $ requires)
 
 let lint_cmd =
   let json =

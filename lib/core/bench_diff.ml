@@ -48,13 +48,40 @@ let numeric_fields row =
         match (name, v) with
         | ("records" | "jobs" | "pool"), _ -> []
         | "phases", Jsonx.Obj phases ->
-          List.filter_map
-            (fun (phase, pv) ->
-              match Jsonx.member "total_s" pv with
-              | Some (Jsonx.Num f) ->
-                Some (Printf.sprintf "phases.%s.total_s" phase, f)
-              | _ -> None)
-            phases
+          let fields =
+            List.filter_map
+              (fun (phase, pv) ->
+                match Jsonx.member "total_s" pv with
+                | Some (Jsonx.Num f) ->
+                  Some (Printf.sprintf "phases.%s.total_s" phase, f)
+                | _ -> None)
+              phases
+          in
+          (* Tree-maintenance time is one budget regardless of which
+             path spent it: an artifact from before the incremental
+             tree bills everything to merkle.build, a current one
+             splits it with merkle.incr_update. Synthesize the family
+             total so the gate compares like with like across that
+             split (and catches an incremental path that got slower
+             than the rebuild it replaced). *)
+          let build_family =
+            List.fold_left
+              (fun acc (name, v) ->
+                if
+                  name = "phases.merkle.build.total_s"
+                  || name = "phases.merkle.incr_update.total_s"
+                then acc +. v
+                else acc)
+              0. fields
+          in
+          if
+            List.exists
+              (fun (name, _) ->
+                name = "phases.merkle.build.total_s"
+                || name = "phases.merkle.incr_update.total_s")
+              fields
+          then ("phases.merkle.build_family.total_s", build_family) :: fields
+          else fields
         | _, Jsonx.Num f -> [ (name, f) ]
         | _ -> [])
       members

@@ -36,47 +36,77 @@ type t = {
   lazy_tree : Tree.t Lazy.t;
 }
 
+let scratch_tree entries =
+  Tree.of_leaves (Zkflow_parallel.Pool.map_array ~min_chunk:2048 entry_bytes entries)
+
 let build entries =
   let index = Hashtbl.create (max 16 (Array.length entries)) in
   Array.iteri (fun i e -> Hashtbl.replace index e.key i) entries;
-  {
-    entries;
-    index;
-    lazy_tree =
-      lazy (Tree.of_leaves (Zkflow_parallel.Pool.map_array ~min_chunk:2048 entry_bytes entries));
-  }
+  { entries; index; lazy_tree = lazy (scratch_tree entries) }
 
 let empty = build [||]
 let entries t = Array.copy t.entries
 let length t = Array.length t.entries
 
 let of_entries es =
-  let keys = Array.to_list es |> List.map (fun e -> e.key) in
-  if List.length (List.sort_uniq Flowkey.compare keys) <> Array.length es then
-    Error "clog: duplicate flow keys"
-  else Ok (build (Array.copy es))
+  let t = build (Array.copy es) in
+  (* Index insertion already deduplicates keys, so the duplicate check
+     is a size comparison — no sorted key list per call. *)
+  if Hashtbl.length t.index <> Array.length es then Error "clog: duplicate flow keys"
+  else Ok t
+
+let of_entries_with_snapshot es ~snapshot =
+  match Zkflow_merkle.Tree.of_snapshot snapshot with
+  | Error e -> Error ("clog: " ^ e)
+  | Ok tr ->
+    if Tree.size tr <> Array.length es then
+      Error "clog: snapshot leaf count does not match entries"
+    else begin
+      let es = Array.copy es in
+      let index = Hashtbl.create (max 16 (Array.length es)) in
+      Array.iteri (fun i e -> Hashtbl.replace index e.key i) es;
+      if Hashtbl.length index <> Array.length es then
+        Error "clog: duplicate flow keys"
+      else Ok { entries = es; index; lazy_tree = Lazy.from_val tr }
+    end
 
 let tree t = Lazy.force t.lazy_tree
 let root t = Tree.root (tree t)
+let tree_snapshot t = Tree.to_snapshot (tree t)
 
 let find t key =
   Option.map (fun i -> (i, t.entries.(i))) (Hashtbl.find_opt t.index key)
 
 let words t =
-  Array.concat (List.map entry_words (Array.to_list t.entries))
+  let n = Array.length t.entries in
+  let out = Array.make (8 * n) 0 in
+  Array.iteri
+    (fun i e ->
+      let w = entry_words e in
+      Array.blit w 0 out (8 * i) 8)
+    t.entries;
+  out
 
-let apply_batch t records =
+(* The shared fold of a record batch into the entry array: existing
+   flows accumulate in place, new flows append. Returns the final
+   entries, the key index of the result (the fold already built it —
+   no rebuild), and the set of pre-existing indices whose metrics
+   changed, which is exactly the dirty-leaf set of the Merkle tree. *)
+let merge_batch t records =
+  let old_n = Array.length t.entries in
   let table = Hashtbl.copy t.index in
-  let metrics = Hashtbl.create (Array.length t.entries + Array.length records) in
+  let metrics = Hashtbl.create (old_n + Array.length records) in
   Array.iteri (fun i e -> Hashtbl.replace metrics i e.metrics) t.entries;
+  let touched = Hashtbl.create 32 in
   let new_keys_rev = ref [] in
-  let n = ref (Array.length t.entries) in
+  let n = ref old_n in
   Array.iter
     (fun (r : Record.t) ->
       match Hashtbl.find_opt table r.Record.key with
       | Some i ->
         Hashtbl.replace metrics i
-          (Record.add_metrics (Hashtbl.find metrics i) r.Record.metrics)
+          (Record.add_metrics (Hashtbl.find metrics i) r.Record.metrics);
+        if i < old_n then Hashtbl.replace touched i ()
       | None ->
         Hashtbl.replace table r.Record.key !n;
         Hashtbl.replace metrics !n r.Record.metrics;
@@ -87,11 +117,39 @@ let apply_batch t records =
   let final =
     Array.init !n (fun i ->
         let key =
-          if i < Array.length t.entries then t.entries.(i).key
-          else new_keys.(i - Array.length t.entries)
+          if i < old_n then t.entries.(i).key else new_keys.(i - old_n)
         in
         { key; metrics = Hashtbl.find metrics i })
   in
-  build final
+  (final, table, touched)
+
+let apply_batch t records =
+  let final, table, touched = merge_batch t records in
+  let old_n = Array.length t.entries in
+  let prev_tree = t.lazy_tree in
+  let lazy_tree =
+    (* A cold state (nothing carried over) rebuilds with the parallel
+       leaf-hashing path; a warm one adopts the previous round's tree
+       and re-hashes only the dirty root-paths. Both produce the same
+       bits — the differential tests pin that. *)
+    if old_n = 0 then lazy (scratch_tree final)
+    else
+      lazy
+        begin
+          let inc = Zkflow_merkle.Incremental.of_tree (Lazy.force prev_tree) in
+          Hashtbl.iter
+            (fun i () -> Zkflow_merkle.Incremental.set_leaf inc i (leaf_digest final.(i)))
+            touched;
+          for i = old_n to Array.length final - 1 do
+            Zkflow_merkle.Incremental.append inc (leaf_digest final.(i))
+          done;
+          Zkflow_merkle.Incremental.commit inc
+        end
+  in
+  { entries = final; index = table; lazy_tree }
+
+let apply_batch_rebuild t records =
+  let final, table, _ = merge_batch t records in
+  { entries = final; index = table; lazy_tree = lazy (scratch_tree final) }
 
 let empty_root = root empty

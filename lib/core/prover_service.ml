@@ -105,15 +105,20 @@ let queue_depth t =
 (* ---- checkpoint rows ----
 
    One WAL row per aggregation round: coverage metadata, the receipt,
-   the post-round CLog entries, the guest cycle count, and a snapshot
-   of the gap journal, all behind a SHA-256 checksum so recovery can
+   the post-round CLog entries, the guest cycle count, a snapshot of
+   the gap journal, and (since v2) a compact snapshot of the CLog's
+   Merkle node store, all behind a SHA-256 checksum so recovery can
    tell a bit-flipped row from an honest one. A torn tail (partial
    row) is already dropped by Wal.replay; a corrupt row drops itself
-   and everything after it, and the dropped suffix is re-proved. *)
+   and everything after it, and the dropped suffix is re-proved. The
+   node snapshot keeps resume incremental: without it, the restored
+   CLog would silently fall back to a full O(n) tree rebuild, and
+   every round after the restart would re-pay it. *)
 
 module Wire = Zkflow_util.Wire
 
-let ckpt_magic = "zkflow.ckpt.v1"
+let ckpt_magic = "zkflow.ckpt.v2"
+let ckpt_magic_v1 = "zkflow.ckpt.v1"
 
 let w_entries w clog =
   Wire.w_array w
@@ -121,15 +126,15 @@ let w_entries w clog =
       Array.iter (fun word -> Wire.w_int w word) (Clog.entry_words e))
     (Clog.entries clog)
 
+let r_entry_array r =
+  Wire.r_array r (fun () ->
+      let words = Array.init 8 (fun _ -> Wire.r_int r) in
+      match Clog.entry_of_words words with
+      | Ok e -> e
+      | Error msg -> raise (Wire.Decode msg))
+
 let r_entries r =
-  let entries =
-    Wire.r_array r (fun () ->
-        let words = Array.init 8 (fun _ -> Wire.r_int r) in
-        match Clog.entry_of_words words with
-        | Ok e -> e
-        | Error msg -> raise (Wire.Decode msg))
-  in
-  match Clog.of_entries entries with
+  match Clog.of_entries (r_entry_array r) with
   | Ok clog -> clog
   | Error msg -> raise (Wire.Decode msg)
 
@@ -195,6 +200,10 @@ let encode_ckpt_row ~cov ~gaps (round : Aggregate.round) =
   w_entries w round.Aggregate.clog;
   Wire.w_int w round.Aggregate.cycles;
   Wire.w_list w (w_gap w) gaps;
+  (* v2: the post-round Merkle node store, verbatim. The row checksum
+     below covers it, so the restore can adopt the nodes without
+     re-hashing a single leaf. *)
+  Wire.w_bytes w (Clog.tree_snapshot round.Aggregate.clog);
   let payload = Wire.contents w in
   Bytes.cat (D.to_bytes (D.hash_bytes payload)) payload
 
@@ -208,12 +217,26 @@ let decode_ckpt_row row =
     else
       Wire.decode payload (fun r ->
           let magic = Wire.r_string r in
-          if magic <> ckpt_magic then raise (Wire.Decode "checkpoint row: bad magic");
+          if magic <> ckpt_magic && magic <> ckpt_magic_v1 then
+            raise (Wire.Decode "checkpoint row: bad magic");
           let cov = r_coverage r in
           let receipt_bytes = Wire.r_bytes r in
-          let round_clog = r_entries r in
+          let entries = r_entry_array r in
           let cycles = Wire.r_int r in
           let gaps = Wire.r_list r (fun () -> r_gap r) in
+          let round_clog =
+            if magic = ckpt_magic then
+              (* v2: adopt the persisted node store — no rebuild. *)
+              match Clog.of_entries_with_snapshot entries ~snapshot:(Wire.r_bytes r) with
+              | Ok clog -> clog
+              | Error msg -> raise (Wire.Decode msg)
+            else
+              (* v1 rows predate node snapshots; the restored CLog
+                 rebuilds its tree lazily (cold resume). *)
+              match Clog.of_entries entries with
+              | Ok clog -> clog
+              | Error msg -> raise (Wire.Decode msg)
+          in
           (cov, restore_round receipt_bytes round_clog cycles, gaps))
   end
 
@@ -513,6 +536,8 @@ let disclose t ~keys =
     let entries = List.map snd sorted in
     let proof = Zkflow_merkle.Multiproof.prove (Clog.tree t.clog) indices in
     Ok { indices; entries; proof }
+
+let query_flows t ~metric keys = Query.prove_flows ~clog:t.clog ~metric keys
 
 (* ---- persistence ---- *)
 

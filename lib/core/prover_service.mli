@@ -215,6 +215,15 @@ val disclose :
     Fails if any key is absent (use a query with an exact-match
     predicate to prove absence-of-traffic instead). *)
 
+val query_flows :
+  t ->
+  metric:Guests.metric ->
+  Zkflow_netflow.Flowkey.t list ->
+  (Query.flows_result, string) result
+(** Answer a multi-flow metric readout against the latest CLog with one
+    batched Merkle multiproof (see {!Query.prove_flows}) — the batched
+    replacement for issuing one inclusion proof per flow. *)
+
 val query_at : t -> round:int -> Guests.query_params -> (Query.result_row, string) result
 (** Prove a query against the historical CLog state after round
     [round] (0-based). Every past root stays pinned by its aggregation

@@ -117,6 +117,49 @@ let prove ?params ~clog query_params =
         ];
     Ok row
 
+(* ---- batched multi-flow queries ---- *)
+
+type flow_row = { index : int; entry : Clog.entry; value : int }
+
+type flows_result = {
+  root : D.t;
+  metric : Guests.metric;
+  rows : flow_row list;
+  total : int;
+  proof : Zkflow_merkle.Multiproof.t;
+}
+
+let prove_flows ~clog ~metric keys =
+  if keys = [] then Error "query flows: no keys given"
+  else begin
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | key :: rest -> (
+        match Clog.find clog key with
+        | Some (i, e) -> collect ((i, e) :: acc) rest
+        | None ->
+          Error
+            (Format.asprintf "query flows: flow %a not in the CLog" Flowkey.pp key))
+    in
+    let* found = collect [] keys in
+    let sorted = List.sort_uniq (fun (a, _) (b, _) -> Int.compare a b) found in
+    let* () =
+      if List.compare_lengths sorted found = 0 then Ok ()
+      else Error "query flows: duplicate keys"
+    in
+    (* One multiproof over the merged index set: helper digests shared
+       between flows are carried once, instead of one full root path
+       per flow. *)
+    let proof = Zkflow_merkle.Multiproof.prove (Clog.tree clog) (List.map fst sorted) in
+    let rows =
+      List.map
+        (fun (i, e) -> { index = i; entry = e; value = metric_value e.Clog.metrics metric })
+        sorted
+    in
+    let total = List.fold_left (fun acc r -> (acc + r.value) land mask32) 0 rows in
+    Ok { root = Clog.root clog; metric; rows; total; proof }
+  end
+
 let sum_hops_between ~src ~dst =
   {
     Guests.predicate = { Guests.match_any with Guests.src_ip = Some src; dst_ip = Some dst };

@@ -30,6 +30,40 @@ val prove :
   (result_row, string) result
 (** Execute, prove, parse and cross-check against {!reference}. *)
 
+(** {2 Batched multi-flow queries}
+
+    A client auditing [k] specific flows used to pay for [k] separate
+    query proofs (or [k] single-leaf inclusion proofs). A flows query
+    instead answers all of them against one root with a single batched
+    {!Zkflow_merkle.Multiproof}: shared helper digests along the merged
+    root-paths are carried once, so proof size is sublinear in [k]. *)
+
+type flow_row = {
+  index : int;        (** CLog position *)
+  entry : Clog.entry; (** the flow's committed entry *)
+  value : int;        (** the requested metric of that entry *)
+}
+
+type flows_result = {
+  root : Zkflow_hash.Digest32.t;  (** the CLog root answered against *)
+  metric : Guests.metric;
+  rows : flow_row list;           (** ascending by [index] *)
+  total : int;                    (** 32-bit wrapped sum of [value]s *)
+  proof : Zkflow_merkle.Multiproof.t;
+      (** one batched inclusion proof covering every row *)
+}
+
+val prove_flows :
+  clog:Clog.t ->
+  metric:Guests.metric ->
+  Zkflow_netflow.Flowkey.t list ->
+  (flows_result, string) result
+(** Answer a per-flow metric readout for each given key with one
+    batched proof. Fails on an empty key list, a duplicate key, or a
+    key absent from the CLog (prove absence with an exact-match
+    {!prove} query instead). Verified client-side by
+    {!Verifier_client.verify_flows}. *)
+
 (** Convenience constructors for common audit queries. *)
 
 val sum_hops_between :

@@ -2,14 +2,19 @@ module F = Zkflow_field.Babybear
 
 type commitment = F.t
 
-let entry_limbs (e : Clog.entry) =
-  Array.concat
-    (List.map
-       (fun w -> [| F.of_int (w lsr 16); F.of_int (w land 0xffff) |])
-       (Array.to_list (Clog.entry_words e)))
-
+(* 16 limbs per entry: hi/lo 16-bit halves of the 8 entry words. *)
 let limbs_of_clog clog =
-  Array.concat (List.map entry_limbs (Array.to_list (Clog.entries clog)))
+  let entries = Clog.entries clog in
+  let out = Array.make (16 * Array.length entries) F.zero in
+  Array.iteri
+    (fun i e ->
+      let w = Clog.entry_words e in
+      for j = 0 to 7 do
+        out.((16 * i) + (2 * j)) <- F.of_int (w.(j) lsr 16);
+        out.((16 * i) + (2 * j) + 1) <- F.of_int (w.(j) land 0xffff)
+      done)
+    entries;
+  out
 
 let commit clog = Zkflow_stark.Airs.absorb_chain_commit ~limbs:(limbs_of_clog clog)
 

@@ -251,6 +251,71 @@ let verify_disclosure ~expected_root (d : Prover_service.disclosure) =
       [ ("entries", Jsonx.Num (float_of_int (List.length d.Prover_service.entries))) ];
   Ok d.Prover_service.entries
 
+let verify_flows ?query ~expected_root (f : Query.flows_result) =
+  let check name r = checked ?query ~check:name r in
+  let mask32 = 0xffffffff in
+  let* () =
+    check "flows.root"
+      (if D.equal f.Query.root expected_root then Ok ()
+       else Error "client: flows answered against a different CLog root")
+  in
+  let* () =
+    check "flows.rows"
+      (if f.Query.rows <> [] then Ok () else Error "client: flows result is empty")
+  in
+  let* () =
+    check "flows.indices"
+      (if
+         List.map (fun r -> r.Query.index) f.Query.rows
+         = Zkflow_merkle.Multiproof.indices f.Query.proof
+       then Ok ()
+       else Error "client: flows indices do not match the proof")
+  in
+  (* One proof authenticates every entry; the values and the total are
+     then recomputed from the authenticated entries, never trusted. *)
+  let leaf_hashes =
+    Array.of_list (List.map (fun r -> Clog.leaf_digest r.Query.entry) f.Query.rows)
+  in
+  let* () =
+    check "flows.proof"
+      (if Zkflow_merkle.Multiproof.verify ~root:expected_root f.Query.proof leaf_hashes
+       then Ok ()
+       else Error "client: flows proof does not authenticate against the CLog root")
+  in
+  let metric_of (m : Zkflow_netflow.Record.metrics) =
+    match f.Query.metric with
+    | Guests.Packets -> m.Zkflow_netflow.Record.packets
+    | Guests.Bytes -> m.Zkflow_netflow.Record.bytes
+    | Guests.Hops -> m.Zkflow_netflow.Record.hop_count
+    | Guests.Losses -> m.Zkflow_netflow.Record.losses
+  in
+  let* () =
+    check "flows.values"
+      (if
+         List.for_all
+           (fun r -> r.Query.value = metric_of r.Query.entry.Clog.metrics)
+           f.Query.rows
+       then Ok ()
+       else Error "client: a flow value does not match its committed entry")
+  in
+  let* () =
+    check "flows.total"
+      (let sum =
+         List.fold_left (fun acc r -> (acc + r.Query.value) land mask32) 0 f.Query.rows
+       in
+       if sum = f.Query.total then Ok ()
+       else Error "client: flows total does not match the rows")
+  in
+  Event.emit ?query ~track:"verifier" "verifier.flows.accept"
+    ~attrs:
+      [
+        ("flows", Jsonx.Num (float_of_int (List.length f.Query.rows)));
+        ("total", Jsonx.Num (float_of_int f.Query.total));
+        ( "helpers",
+          Jsonx.Num (float_of_int (Zkflow_merkle.Multiproof.helper_count f.Query.proof)) );
+      ];
+  Ok f.Query.rows
+
 let check_sla ?query ~expected_root receipt ~predicate =
   let* journal = verify_query ?query ~expected_root receipt in
   Ok (predicate ~result:journal.Guests.result ~matches:journal.Guests.matches)

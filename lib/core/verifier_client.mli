@@ -102,6 +102,20 @@ val verify_disclosure :
     exactly the claimed entries at the claimed positions. Returns the
     now-trustworthy entries. *)
 
+val verify_flows :
+  ?query:int ->
+  expected_root:Zkflow_hash.Digest32.t ->
+  Query.flows_result ->
+  (Query.flow_row list, string) result
+(** Check a batched multi-flow readout against the root the client
+    already verified: the single {!Zkflow_merkle.Multiproof} must
+    authenticate every claimed entry at its claimed position, every
+    per-flow [value] must equal the metric of its authenticated entry,
+    and [total] must be their 32-bit wrapped sum. Returns the
+    now-trustworthy rows. Emits ["verifier.flows.accept"] or
+    ["verifier.reject"] (checks [flows.root], [flows.rows],
+    [flows.indices], [flows.proof], [flows.values], [flows.total]). *)
+
 val check_sla :
   ?query:int ->
   expected_root:Zkflow_hash.Digest32.t ->

@@ -35,6 +35,16 @@ let log2 p =
   let rec go k v = if v = 1 then k else go (k + 1) (v / 2) in
   go 0 p
 
+let level_offsets padded depth =
+  let level_off = Array.make (depth + 1) 0 in
+  let off = ref 0 and width = ref padded in
+  for level = 0 to depth do
+    level_off.(level) <- !off;
+    off := !off + !width;
+    width := !width / 2
+  done;
+  level_off
+
 (* Hash parent slots [lo, hi) of one level: read 64 child bytes at
    [src], write 32 parent bytes at [dst]. Each chunk owns a mutable
    SHA-256 ctx and reuses it across its hashes — contexts must never
@@ -65,13 +75,7 @@ let of_leaf_hashes hs =
   let n = Array.length hs in
   let padded = next_pow2 n in
   let depth = log2 padded in
-  let level_off = Array.make (depth + 1) 0 in
-  let off = ref 0 and width = ref padded in
-  for level = 0 to depth do
-    level_off.(level) <- !off;
-    off := !off + !width;
-    width := !width / 2
-  done;
+  let level_off = level_offsets padded depth in
   let buf = Bytes.create (32 * ((2 * padded) - 1)) in
   for i = 0 to padded - 1 do
     let d = if i < n then hs.(i) else empty_leaf in
@@ -81,9 +85,9 @@ let of_leaf_hashes hs =
   if t0 <> 0 then Obs.Span.finish "merkle.build" ~args:[ ("leaves", n) ] t0;
   { buf; level_off; size = n; depth }
 
-let of_leaves data =
+let hash_leaves data =
   let n = Array.length data in
-  if n = 0 then of_leaf_hashes [||]
+  if n = 0 then [||]
   else begin
     let hs = Array.make n empty_leaf in
     (* Same bytes as [leaf_hash]: domain tag then payload, one reused
@@ -97,8 +101,10 @@ let of_leaves data =
           hs.(i) <- D.of_bytes (Zkflow_hash.Sha256.finalize ctx)
         done;
         Obs.Metric.add m_nodes (hi - lo));
-    of_leaf_hashes hs
+    hs
   end
+
+let of_leaves data = of_leaf_hashes (hash_leaves data)
 
 let read_slot t slot = D.of_bytes (Bytes.sub t.buf (32 * slot) 32)
 let root t = read_slot t t.level_off.(t.depth)
@@ -124,6 +130,41 @@ let prove t i =
     idx := !idx lsr 1
   done;
   { Proof.index = i; siblings }
+
+(* ---- node snapshots ----
+
+   The whole flat buffer, varint-size-prefixed. Interior hashes are
+   persisted verbatim so a restore is a memcpy, not a rebuild; the
+   consumer (checkpoint rows) already guards the bytes with a
+   checksum, so the only validation needed here is structural. *)
+
+let to_snapshot t =
+  let buf = Buffer.create (Bytes.length t.buf + 8) in
+  Zkflow_util.Varint.write buf t.size;
+  Buffer.add_bytes buf t.buf;
+  Buffer.to_bytes buf
+
+let unsafe_buffer t = t.buf
+
+let unsafe_of_buffer ~size buf =
+  if size < 0 then invalid_arg "Tree.unsafe_of_buffer: negative size";
+  let padded = next_pow2 size in
+  let depth = log2 padded in
+  if Bytes.length buf <> 32 * ((2 * padded) - 1) then
+    invalid_arg "Tree.unsafe_of_buffer: buffer does not match size";
+  { buf; level_off = level_offsets padded depth; size; depth }
+
+let of_snapshot b =
+  match Zkflow_util.Varint.read b 0 with
+  | exception _ -> Error "tree snapshot: truncated size"
+  | size, off ->
+    if size < 0 || size > max_int / 2 then Error "tree snapshot: implausible size"
+    else begin
+      let padded = next_pow2 size in
+      let expect = 32 * ((2 * padded) - 1) in
+      if Bytes.length b - off <> expect then Error "tree snapshot: length mismatch"
+      else Ok (unsafe_of_buffer ~size (Bytes.sub b off expect))
+    end
 
 let root_of_leaf_hashes hs =
   let t0 = Obs.Span.start () in

@@ -23,6 +23,12 @@ val empty_leaf : Zkflow_hash.Digest32.t
 val of_leaves : bytes array -> t
 (** [of_leaves data] builds the tree over [Array.map leaf_hash data]. *)
 
+val hash_leaves : bytes array -> Zkflow_hash.Digest32.t array
+(** [hash_leaves data] is [Array.map leaf_hash data], hashed in
+    parallel chunks — the leaf-hashing half of {!of_leaves}, exposed so
+    callers that commit to a permutation of the same leaves can reuse
+    the digests instead of re-hashing. *)
+
 val of_leaf_hashes : Zkflow_hash.Digest32.t array -> t
 (** Builds the tree over already-hashed leaves (e.g. recomputed inside
     the zkVM guest). *)
@@ -52,3 +58,28 @@ val node : t -> level:int -> int -> Zkflow_hash.Digest32.t
 val root_of_leaf_hashes : Zkflow_hash.Digest32.t array -> Zkflow_hash.Digest32.t
 (** [root_of_leaf_hashes hs] computes only the root, without retaining
     the tree. Matches [root (of_leaf_hashes hs)]. *)
+
+val to_snapshot : t -> bytes
+(** Serialize every node of the tree (leaf count plus the flat level
+    buffer) so a restore is a copy, not a rebuild. The format carries
+    no integrity protection of its own — wrap it in a checksummed
+    container (checkpoint rows do). *)
+
+val of_snapshot : bytes -> (t, string) result
+(** Rebuild a tree from {!to_snapshot} output. Fails on truncation or
+    a buffer whose length does not match its declared leaf count. *)
+
+(** {2 Unsafe buffer access}
+
+    For {!Incremental}, which maintains the same flat-buffer layout in
+    place. *)
+
+val unsafe_buffer : t -> bytes
+(** The underlying level buffer, without copying. Callers must never
+    mutate it — trees are shared. *)
+
+val unsafe_of_buffer : size:int -> bytes -> t
+(** Adopt [buf] (no copy) as the level buffer of a tree over [size]
+    leaves. The caller warrants the interior slots are coherent and
+    relinquishes ownership — the buffer must not be mutated afterwards.
+    Raises [Invalid_argument] when the length does not match [size]. *)

@@ -60,7 +60,12 @@ let to_bytes t =
   b
 
 let array_to_words records =
-  Array.concat (List.map to_words (Array.to_list records))
+  let n = Array.length records in
+  let out = Array.make (word_size * n) 0 in
+  Array.iteri
+    (fun i r -> Array.blit (to_words r) 0 out (word_size * i) word_size)
+    records;
+  out
 
 let pp ppf t =
   Format.fprintf ppf "%a pkts=%d bytes=%d hops=%d loss=%d [r%d %d–%dms]"

@@ -7,6 +7,19 @@ let sort entries =
   Array.sort Trace.mem_order copy;
   copy
 
+let sort_with_perm entries =
+  let n = Array.length entries in
+  let perm = Array.init n (fun i -> i) in
+  (* Tie-break by original index: mem_order can compare byte-identical
+     entries equal, and the permutation must still be deterministic so
+     the sorted commitment can reuse the time-ordered leaf hashes. *)
+  Array.sort
+    (fun i j ->
+      let c = Trace.mem_order entries.(i) entries.(j) in
+      if c <> 0 then c else Int.compare i j)
+    perm;
+  (Array.map (fun i -> entries.(i)) perm, perm)
+
 let term ~alpha ~beta (e : Trace.mem_entry) =
   let lo = e.value land 0xffff and hi = e.value lsr 16 in
   let fingerprint =

@@ -12,6 +12,16 @@
 val sort : Zkflow_zkvm.Trace.mem_entry array -> Zkflow_zkvm.Trace.mem_entry array
 (** A copy sorted by [Trace.mem_order]. *)
 
+val sort_with_perm :
+  Zkflow_zkvm.Trace.mem_entry array ->
+  Zkflow_zkvm.Trace.mem_entry array * int array
+(** [sort] plus the permutation applied: [(sorted, perm)] with
+    [sorted.(j) = entries.(perm.(j))]. Ties (byte-identical entries)
+    break by original index, so [perm] is deterministic — this lets the
+    prover derive the sorted log's leaf bytes and leaf hashes by
+    permuting the time-ordered ones instead of re-encoding and
+    re-hashing. *)
+
 val term :
   alpha:Zkflow_field.Fp2.t ->
   beta:Zkflow_field.Fp2.t ->

@@ -9,6 +9,72 @@ module Obs = Zkflow_obs
 let open_at tree leaves i =
   { Receipt.index = i; leaf = leaves.(i); path = Tree.prove tree i }
 
+(* Phase-1 commitments depend only on the guest image and the traced
+   run, not on the proof parameters or the Fiat–Shamir transcript — so
+   proving the same run twice (the aggregate/query double-prove of a
+   round, chaos re-proves after a kill) can reuse the trees wholesale.
+   One slot is enough: rounds prove back-to-back over one run. Keyed on
+   physical identity of the trace arrays ([==]) plus the image id, so a
+   recomputed-but-equal trace misses rather than risking a stale hit. *)
+type commit_memo = {
+  memo_image : D.t;
+  memo_rows : Trace.row array;
+  memo_memlog : Trace.mem_entry array;
+  row_leaves : bytes array;
+  rows_tree : Tree.t;
+  time_leaves : bytes array;
+  time_tree : Tree.t;
+  sorted_log : Trace.mem_entry array;
+  sorted_leaves : bytes array;
+  sorted_tree : Tree.t;
+  jacc_leaves : bytes array;
+  jacc_tree : Tree.t;
+}
+
+let commit_cache : commit_memo option Atomic.t = Atomic.make None
+let clear_commit_cache () = Atomic.set commit_cache None
+let m_hits = Obs.Metric.counter "zkproof.commit_cache.hits"
+let m_misses = Obs.Metric.counter "zkproof.commit_cache.misses"
+let m_leaf_reused = Obs.Metric.counter "zkproof.leaf_hashes_reused"
+
+let build_commit_memo program (claim : Receipt.claim) rows memlog =
+  let map_leaves f a = Zkflow_parallel.Pool.map_array ~min_chunk:2048 f a in
+  let row_leaves = map_leaves Trace.encode_row rows in
+  let rows_tree = Tree.of_leaves row_leaves in
+  let time_leaves = map_leaves Trace.encode_mem memlog in
+  let time_hashes = Tree.hash_leaves time_leaves in
+  let time_tree = Tree.of_leaf_hashes time_hashes in
+  (* The sorted log is a permutation of the time-ordered one, so its
+     leaf bytes and leaf hashes are the permuted time-ordered arrays —
+     no second encode or hash pass over the access log. *)
+  let sorted_log, perm = Memcheck.sort_with_perm memlog in
+  let sorted_leaves = Array.map (fun i -> time_leaves.(i)) perm in
+  let sorted_tree = Tree.of_leaf_hashes (Array.map (fun i -> time_hashes.(i)) perm) in
+  Obs.Metric.add m_leaf_reused (Array.length perm);
+  let jacc_chain = ref Zkflow_hash.Chain.genesis in
+  let jacc_leaves =
+    Array.map
+      (fun row ->
+        jacc_chain := Checker.jacc_step ~program !jacc_chain row;
+        D.to_bytes (Zkflow_hash.Chain.head !jacc_chain))
+      rows
+  in
+  let jacc_tree = Tree.of_leaves jacc_leaves in
+  {
+    memo_image = claim.Receipt.image_id;
+    memo_rows = rows;
+    memo_memlog = memlog;
+    row_leaves;
+    rows_tree;
+    time_leaves;
+    time_tree;
+    sorted_log;
+    sorted_leaves;
+    sorted_tree;
+    jacc_leaves;
+    jacc_tree;
+  }
+
 let prove_result ?(params = Params.default) program (run : Machine.result) =
   if Array.length run.Machine.rows = 0 then
     Error "prove: run has no trace (execute with ~trace:true)"
@@ -28,27 +94,40 @@ let prove_result ?(params = Params.default) program (run : Machine.result) =
     let rows = run.Machine.rows and memlog = run.Machine.memlog in
     let n_rows = Array.length rows and n_mem = Array.length memlog in
     let t_prove = Obs.Span.start () in
-    (* Phase 1 commitments. *)
+    (* Phase 1 commitments — memoised across prove calls over the same
+       run (see [commit_memo] above). *)
     let t_commit = Obs.Span.start () in
-    let map_leaves f a = Zkflow_parallel.Pool.map_array ~min_chunk:2048 f a in
-    let row_leaves = map_leaves Trace.encode_row rows in
-    let rows_tree = Tree.of_leaves row_leaves in
-    let time_leaves = map_leaves Trace.encode_mem memlog in
-    let time_tree = Tree.of_leaves time_leaves in
-    let sorted_log = Memcheck.sort memlog in
-    let sorted_leaves = map_leaves Trace.encode_mem sorted_log in
-    let sorted_tree = Tree.of_leaves sorted_leaves in
-    let jacc_chain = ref Zkflow_hash.Chain.genesis in
-    let jacc_leaves =
-      Array.map
-        (fun row ->
-          jacc_chain := Checker.jacc_step ~program !jacc_chain row;
-          D.to_bytes (Zkflow_hash.Chain.head !jacc_chain))
-        rows
+    let memo, cached =
+      match Atomic.get commit_cache with
+      | Some m
+        when m.memo_rows == rows && m.memo_memlog == memlog
+             && D.equal m.memo_image claim.Receipt.image_id ->
+        Obs.Metric.add m_hits 1;
+        (m, 1)
+      | _ ->
+        Obs.Metric.add m_misses 1;
+        let m = build_commit_memo program claim rows memlog in
+        Atomic.set commit_cache (Some m);
+        (m, 0)
     in
-    let jacc_tree = Tree.of_leaves jacc_leaves in
+    let {
+      row_leaves;
+      rows_tree;
+      time_leaves;
+      time_tree;
+      sorted_log;
+      sorted_leaves;
+      sorted_tree;
+      jacc_leaves;
+      jacc_tree;
+      _;
+    } =
+      memo
+    in
     if t_commit <> 0 then
-      Obs.Span.finish "zkproof.trace_commit" ~args:[ ("rows", n_rows); ("mem", n_mem) ] t_commit;
+      Obs.Span.finish "zkproof.trace_commit"
+        ~args:[ ("rows", n_rows); ("mem", n_mem); ("cached", cached) ]
+        t_commit;
     (* Phase 2 (inside the transcript callback so ordering is right). *)
     let z_time_tree = ref None and z_sorted_tree = ref None in
     let z_time_leaves = ref [||] and z_sorted_leaves = ref [||] in

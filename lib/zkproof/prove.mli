@@ -27,4 +27,18 @@ val prove_result :
   (Receipt.t, string) result
 (** Builds a receipt from an existing traced run (must have been
     produced with [~trace:true]). Used to separate execution time from
-    proving time in benchmarks. *)
+    proving time in benchmarks.
+
+    The phase-1 trace commitments (row / access-log / journal trees)
+    are memoised in a one-slot cache keyed on the physical identity of
+    the run's trace arrays plus the image id: proving the same run
+    again — e.g. re-deriving a receipt with different parameters, or a
+    chaos re-prove after a crash — reuses the trees instead of
+    re-hashing the whole trace. Counters
+    [zkproof.commit_cache.hits]/[.misses] record the traffic and
+    [zkproof.leaf_hashes_reused] the sorted-log leaves derived by
+    permutation instead of hashing. *)
+
+val clear_commit_cache : unit -> unit
+(** Drop the phase-1 commitment cache (benchmarks call this between
+    arms so timings don't alias). *)

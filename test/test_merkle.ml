@@ -311,6 +311,142 @@ let prop_smt_insert_remove_roundtrip =
       Smt.remove t ~key:k;
       D.equal r (Smt.root t))
 
+(* ---- Incremental ---- *)
+
+let lh i = Tree.leaf_hash (Bytes.of_string (Printf.sprintf "leaf-%d" i))
+let lh' tag i = Tree.leaf_hash (Bytes.of_string (Printf.sprintf "%s-%d" tag i))
+let scratch_root hs = Tree.root (Tree.of_leaf_hashes hs)
+
+let test_incr_matches_scratch () =
+  List.iter
+    (fun n ->
+      let hs = Array.init n lh in
+      let inc = Incremental.of_tree (Tree.of_leaf_hashes hs) in
+      let hs' = Array.copy hs in
+      let rec upd i =
+        if i < n then begin
+          hs'.(i) <- lh' "upd" i;
+          Incremental.set_leaf inc i hs'.(i);
+          upd (i + 3)
+        end
+      in
+      upd 0;
+      Alcotest.check digest
+        (Printf.sprintf "n=%d" n)
+        (scratch_root hs') (Incremental.root inc))
+    [ 1; 2; 3; 4; 5; 8; 9; 16; 17; 33; 64; 100 ]
+
+let test_incr_append_growth () =
+  (* Appends crossing several power-of-two boundaries; root checked
+     against a from-scratch build after every single append. *)
+  let inc = Incremental.create () in
+  let acc = ref [] in
+  for i = 0 to 40 do
+    Incremental.append inc (lh i);
+    acc := lh i :: !acc;
+    let hs = Array.of_list (List.rev !acc) in
+    Alcotest.check digest
+      (Printf.sprintf "size %d" (i + 1))
+      (scratch_root hs) (Incremental.root inc)
+  done
+
+let test_incr_mixed_batch () =
+  let n = 20 in
+  let hs = Array.init n lh in
+  let inc = Incremental.of_tree (Tree.of_leaf_hashes hs) in
+  (* empty flush is a no-op *)
+  Alcotest.check digest "empty batch" (scratch_root hs) (Incremental.root inc);
+  let expect = Array.append (Array.copy hs) (Array.init 13 (lh' "new")) in
+  expect.(2) <- lh' "upd" 2;
+  expect.(19) <- lh' "upd" 19;
+  Incremental.set_leaf inc 2 expect.(2);
+  Incremental.set_leaf inc 19 expect.(19);
+  for i = 0 to 12 do
+    Incremental.append inc expect.(n + i)
+  done;
+  Alcotest.check digest "mixed batch" (scratch_root expect) (Incremental.root inc);
+  (* redundant write of the same digest is a no-op *)
+  Incremental.set_leaf inc 2 expect.(2);
+  Alcotest.check digest "idempotent set" (scratch_root expect) (Incremental.root inc)
+
+let test_incr_commit_immutable () =
+  let hs = Array.init 10 lh in
+  let inc = Incremental.of_tree (Tree.of_leaf_hashes hs) in
+  Incremental.set_leaf inc 3 (lh' "x" 3);
+  let t1 = Incremental.commit inc in
+  let r1 = Tree.root t1 in
+  (* keep mutating after commit: the committed tree must not move *)
+  Incremental.set_leaf inc 7 (lh' "y" 7);
+  Incremental.append inc (lh' "z" 0);
+  ignore (Incremental.root inc);
+  Alcotest.check digest "committed tree unchanged" r1 (Tree.root t1);
+  check_bool "proof from committed tree" true
+    (Proof.verify ~root:r1 ~leaf_hash:(Tree.leaf t1 3) (Tree.prove t1 3));
+  check_bool "incremental moved on" false (D.equal r1 (Incremental.root inc))
+
+let test_incr_stats () =
+  let n = 64 in
+  let inc = Incremental.of_tree (Tree.of_leaf_hashes (Array.init n lh)) in
+  Incremental.set_leaf inc 0 (lh' "u" 0);
+  ignore (Incremental.root inc);
+  let s = Incremental.last_stats inc in
+  (* one dirty leaf in a 64-leaf tree: exactly the 6 root-path nodes *)
+  check_int "rehashed = depth" 6 s.Incremental.rehashed;
+  check_bool "reused > 0" true (s.Incremental.reused > 0)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun n ->
+      let t = Tree.of_leaves (leaves n) in
+      match Tree.of_snapshot (Tree.to_snapshot t) with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+        check_int "size" (Tree.size t) (Tree.size t');
+        Alcotest.check digest "root" (Tree.root t) (Tree.root t');
+        check_bool "proof from restored tree" true
+          (Proof.verify ~root:(Tree.root t)
+             ~leaf_hash:(Tree.leaf t' 0)
+             (Tree.prove t' 0)))
+    [ 1; 2; 3; 5; 8; 13 ]
+
+let test_snapshot_rejects_garbage () =
+  let b = Tree.to_snapshot (Tree.of_leaves (leaves 5)) in
+  check_bool "truncated" true
+    (Result.is_error (Tree.of_snapshot (Bytes.sub b 0 (Bytes.length b - 1))));
+  check_bool "extended" true
+    (Result.is_error (Tree.of_snapshot (Bytes.cat b (Bytes.of_string "x"))));
+  check_bool "empty" true (Result.is_error (Tree.of_snapshot Bytes.empty))
+
+let prop_incr_random_ops =
+  QCheck.Test.make ~name:"incremental = scratch under random op sequences"
+    ~count:60
+    QCheck.(pair (int_range 0 24) (int_range 0 100_000))
+    (fun (n0, seed) ->
+      let rng = Zkflow_util.Rng.create (Int64.of_int seed) in
+      let model = ref (Array.init n0 lh) in
+      let inc = Incremental.of_tree (Tree.of_leaf_hashes !model) in
+      let ok = ref true in
+      for s = 0 to 29 do
+        let h = Tree.leaf_hash (Zkflow_util.Rng.bytes rng 16) in
+        let m = Array.length !model in
+        if m = 0 || Zkflow_util.Rng.int rng 3 = 0 then begin
+          model := Array.append !model [| h |];
+          Incremental.append inc h
+        end
+        else begin
+          let i = Zkflow_util.Rng.int rng m in
+          !model.(i) <- h;
+          Incremental.set_leaf inc i h
+        end;
+        (* flush at irregular points so batches of varying shape merge *)
+        if s mod 7 = 0 then
+          ok :=
+            !ok
+            && D.equal (Tree.root (Tree.of_leaf_hashes !model)) (Incremental.root inc)
+      done;
+      !ok
+      && D.equal (Tree.root (Tree.of_leaf_hashes !model)) (Incremental.root inc))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "zkflow_merkle"
@@ -346,6 +482,17 @@ let () =
           Alcotest.test_case "input validation" `Quick test_multiproof_input_validation;
           Alcotest.test_case "encode/decode" `Quick test_multiproof_encode_decode;
           q prop_multiproof_random_subsets;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "dirty updates match scratch" `Quick test_incr_matches_scratch;
+          Alcotest.test_case "append growth" `Quick test_incr_append_growth;
+          Alcotest.test_case "mixed batch + idempotence" `Quick test_incr_mixed_batch;
+          Alcotest.test_case "commit immutability" `Quick test_incr_commit_immutable;
+          Alcotest.test_case "rehash stats" `Quick test_incr_stats;
+          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "snapshot rejects garbage" `Quick test_snapshot_rejects_garbage;
+          q prop_incr_random_ops;
         ] );
       ( "smt",
         [

@@ -245,6 +245,68 @@ let test_selective_disclosure () =
       check_bool "absent flow refused" true
         (Result.is_error (Prover_service.disclose d.Zkflow.service ~keys:[ ghost ])))
 
+let test_query_flows_batched () =
+  let d = deployment () in
+  load_epoch d.Zkflow.db ~epoch:0 ~routers:2 ~per_router:6 ~seed:41;
+  ignore (Result.get_ok (Prover_service.publish_epoch d.Zkflow.service ~epoch:0));
+  let round = Result.get_ok (Prover_service.aggregate_epoch d.Zkflow.service ~epoch:0) in
+  let root = round.Aggregate.journal.Guests.new_root in
+  let entries = Clog.entries round.Aggregate.clog in
+  let keys = [ entries.(0).Clog.key; entries.(3).Clog.key; entries.(5).Clog.key ] in
+  match Prover_service.query_flows d.Zkflow.service ~metric:Guests.Packets keys with
+  | Error e -> Alcotest.fail e
+  | Ok flows -> (
+    Alcotest.check digest "answered against the round root" root flows.Query.root;
+    check_int "three rows" 3 (List.length flows.Query.rows);
+    match Verifier_client.verify_flows ~expected_root:root flows with
+    | Error e -> Alcotest.fail e
+    | Ok rows ->
+      List.iter
+        (fun (r : Query.flow_row) ->
+          check_int
+            (Printf.sprintf "value of row %d" r.Query.index)
+            r.Query.entry.Clog.metrics.Record.packets r.Query.value)
+        rows;
+      (* tampered value rejected: bump one row's value and total *)
+      let forged_rows =
+        List.map
+          (fun (r : Query.flow_row) ->
+            if r.Query.index = (List.hd rows).Query.index then
+              { r with Query.value = r.Query.value + 1 }
+            else r)
+          flows.Query.rows
+      in
+      check_bool "forged value rejected" true
+        (Result.is_error
+           (Verifier_client.verify_flows ~expected_root:root
+              { flows with Query.rows = forged_rows; total = flows.Query.total + 1 }));
+      (* wrong total alone rejected *)
+      check_bool "forged total rejected" true
+        (Result.is_error
+           (Verifier_client.verify_flows ~expected_root:root
+              { flows with Query.total = flows.Query.total + 1 }));
+      (* a different root does not authenticate *)
+      check_bool "wrong root rejected" true
+        (Result.is_error
+           (Verifier_client.verify_flows ~expected_root:Clog.empty_root flows));
+      (* duplicate and absent keys refused at proving time *)
+      check_bool "duplicate keys refused" true
+        (Result.is_error
+           (Prover_service.query_flows d.Zkflow.service ~metric:Guests.Packets
+              [ entries.(0).Clog.key; entries.(0).Clog.key ]));
+      let ghost =
+        (Gen.records (Zkflow_util.Rng.create 998L) Gen.default_profile ~router_id:9
+           ~count:1).(0)
+          .Record.key
+      in
+      check_bool "absent key refused" true
+        (Result.is_error
+           (Prover_service.query_flows d.Zkflow.service ~metric:Guests.Packets
+              [ ghost ]));
+      check_bool "empty keys refused" true
+        (Result.is_error
+           (Prover_service.query_flows d.Zkflow.service ~metric:Guests.Packets [])))
+
 (* ---- simulate_and_prove (the quickstart path) ---- *)
 
 let test_simulation_end_to_end () =
@@ -290,6 +352,7 @@ let () =
           Alcotest.test_case "historical query" `Quick test_client_historical_query;
           Alcotest.test_case "save/load" `Quick test_service_save_load;
           Alcotest.test_case "selective disclosure" `Quick test_selective_disclosure;
+          Alcotest.test_case "batched flows query" `Quick test_query_flows_batched;
         ] );
       ( "simulation",
         [ Alcotest.test_case "end to end" `Slow test_simulation_end_to_end ] );

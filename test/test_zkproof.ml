@@ -52,6 +52,69 @@ let test_prove_verify_roundtrip () =
    | Error e -> Alcotest.fail ("verify failed: " ^ e));
   check_bool "check" true (Verify.check ~program:demo_guest receipt)
 
+let test_commit_cache_reprove_identical () =
+  (* Re-proving the same traced run must hit the phase-1 commitment
+     cache and still produce a byte-identical receipt; a different run
+     must miss. *)
+  Prove.clear_commit_cache ();
+  let run =
+    Machine.run ~trace:true demo_guest ~input:demo_input
+  in
+  let c_hits = Zkflow_obs.Metric.counter "zkproof.commit_cache.hits" in
+  let c_misses = Zkflow_obs.Metric.counter "zkproof.commit_cache.misses" in
+  Zkflow_obs.Obs.reset ();
+  Zkflow_obs.Obs.enable ();
+  Fun.protect ~finally:Zkflow_obs.Obs.disable (fun () ->
+      let r1 = Result.get_ok (Prove.prove_result demo_guest run) in
+      let r2 = Result.get_ok (Prove.prove_result demo_guest run) in
+      check_bool "identical receipts" true
+        (Receipt.encode r1 = Receipt.encode r2);
+      check_int "one miss" 1 (Zkflow_obs.Metric.value c_misses);
+      check_int "one hit" 1 (Zkflow_obs.Metric.value c_hits);
+      (* different params still hit (phase 1 is parameter-independent)
+         and the receipt still verifies *)
+      let r3 =
+        Result.get_ok
+          (Prove.prove_result ~params:(Params.make ~queries:8) demo_guest run)
+      in
+      check_int "params change still hits" 2 (Zkflow_obs.Metric.value c_hits);
+      check_bool "cached-commit receipt verifies" true
+        (Verify.check ~program:demo_guest r3);
+      (* a recomputed (physically distinct) run misses *)
+      let run' = Machine.run ~trace:true demo_guest ~input:demo_input in
+      let r4 = Result.get_ok (Prove.prove_result demo_guest run') in
+      check_int "fresh arrays miss" 2 (Zkflow_obs.Metric.value c_misses);
+      check_bool "same receipt bytes" true (Receipt.encode r1 = Receipt.encode r4));
+  Prove.clear_commit_cache ()
+
+let test_sort_with_perm_consistent () =
+  let entry ~addr ~time ~write ~value = { Trace.addr; time; write; value } in
+  let rng = Zkflow_util.Rng.create 7L in
+  (* Distinct [time] per entry mirrors real traces, where (addr, time,
+     write) is unique; [mem_order] ignores [value], so duplicate keys
+     would make the plain (unstable) sort's tie order unspecified. *)
+  let log =
+    Array.init 64 (fun i ->
+        entry
+          ~addr:(Zkflow_util.Rng.int rng 8)
+          ~time:i
+          ~write:(Zkflow_util.Rng.bool rng)
+          ~value:(Zkflow_util.Rng.int rng 100))
+  in
+  let sorted, perm = Memcheck.sort_with_perm log in
+  check_int "perm length" (Array.length log) (Array.length perm);
+  Array.iteri
+    (fun j i ->
+      check_bool (Printf.sprintf "sorted.(%d) = log.(perm.(%d))" j j) true
+        (sorted.(j) = log.(i)))
+    perm;
+  (* same multiset and same encoded leaves as the plain sort *)
+  let plain = Memcheck.sort log in
+  Alcotest.(check (list string))
+    "same leaf bytes"
+    (Array.to_list (Array.map (fun e -> Bytes.to_string (Trace.encode_mem e)) plain))
+    (Array.to_list (Array.map (fun e -> Bytes.to_string (Trace.encode_mem e)) sorted))
+
 let test_verify_rejects_wrong_program () =
   let receipt, _ = prove_demo () in
   let other = assemble [ li t0 1; halt 0 ] in
@@ -369,6 +432,7 @@ let () =
           Alcotest.test_case "sha-heavy guest" `Quick test_sha_only_guest_proves;
           Alcotest.test_case "params respected" `Quick test_params_respected;
           Alcotest.test_case "fewer queries, smaller seal" `Quick test_seal_smaller_with_fewer_queries;
+          Alcotest.test_case "commit cache re-prove" `Quick test_commit_cache_reprove_identical;
         ] );
       ( "rejection",
         [
@@ -405,6 +469,7 @@ let () =
       ( "memcheck",
         [
           Alcotest.test_case "sort order" `Quick test_memcheck_sort_order;
+          Alcotest.test_case "sort_with_perm" `Quick test_sort_with_perm_consistent;
           Alcotest.test_case "adjacency rules" `Quick test_memcheck_adjacent_rules;
           Alcotest.test_case "grand products" `Quick test_memcheck_products_multiset;
         ] );
