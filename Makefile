@@ -2,7 +2,7 @@
 # bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
 # exercised even where the default would be sequential, plus the
 # static analyzer over the built-in guests and every example query.
-.PHONY: all build test check lint bench bench-smoke chaos
+.PHONY: all build test check lint audit audit-sarif bench bench-smoke chaos
 
 all: build
 
@@ -17,7 +17,24 @@ test:
 lint: build
 	dune exec bin/zkflow.exe -- lint examples/*.zirc
 
-check: build lint
+# Full static audit: lint/value analysis plus taint tracking of
+# untrusted telemetry inputs, compared against the committed baseline
+# (audit-baseline.txt) so only NEW findings fail. After fixing or
+# accepting findings, regenerate with:
+#   dune exec bin/zkflow.exe -- audit --builtins examples/*.zirc \
+#     --update-baseline audit-baseline.txt
+audit: build
+	dune exec bin/zkflow.exe -- audit --builtins examples/*.zirc \
+	  --baseline audit-baseline.txt
+
+# Same audit as a SARIF artifact (audit.sarif) for code-scanning UIs:
+# the log goes to stdout while the baseline comparison decides the
+# exit code (new findings are listed on stderr).
+audit-sarif: build
+	dune exec bin/zkflow.exe -- audit --builtins examples/*.zirc --sarif \
+	  --baseline audit-baseline.txt > audit.sarif
+
+check: build lint audit
 	ZKFLOW_JOBS=2 dune runtest --force
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- sweep
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par

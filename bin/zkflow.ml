@@ -503,33 +503,111 @@ let print_report ~json r =
   else Format.printf "%a@." Analysis.Finding.pp_report r;
   Analysis.Finding.ok r
 
+let parse_error_report path e =
+  {
+    Analysis.Finding.subject = path;
+    instrs = 0;
+    blocks = 0;
+    findings = [ Analysis.Finding.error ~pass:"parse" "%s" e ];
+    cycle_bound = Analysis.Finding.Unbounded [];
+    func_bounds = [];
+    proven_safe = false;
+  }
+
 (* Lint the two built-in guests (assembled ZR0) plus any Zirc sources
    given on the command line; exit nonzero iff any Error-severity
    finding (warnings don't fail the build). *)
-let lint json files =
-  let ok = ref true in
-  let note b = if not b then ok := false in
-  note (print_report ~json (Analysis.check ~subject:"aggregation guest"
-                              (Lazy.force Guests.aggregation_program)));
-  note (print_report ~json (Analysis.check ~subject:"query guest"
-                              (Lazy.force Guests.query_program)));
-  List.iter
-    (fun path ->
-      let report =
-        match Zkflow_lang.Zirc_parse.parse_file_positioned path with
-        | Ok (prog, positions) -> Analysis.check_zirc ~subject:path ~positions prog
-        | Error e ->
-          {
-            Analysis.Finding.subject = path;
-            instrs = 0;
-            blocks = 0;
-            findings = [ Analysis.Finding.error ~pass:"parse" "%s" e ];
-            cycle_bound = Analysis.Finding.Unbounded [];
-          }
-      in
-      note (print_report ~json report))
-    files;
-  if !ok then Ok () else Error "lint: defects found"
+let lint json sarif files =
+  let reports =
+    Analysis.check ~subject:"aggregation guest"
+      (Lazy.force Guests.aggregation_program)
+    :: Analysis.check ~subject:"query guest" (Lazy.force Guests.query_program)
+    :: List.map
+         (fun path ->
+           match Zkflow_lang.Zirc_parse.parse_file_positioned path with
+           | Ok (prog, positions) ->
+             Analysis.check_zirc ~subject:path ~positions prog
+           | Error e -> parse_error_report path e)
+         files
+  in
+  if sarif then print_endline (Analysis.Finding.sarif_json reports)
+  else List.iter (fun r -> ignore (print_report ~json r)) reports;
+  if List.for_all Analysis.Finding.ok reports then Ok ()
+  else Error "lint: defects found"
+
+(* ---- audit ---- *)
+
+(* Stable identity of a finding across runs: subject, pass and message.
+   Positions shift whenever an unrelated line is edited, while the
+   message carries the operative detail — so baselines stay quiet
+   under refactors that don't change what the analyzer learned. One
+   tab-separated line per key; the file diffs cleanly under git. *)
+let finding_key subject (f : Analysis.Finding.t) =
+  let flat s =
+    String.map (fun c -> if c = '\n' || c = '\t' then ' ' else c) s
+  in
+  Printf.sprintf "%s\t%s\t%s" (flat subject) f.Analysis.Finding.pass
+    (flat f.Analysis.Finding.message)
+
+(* Full audit (value analysis + taint) of the built-in guests and/or
+   Zirc sources. With --baseline, exit nonzero only on findings whose
+   key is absent from the baseline file; without one, exit nonzero on
+   any Error-severity finding (as lint does). *)
+let audit json sarif baseline update_baseline builtins files =
+  let reports =
+    (if builtins || files = [] then
+       [
+         Analysis.audit ~subject:"aggregation guest"
+           (Zkflow_zkvm.Program.instrs (Lazy.force Guests.aggregation_program));
+         Analysis.audit ~subject:"query guest"
+           (Zkflow_zkvm.Program.instrs (Lazy.force Guests.query_program));
+       ]
+     else [])
+    @ List.map
+        (fun path ->
+          match Zkflow_lang.Zirc_parse.parse_file_positioned path with
+          | Ok (prog, positions) ->
+            Analysis.audit_zirc ~subject:path ~positions prog
+          | Error e -> parse_error_report path e)
+        files
+  in
+  if sarif then print_endline (Analysis.Finding.sarif_json reports)
+  else if json then print_endline (Analysis.Finding.reports_json reports)
+  else
+    List.iter (fun r -> Format.printf "%a@." Analysis.Finding.pp_report r)
+      reports;
+  let keys =
+    List.concat_map
+      (fun (r : Analysis.Finding.report) ->
+        List.map (finding_key r.Analysis.Finding.subject) r.Analysis.Finding.findings)
+      reports
+    |> List.sort_uniq String.compare
+  in
+  match update_baseline with
+  | Some path ->
+    write_file path
+      (Bytes.of_string (String.concat "" (List.map (fun k -> k ^ "\n") keys)));
+    Printf.eprintf "audit: wrote %d finding key(s) to %s\n" (List.length keys)
+      path;
+    Ok ()
+  | None -> (
+    match baseline with
+    | Some path ->
+      let* text = read_file path in
+      let known = Hashtbl.create 16 in
+      String.split_on_char '\n' (Bytes.to_string text)
+      |> List.iter (fun l -> if l <> "" then Hashtbl.replace known l ());
+      let fresh = List.filter (fun k -> not (Hashtbl.mem known k)) keys in
+      if fresh = [] then Ok ()
+      else begin
+        List.iter (fun k -> Printf.eprintf "audit: new finding: %s\n" k) fresh;
+        Error
+          (Printf.sprintf "audit: %d finding(s) not in baseline %s"
+             (List.length fresh) path)
+      end
+    | None ->
+      if List.for_all Analysis.Finding.ok reports then Ok ()
+      else Error "audit: defects found")
 
 (* ---- verify ---- *)
 
@@ -802,15 +880,59 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
+  let sarif =
+    Arg.(value & flag & info [ "sarif" ]
+           ~doc:"SARIF 2.1.0 output (one log, one result per finding).")
+  in
   let files =
     Arg.(value & pos_all file [] & info [] ~docv:"FILE"
            ~doc:"Zirc source files to lint (the built-in guests are always checked).")
   in
-  let run json files = handle (lint json files) in
+  let run json sarif files = handle (lint json sarif files) in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze the built-in guests and any Zirc sources.")
-    Term.(const run $ json $ files)
+    Term.(const run $ json $ sarif $ files)
+
+let audit_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let sarif =
+    Arg.(value & flag & info [ "sarif" ]
+           ~doc:"SARIF 2.1.0 output (one log, one result per finding).")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Fail only on findings absent from this baseline (one \
+                 tab-separated subject/pass/message key per line, as written \
+                 by --update-baseline).")
+  in
+  let update_baseline =
+    Arg.(value & opt (some string) None & info [ "update-baseline" ]
+           ~docv:"FILE"
+           ~doc:"Write the current finding keys to FILE and exit 0.")
+  in
+  let builtins =
+    Arg.(value & flag & info [ "builtins" ]
+           ~doc:"Audit the built-in guests in addition to the given files \
+                 (they are audited by default when no file is given).")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Zirc source files to audit.")
+  in
+  let run json sarif baseline update builtins files =
+    handle (audit json sarif baseline update builtins files)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Full static audit: the lint/value analysis plus taint tracking \
+             of untrusted telemetry inputs (sources: input ecalls; sinks: \
+             journal commits and memory addresses) and proven per-function \
+             cycle bounds.")
+    Term.(const run $ json $ sarif $ baseline $ update_baseline $ builtins
+          $ files)
 
 let verify_cmd =
   let zirc =
@@ -937,6 +1059,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; prove_cmd; lint_cmd; verify_cmd; stats_cmd;
-            trace_check_cmd; monitor_cmd; chaos_cmd; bench_diff_cmd;
+            simulate_cmd; prove_cmd; lint_cmd; audit_cmd; verify_cmd;
+            stats_cmd; trace_check_cmd; monitor_cmd; chaos_cmd;
+            bench_diff_cmd;
           ]))

@@ -62,6 +62,16 @@ let build program =
         (fun t -> if t < 0 || t >= n then escapes := (pc, t) :: !escapes)
         succs)
     succs_of_pc;
+  (* A call's target is not a successor edge (control resumes at pc+1),
+     so an out-of-range callee must be caught here or it would vanish
+     from the graph entirely — while the machine traps on fetch. *)
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Isa.Jal (rd, tgt) when rd <> 0 && (tgt < 0 || tgt >= n) ->
+        escapes := (pc, tgt) :: !escapes
+      | _ -> ())
+    program;
   (* Leaders: the program entry, every pc after a control-flow
      instruction, every in-range control target, every callee entry. *)
   let leader = Array.make n false in

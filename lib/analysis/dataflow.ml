@@ -1,4 +1,22 @@
-let solve (cfg : Cfg.t) ~entry ~join ~equal ~transfer =
+module Isa = Zkflow_zkvm.Isa
+
+(* Forward worklist solver with optional path sensitivity:
+
+   - [refine ~pc instr ~taken s] narrows the out-state along a branch
+     edge ([taken] = the taken edge); returning [None] marks the edge
+     infeasible and stops propagation along it. Only called when the
+     taken and fall-through edges lead to different blocks.
+   - [widen old joined] is applied instead of plain join at loop-header
+     blocks (targets of DFS back edges), which is where infinite
+     ascending chains of an interval domain would otherwise live.
+
+   After the ascending fixpoint one descending sweep re-applies the
+   transfer relation to every block (a single narrowing iteration):
+   starting from a post-fixpoint, any number of descending applications
+   stays above the least fixpoint, so the tightened states remain
+   sound while recovering most of the precision widening gave up. *)
+let solve ?(refine = fun ~pc:_ _ ~taken:_ s -> Some s)
+    ?(widen = fun _ joined -> joined) ~entry ~join ~equal ~transfer (cfg : Cfg.t) =
   let nb = Array.length cfg.Cfg.blocks in
   let in_state : 'a option array = Array.make nb None in
   let through_block id s =
@@ -8,6 +26,29 @@ let solve (cfg : Cfg.t) ~entry ~join ~equal ~transfer =
       s := transfer ~pc cfg.Cfg.program.(pc) !s
     done;
     !s
+  in
+  let widen_pt = Array.make nb false in
+  List.iter
+    (fun pc -> widen_pt.(cfg.Cfg.block_of_pc.(pc)) <- true)
+    (Cfg.back_edge_headers cfg);
+  (* Per-successor out-states of a block, with branch-edge refinement. *)
+  let edge_outs id out =
+    let b = cfg.Cfg.blocks.(id) in
+    let pc = b.Cfg.last in
+    match cfg.Cfg.program.(pc) with
+    | Isa.Branch (_, _, _, tgt) as instr
+      when tgt >= 0
+           && tgt < Array.length cfg.Cfg.program
+           && cfg.Cfg.block_of_pc.(tgt) <> cfg.Cfg.block_of_pc.(pc + 1) ->
+      let taken_id = cfg.Cfg.block_of_pc.(tgt) in
+      List.filter_map
+        (fun succ ->
+          let taken = succ = taken_id in
+          match refine ~pc instr ~taken out with
+          | None -> None
+          | Some s -> Some (succ, s))
+        b.Cfg.succs
+    | _ -> List.map (fun succ -> (succ, out)) b.Cfg.succs
   in
   (* Worklist over block ids, seeded with every live function entry;
      initialised in order so the common forward-falling case converges
@@ -31,12 +72,13 @@ let solve (cfg : Cfg.t) ~entry ~join ~equal ~transfer =
     | Some s ->
       let out = through_block id s in
       List.iter
-        (fun succ ->
+        (fun (succ, out) ->
           let merged, changed =
             match in_state.(succ) with
             | None -> (out, true)
             | Some old ->
-              let m = join old out in
+              let j = join old out in
+              let m = if widen_pt.(succ) then widen old j else j in
               (m, not (equal m old))
           in
           if changed then begin
@@ -46,6 +88,27 @@ let solve (cfg : Cfg.t) ~entry ~join ~equal ~transfer =
               Queue.add succ q
             end
           end)
-        cfg.Cfg.blocks.(id).Cfg.succs
+        (edge_outs id out)
   done;
+  (* One descending sweep: in'(b) = ⊔ refined-out(preds) ⊔ entry seed. *)
+  let narrowed : 'a option array = Array.make nb None in
+  let merge_into succ s =
+    narrowed.(succ) <-
+      (match narrowed.(succ) with None -> Some s | Some old -> Some (join old s))
+  in
+  List.iter
+    (fun entry_pc -> merge_into cfg.Cfg.block_of_pc.(entry_pc) (entry entry_pc))
+    cfg.Cfg.entries;
+  Array.iteri
+    (fun id s ->
+      match s with
+      | None -> ()
+      | Some s -> List.iter (fun (succ, out) -> merge_into succ out) (edge_outs id (through_block id s)))
+    in_state;
+  Array.iteri
+    (fun id s ->
+      match (s, narrowed.(id)) with
+      | Some _, Some n -> in_state.(id) <- Some n
+      | _ -> ())
+    in_state;
   in_state

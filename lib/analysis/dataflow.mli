@@ -1,17 +1,31 @@
-(** A generic forward worklist solver over a {!Cfg}.
+(** A forward worklist solver over a {!Cfg}, with optional path
+    sensitivity and widening.
 
     [solve cfg ~entry ~join ~equal ~transfer] seeds every live function
     entry block with [entry entry_pc], iterates the per-instruction
     [transfer] to a fixpoint over the function-local edges, and returns
     the abstract state at the {e entry} of each basic block ([None] for
-    blocks the solver never reached — exactly the CFG-unreachable
-    ones). [join] must be monotone and [transfer] monotone in its state
-    argument, otherwise termination is not guaranteed. *)
+    blocks the solver never reached).
+
+    [?refine ~pc instr ~taken s] narrows a branch's out-state along its
+    taken / fall-through edge; returning [None] marks the edge
+    infeasible (no propagation). It is only consulted when the two
+    edges lead to distinct blocks.
+
+    [?widen old joined] replaces plain join at loop-header blocks
+    (targets of DFS back edges); required for termination on domains of
+    unbounded height such as {!Interval}. After the ascending fixpoint
+    one descending sweep re-applies the transfer relation (a single
+    narrowing iteration — sound, since any descending application of a
+    monotone functional from a post-fixpoint stays above the least
+    fixpoint). *)
 
 val solve :
-  Cfg.t ->
+  ?refine:(pc:int -> Zkflow_zkvm.Isa.t -> taken:bool -> 's -> 's option) ->
+  ?widen:('s -> 's -> 's) ->
   entry:(int -> 's) ->
   join:('s -> 's -> 's) ->
   equal:('s -> 's -> bool) ->
   transfer:(pc:int -> Zkflow_zkvm.Isa.t -> 's -> 's) ->
+  Cfg.t ->
   's option array

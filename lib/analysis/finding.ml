@@ -23,6 +23,11 @@ type report = {
   blocks : int;
   findings : t list;
   cycle_bound : cycle_bound;
+  func_bounds : (int * cycle_bound) list;  (* (entry pc, bound) per function *)
+  proven_safe : bool;
+    (* every memory access, sha range and ecall number proven in-range
+       and no indirect jumps: with zero errors, the only traps left are
+       input exhaustion and the cycle limit *)
 }
 
 let error ?(loc = Nowhere) ~pass fmt =
@@ -30,6 +35,35 @@ let error ?(loc = Nowhere) ~pass fmt =
 
 let warning ?(loc = Nowhere) ~pass fmt =
   Format.kasprintf (fun message -> { severity = Warning; pass; loc; message }) fmt
+
+(* Canonical finding order: position (source locations first, then
+   instruction indices, then location-free), then pass, severity and
+   message. Every consumer — text, JSON, SARIF, the CI baseline — sees
+   the same stable order, and exact duplicates (e.g. the same defect
+   reported via two merged paths) collapse to one. *)
+let loc_rank = function
+  | Src { line; col } -> (0, line, col)
+  | Stmt path -> (1, (match path with p :: _ -> p | [] -> 0), List.length path)
+  | Pc pc -> (2, pc, 0)
+  | Nowhere -> (3, 0, 0)
+
+let compare_finding a b =
+  let c = compare (loc_rank a.loc) (loc_rank b.loc) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.pass b.pass in
+    if c <> 0 then c
+    else
+      let c = compare a.severity b.severity in
+      if c <> 0 then c else String.compare a.message b.message
+
+let normalize findings =
+  let rec dedupe = function
+    | a :: b :: rest when a = b -> dedupe (b :: rest)
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  dedupe (List.sort compare_finding findings)
 
 let errors report = List.filter (fun f -> f.severity = Error) report.findings
 let warnings report = List.filter (fun f -> f.severity = Warning) report.findings
@@ -72,16 +106,68 @@ let finding_json f =
     (severity_name f.severity) (json_escape f.pass)
     (json_escape (loc_string f.loc)) (json_escape f.message)
 
+let cycle_bound_json = function
+  | Bounded n -> Printf.sprintf {|{"kind":"bounded","cycles":%d}|} n
+  | Unbounded headers ->
+    Printf.sprintf {|{"kind":"unbounded","loop_headers":[%s]}|}
+      (String.concat "," (List.map string_of_int headers))
+
 let report_json r =
-  let bound =
-    match r.cycle_bound with
-    | Bounded n -> Printf.sprintf {|{"kind":"bounded","cycles":%d}|} n
-    | Unbounded headers ->
-      Printf.sprintf {|{"kind":"unbounded","loop_headers":[%s]}|}
-        (String.concat "," (List.map string_of_int headers))
+  let funcs =
+    List.map
+      (fun (entry, b) -> Printf.sprintf {|{"entry":%d,"bound":%s}|} entry (cycle_bound_json b))
+      r.func_bounds
   in
   Printf.sprintf
-    {|{"subject":"%s","instrs":%d,"blocks":%d,"errors":%d,"warnings":%d,"cycle_bound":%s,"findings":[%s]}|}
+    {|{"subject":"%s","instrs":%d,"blocks":%d,"errors":%d,"warnings":%d,"proven_safe":%b,"cycle_bound":%s,"func_bounds":[%s],"findings":[%s]}|}
     (json_escape r.subject) r.instrs r.blocks
-    (List.length (errors r)) (List.length (warnings r)) bound
+    (List.length (errors r)) (List.length (warnings r)) r.proven_safe
+    (cycle_bound_json r.cycle_bound)
+    (String.concat "," funcs)
     (String.concat "," (List.map finding_json r.findings))
+
+let reports_json rs =
+  Printf.sprintf {|{"reports":[%s]}|} (String.concat "," (List.map report_json rs))
+
+(* ---- SARIF 2.1.0 ----
+
+   One run per invocation; each report's subject becomes the artifact
+   URI. ZR0 program counters have no source region, so they ride in the
+   message and a logical location instead. Shared by `zkflow lint
+   --sarif` and `zkflow audit --sarif`, and uploaded by the CI audit
+   job. *)
+
+let sarif_level = function Error -> "error" | Warning -> "warning"
+
+let sarif_result subject f =
+  let region =
+    match f.loc with
+    | Src { line; col } ->
+      Printf.sprintf {|,"region":{"startLine":%d,"startColumn":%d}|} line col
+    | _ -> ""
+  in
+  let logical =
+    match f.loc with
+    | Src _ -> ""
+    | loc ->
+      Printf.sprintf {|,"logicalLocations":[{"name":"%s"}]|} (json_escape (loc_string loc))
+  in
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"}%s}%s}]}|}
+    (json_escape f.pass) (sarif_level f.severity)
+    (json_escape (Printf.sprintf "[%s] %s" (loc_string f.loc) f.message))
+    (json_escape subject) region logical
+
+let sarif_json reports =
+  let rules =
+    List.concat_map (fun r -> List.map (fun f -> f.pass) r.findings) reports
+    |> List.sort_uniq String.compare
+    |> List.map (fun p -> Printf.sprintf {|{"id":"%s"}|} (json_escape p))
+  in
+  let results =
+    List.concat_map (fun r -> List.map (sarif_result r.subject) r.findings) reports
+  in
+  Printf.sprintf
+    {|{"version":"2.1.0","$schema":"https://json.schemastore.org/sarif-2.1.0.json","runs":[{"tool":{"driver":{"name":"zkflow-audit","informationUri":"https://example.org/zkflow","rules":[%s]}},"results":[%s]}]}|}
+    (String.concat "," rules)
+    (String.concat "," results)

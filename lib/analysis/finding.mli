@@ -31,6 +31,13 @@ type report = {
   blocks : int;
   findings : t list;
   cycle_bound : cycle_bound;
+  func_bounds : (int * cycle_bound) list;
+      (** (entry pc, proven bound) for every live function *)
+  proven_safe : bool;
+      (** all memory/sha accesses and ecall numbers proven in-range and
+          no indirect jumps: together with zero errors, the only traps
+          the machine can raise are input exhaustion and the cycle
+          limit (the property the differential fuzzer checks) *)
 }
 
 val error :
@@ -38,6 +45,14 @@ val error :
 
 val warning :
   ?loc:loc -> pass:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val compare_finding : t -> t -> int
+(** Canonical order: location (source first, then pc, then none), then
+    pass, severity, message. *)
+
+val normalize : t list -> t list
+(** Sort into canonical order and drop exact duplicates; every surface
+    (text, JSON, SARIF, CI baseline) emits findings in this order. *)
 
 val errors : report -> t list
 val warnings : report -> t list
@@ -55,3 +70,12 @@ val pp_report : Format.formatter -> report -> unit
 
 val report_json : report -> string
 (** One JSON object per report; dependency-free encoder. *)
+
+val reports_json : report list -> string
+(** [{"reports":[...]}] — the `--json` envelope shared by lint and
+    audit. *)
+
+val sarif_json : report list -> string
+(** SARIF 2.1.0 log (one run; subjects as artifact URIs) for
+    `zkflow lint --sarif` / `zkflow audit --sarif` and the CI audit
+    job's artifact upload. *)

@@ -1,0 +1,39 @@
+(** Information-flow (taint) analysis for untrusted telemetry inputs.
+
+    Sources are the input ecalls; sinks are journal commits and memory
+    address operands; traversing a comparison launders
+    [Tainted → Checked] (branching on a value is what validation looks
+    like structurally — a {e wrong} predicate is out of scope). For the
+    Merkle idiom, [cmp8] over a derived digest launders the compared
+    regions {e and} everything they were hashed from, so the
+    root-check-then-scan pattern of the example guests is recognized as
+    validating the entries.
+
+    Findings use passes ["taint-journal"] and ["taint-addr"], with
+    [Error] severity — but only [zkflow audit] runs this module; the
+    prover gate does not, so adopting the audit cannot change what
+    proves. A statement under a [//@ trusted] pragma has its sources
+    demoted to [Checked] and its sink findings suppressed (returned as
+    a count for the obs metrics). *)
+
+type level = Clean | Checked | Tainted
+
+val join_level : level -> level -> level
+val level_name : level -> string
+
+val check_zirc :
+  ?positions:Zkflow_lang.Zirc_parse.stmt_pos list ->
+  Zkflow_lang.Zirc.program ->
+  Finding.t list * int
+(** Source-level pass (the authoritative one for compiled programs):
+    statement-granular memory regions keyed by constant base address,
+    with provenance through [leaf_hashes]/[merkle_root]/[sha]. Returns
+    normalized findings and the count suppressed by [//@ trusted]. *)
+
+val check_zr0 : Zkflow_zkvm.Isa.t array -> Finding.t list
+(** Assembly-level pass for raw ZR0: register taint plus one summary
+    cell for guest RAM, with ecall numbers resolved by the
+    {!Zr0_checks} value analysis. Intraprocedural — calls return
+    [Checked], so cross-function flows (e.g. through the guestlib
+    runtime) are out of scope by design; use {!check_zirc} for
+    compiled programs. Empty or malformed programs yield []. *)

@@ -67,7 +67,12 @@ let rec const_of (e : Zirc.expr) =
 (* ---- statements annotated with their source position (from
    {!Zirc_parse.parse_positioned}) or a structural path fallback *)
 
-type astmt = { s : Zirc.stmt; loc : Finding.loc; sub : astmt list list }
+type astmt = {
+  s : Zirc.stmt;
+  loc : Finding.loc;
+  trusted : bool;  (* //@ trusted pragma on the statement *)
+  sub : astmt list list;
+}
 
 let rec annotate rpath i (s : Zirc.stmt) (p : Zirc_parse.stmt_pos option) =
   let rpath = i :: rpath in
@@ -76,6 +81,7 @@ let rec annotate rpath i (s : Zirc.stmt) (p : Zirc_parse.stmt_pos option) =
     | Some { Zirc_parse.pos = { line; col }; _ } -> Finding.Src { line; col }
     | None -> Finding.Stmt (List.rev rpath)
   in
+  let trusted = match p with Some sp -> sp.Zirc_parse.trusted | None -> false in
   let subp j =
     match p with None -> None | Some sp -> List.nth_opt sp.Zirc_parse.sub j
   in
@@ -86,7 +92,7 @@ let rec annotate rpath i (s : Zirc.stmt) (p : Zirc_parse.stmt_pos option) =
     | Zirc.While (_, b) -> [ ablock 0 b ]
     | _ -> []
   in
-  { s; loc; sub }
+  { s; loc; trusted; sub }
 
 and annotate_block rpath blk poss =
   List.mapi
@@ -294,9 +300,34 @@ let rec all_reads acc a =
   let acc = S.union acc (stmt_reads a.s) in
   List.fold_left (List.fold_left all_reads) acc a.sub
 
-let loc_key = function
-  | Finding.Src { line; col } -> (line * 10000) + col
-  | _ -> max_int
+(* ---- code after an unconditional halt (source-level dead code) ----
+
+   The compiled ZR0 also reports this ("unreachable"), but pointing at
+   the surface statement is far more useful — and for compiled Zirc the
+   audit drops the ZR0-level duplicates (the appended runtime produces
+   spurious ones). One finding per trailing run. *)
+
+let rec halts_block astmts = List.exists halts_stmt astmts
+
+and halts_stmt a =
+  match a.s with
+  | Zirc.Halt _ -> true
+  | Zirc.If (_, _, _) ->
+    halts_block (List.nth a.sub 0) && halts_block (List.nth a.sub 1)
+  | _ -> false
+
+let rec check_after_halt ~emit astmts =
+  let rec scan = function
+    | prev :: (next :: _ as rest) ->
+      if halts_stmt prev then
+        emit
+          (Finding.warning ~loc:next.loc ~pass:"zirc-unreachable"
+             "statement can never execute: every path above has halted")
+      else scan rest
+    | _ -> ()
+  in
+  scan astmts;
+  List.iter (fun a -> List.iter (check_after_halt ~emit) a.sub) astmts
 
 let lint ?positions (prog : Zirc.program) =
   let ast = annotate_block [] prog positions in
@@ -304,6 +335,7 @@ let lint ?positions (prog : Zirc.program) =
   let emit f = findings := f :: !findings in
   ignore (fwd_block ~emit { declared = S.empty; assigned = S.empty } ast);
   ignore (live_block ~emit ast S.empty);
+  check_after_halt ~emit ast;
   let reads = List.fold_left all_reads S.empty ast in
   let rec warn_unused a =
     (match a.s with
@@ -313,6 +345,4 @@ let lint ?positions (prog : Zirc.program) =
     List.iter (List.iter warn_unused) a.sub
   in
   List.iter warn_unused ast;
-  List.stable_sort
-    (fun a b -> Int.compare (loc_key a.Finding.loc) (loc_key b.Finding.loc))
-    (List.rev !findings)
+  Finding.normalize !findings

@@ -19,12 +19,32 @@
     - [zirc-divzero] {e warning}: division or remainder by a literal 0;
     - [zirc-dead] {e warning}: a [Set] whose value no later statement
       reads (backward liveness, with a fixpoint over [While] bodies),
-      and a [let] whose variable is never read anywhere. *)
+      and a [let] whose variable is never read anywhere;
+    - [zirc-unreachable] {e warning}: a statement below an
+      unconditional [halt] (one finding per trailing run). *)
 
 val max_expr_depth : int
 
 val need : Zkflow_lang.Zirc.expr -> int
 (** Registers the compiler will use to evaluate this expression. *)
+
+type astmt = {
+  s : Zkflow_lang.Zirc.stmt;
+  loc : Finding.loc;
+  trusted : bool;  (** [//@ trusted] pragma on the statement *)
+  sub : astmt list list;
+}
+(** A statement annotated with its location (and nested blocks in the
+    AST's shape); shared with the {!Taint} pass so both locate
+    findings identically. *)
+
+val annotate_block :
+  int list ->
+  Zkflow_lang.Zirc.program ->
+  Zkflow_lang.Zirc_parse.stmt_pos list option ->
+  astmt list
+(** [annotate_block [] prog positions]: pair each statement with its
+    source position ([Src]) or structural path fallback ([Stmt]). *)
 
 val lint :
   ?positions:Zkflow_lang.Zirc_parse.stmt_pos list ->

@@ -5,17 +5,27 @@
     no path initialises, no statically-out-of-range memory access, no
     fall-off-the-end or wild control transfer, host calls that follow
     the ecall protocol — plus advisory warnings (unreachable code,
-    statically-unknown ecall numbers) and a static cycle budget.
-    DESIGN.md §8 records the lattice and conservatism choices. *)
+    statically-unknown ecall numbers) and {e proven} per-function cycle
+    bounds from the interval domain. [zkflow audit] layers the
+    {!Taint} information-flow pass on top. DESIGN.md §8 and §13 record
+    the lattices and conservatism choices.
+
+    Every pass records a wall-time span ([analysis.lint],
+    [analysis.zr0], [analysis.taint-zirc], [analysis.taint-zr0]) and
+    finding counters ([analysis.findings], [analysis.errors],
+    [analysis.trusted_suppressed]) through {!Zkflow_obs}. *)
 
 module Finding = Finding
 module Cfg = Cfg
 module Dataflow = Dataflow
+module Interval = Interval
 module Zr0_checks = Zr0_checks
 module Zirc_lint = Zirc_lint
+module Taint = Taint
 
 val check : ?subject:string -> Zkflow_zkvm.Program.t -> Finding.report
-(** Analyze an assembled guest. *)
+(** Analyze an assembled guest (value analysis only — what the prover
+    gate runs). *)
 
 val check_instrs : ?subject:string -> Zkflow_zkvm.Isa.t array -> Finding.report
 
@@ -28,9 +38,32 @@ val check_zirc :
     analysis of the lowered code, merged into one report. A compile
     failure becomes a ["compile"] error finding. *)
 
-val gate : ?subject:string -> Zkflow_zkvm.Program.t -> (unit, string) result
+val audit : ?subject:string -> Zkflow_zkvm.Isa.t array -> Finding.report
+(** The full audit of a raw ZR0 guest: value analysis plus the
+    assembly-level taint pass, findings merged, deduplicated and
+    position-sorted. *)
+
+val audit_zirc :
+  ?subject:string ->
+  ?positions:Zkflow_lang.Zirc_parse.stmt_pos list ->
+  Zkflow_lang.Zirc.program ->
+  Finding.report
+(** The full audit of a Zirc source: lint, source-level taint, and the
+    ZR0 value analysis of the lowered code. ZR0 ["unreachable"]
+    findings are dropped for Zirc subjects (the compiler's lowering of
+    [halt] leaves structurally dead tails; the [zirc-unreachable] lint
+    covers source-level dead code). *)
+
+val gate :
+  ?subject:string ->
+  ?budget:int ->
+  Zkflow_zkvm.Program.t ->
+  (unit, string) result
 (** Pre-prove gate used by {!Zkflow_core.Prover_service}: [Ok ()] when
-    the guest has no [Error]-severity findings, otherwise a printable
-    refusal. Reports are memoized per image ID. Setting
-    [ZKFLOW_NO_ANALYZE=1] in the environment skips the gate (checked at
-    call time, so tests can toggle it). *)
+    the guest has no [Error]-severity findings {e and} its proven cycle
+    bound (when one exists) is within [budget] (default
+    {!Zkflow_zkvm.Machine.default_max_cycles}); otherwise a printable
+    refusal. Unbounded guests pass the budget check — the machine's own
+    cycle limit still backstops them at run time. Reports are memoized
+    per image ID. Setting [ZKFLOW_NO_ANALYZE=1] in the environment
+    skips the gate (checked at call time, so tests can toggle it). *)

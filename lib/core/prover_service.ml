@@ -67,10 +67,14 @@ let covered_epochs t =
 let ( let* ) = Result.bind
 
 (* Pre-prove gate: every proving path runs the static analyzer over the
-   guest first and refuses to spend cycles on a defective program
-   (override with ZKFLOW_NO_ANALYZE=1). Reports are memoized per image
-   ID, so the per-round cost after the first call is one hash lookup. *)
-let gate ~subject program = Zkflow_analysis.gate ~subject program
+   guest first and refuses to spend cycles on a defective program, or
+   on one whose proven cycle bound exceeds what the machine would ever
+   execute (override with ZKFLOW_NO_ANALYZE=1). Reports are memoized
+   per image ID, so the per-round cost after the first call is one
+   hash lookup. *)
+let gate ~subject program =
+  Zkflow_analysis.gate ~subject
+    ~budget:Zkflow_zkvm.Machine.default_max_cycles program
 
 let prove_custom ?(proof_params = Zkflow_zkproof.Params.default)
     ?(subject = "custom guest") program ~input =

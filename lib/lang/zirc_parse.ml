@@ -7,11 +7,12 @@ type token =
   | KW of string       (* let if else while mem *)
   | PUNCT of string    (* ( ) { } [ ] ; , = *)
   | OP of string       (* + - * & | ^ << >> == != < <= > >= <s *)
+  | PRAGMA of string   (* //@ word — annotation for the next statement *)
   | EOF
 
 type lexed = { tok : token; line : int; col : int }
 type pos = { line : int; col : int }
-type stmt_pos = { pos : pos; sub : stmt_pos list list }
+type stmt_pos = { pos : pos; trusted : bool; sub : stmt_pos list list }
 
 exception Error of string
 
@@ -40,6 +41,31 @@ let lex src =
   while !i < n do
     let c = src.[!i] in
     if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && peek 1 = Some '/' && peek 2 = Some '@' then begin
+      (* `//@ word`: an annotation pragma attached to the next
+         statement (the only one today is `trusted`, read by the taint
+         pass). Anything else on the line is still a comment. *)
+      let sline = !line and scol = !col in
+      advance 3;
+      while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+        advance 1
+      done;
+      let start = !i in
+      while
+        !i < n
+        && (let c = src.[!i] in
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c = '_' || c = '-')
+      do
+        advance 1
+      done;
+      let word = String.sub src start (!i - start) in
+      if word = "" then err ~line:sline ~col:scol "empty //@ pragma";
+      out := { tok = PRAGMA word; line = sline; col = scol } :: !out;
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
     else if c = '/' && peek 1 = Some '/' then begin
       while !i < n && src.[!i] <> '\n' do
         advance 1
@@ -116,6 +142,7 @@ let token_name = function
   | IDENT s -> Printf.sprintf "identifier %S" s
   | KW s -> Printf.sprintf "keyword %S" s
   | PUNCT s | OP s -> Printf.sprintf "%S" s
+  | PRAGMA s -> Printf.sprintf "pragma \"//@ %s\"" s
   | EOF -> "end of input"
 
 let expect_punct p s =
@@ -237,8 +264,17 @@ let stmt_builtin p name args =
    of nested blocks) so lint findings can point at the offending
    token; [parse] discards them, [parse_positioned] keeps them. *)
 let rec parse_stmt p =
+  match tok p with
+  | PRAGMA "trusted" ->
+    advance p;
+    let s, sp = parse_stmt p in
+    (s, { sp with trusted = true })
+  | PRAGMA other -> perr p "unknown pragma \"//@ %s\" (supported: trusted)" other
+  | _ -> parse_plain_stmt p
+
+and parse_plain_stmt p =
   let ({ line; col; _ } : lexed) = cur p in
-  let mk sub = { pos = { line; col }; sub } in
+  let mk sub = { pos = { line; col }; trusted = false; sub } in
   match tok p with
   | KW "let" ->
     advance p;

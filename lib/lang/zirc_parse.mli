@@ -27,10 +27,13 @@
 
 type pos = { line : int; col : int }
 
-type stmt_pos = { pos : pos; sub : stmt_pos list list }
+type stmt_pos = { pos : pos; trusted : bool; sub : stmt_pos list list }
 (** Source position of one statement plus those of its nested blocks,
     in the same shape as the AST: [If] carries [[then; else]], [While]
-    carries [[body]], leaf statements carry [[]]. *)
+    carries [[body]], leaf statements carry [[]]. [trusted] is set when
+    the statement is annotated with a [//@ trusted] pragma on the
+    preceding line — the taint pass suppresses untrusted-input findings
+    inside such a statement (and counts every use). *)
 
 val parse : string -> (Zirc.program, string) result
 (** Parse a full program. Errors carry line/column. *)

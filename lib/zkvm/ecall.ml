@@ -1,0 +1,55 @@
+(* The host-call protocol in one place: numbers, argument registers,
+   and the information-flow role of each call. The machine, the static
+   analyzer, and the taint pass all read this table, so "which ecall is
+   an input source / a journal sink" cannot drift between them. *)
+
+type t =
+  | Halt        (* 0: a1 = exit code; terminates *)
+  | Read_word   (* 1: a0 := next input word (router export) *)
+  | Commit      (* 2: append a1 to the journal *)
+  | Sha         (* 3: a1 = src, a2 = word count, a3 = dst *)
+  | Debug       (* 4: host-side debug print of a1 *)
+  | Input_avail (* 5: a0 := remaining input words *)
+
+let of_number = function
+  | 0 -> Some Halt
+  | 1 -> Some Read_word
+  | 2 -> Some Commit
+  | 3 -> Some Sha
+  | 4 -> Some Debug
+  | 5 -> Some Input_avail
+  | _ -> None
+
+let number = function
+  | Halt -> 0
+  | Read_word -> 1
+  | Commit -> 2
+  | Sha -> 3
+  | Debug -> 4
+  | Input_avail -> 5
+
+let name = function
+  | Halt -> "halt"
+  | Read_word -> "read_word"
+  | Commit -> "commit"
+  | Sha -> "sha"
+  | Debug -> "debug"
+  | Input_avail -> "input_avail"
+
+(* Registers the call reads (beyond a0, the call number). *)
+let arg_regs = function
+  | Halt -> [ 11 ]
+  | Read_word | Input_avail -> []
+  | Commit | Debug -> [ 11 ]
+  | Sha -> [ 11; 12; 13 ]
+
+(* Registers the call writes. *)
+let result_regs = function
+  | Read_word | Input_avail -> [ 10 ]
+  | Halt | Commit | Sha | Debug -> []
+
+(* Taint roles: a source introduces untrusted router-export data into
+   the guest; a journal sink publishes guest data into the receipt's
+   journal, which downstream verifiers treat as authenticated. *)
+let reads_input = function Read_word | Input_avail -> true | _ -> false
+let writes_journal = function Commit -> true | _ -> false

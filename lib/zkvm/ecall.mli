@@ -1,0 +1,24 @@
+(** The ZR0 host-call protocol as data: numbers, argument/result
+    registers, and each call's information-flow role. Shared by the
+    machine, the static analyzer's protocol checks, and the taint pass
+    so source/sink classification cannot drift between them. *)
+
+type t = Halt | Read_word | Commit | Sha | Debug | Input_avail
+
+val of_number : int -> t option
+val number : t -> int
+val name : t -> string
+
+val arg_regs : t -> int list
+(** Registers the call reads, beyond a0 (the call number). *)
+
+val result_regs : t -> int list
+(** Registers the call writes. *)
+
+val reads_input : t -> bool
+(** True for calls that return untrusted router-export input
+    ([Read_word], [Input_avail]) — taint sources. *)
+
+val writes_journal : t -> bool
+(** True for calls that append to the receipt journal ([Commit]) —
+    taint sinks. *)

@@ -267,7 +267,9 @@ let step st instr =
        Continue
      | _ -> trap st (Printf.sprintf "unknown ecall %d" n))
 
-let run ?(trace = false) ?(max_cycles = 50_000_000) program ~input =
+let default_max_cycles = 50_000_000
+
+let run ?(trace = false) ?(max_cycles = default_max_cycles) program ~input =
   let st =
     {
       regs = Array.make 32 0;

@@ -32,11 +32,15 @@ type result = {
   memlog : Trace.mem_entry array;    (** empty unless [trace] *)
 }
 
+val default_max_cycles : int
+(** The default [max_cycles] of {!run} ([50_000_000]) — also the cycle
+    budget the analyzer's gate enforces against proven bounds. *)
+
 val run :
   ?trace:bool -> ?max_cycles:int -> Program.t -> input:int array -> result
 (** [run p ~input] executes to halt. [trace] (default [false]) records
-    rows and the access log; [max_cycles] (default [50_000_000]) bounds
-    execution. *)
+    rows and the access log; [max_cycles] (default
+    {!default_max_cycles}) bounds execution. *)
 
 val journal_bytes : int array -> bytes
 (** The journal as bytes: each word big-endian, in order — the form

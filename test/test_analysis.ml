@@ -78,18 +78,43 @@ let test_ecall_protocol () =
     (has ~severity:`Error uninit_arg "uninit")
 
 let test_unbounded_loop () =
+  (* a loop whose bound depends on input (the limit comes from an
+     ecall) cannot be proven and must stay Unbounded with its header *)
   let bad =
     analyze
-      (Isa.Lui (5, 10) :: Isa.Alui (ADD, 5, 5, -1) :: Isa.Branch (BNE, 5, 0, 1)
+      (Isa.Lui (10, 1) :: Isa.Ecall                     (* a0 := read_word *)
+      :: Isa.Lui (5, 0)                                 (* i := 0 *)
+      :: Isa.Alui (ADD, 5, 5, 1)                        (* 3: i += 1 *)
+      :: Isa.Branch (BNE, 5, 10, 3)                     (* while i <> a0 *)
       :: halt_seq)
   in
   (match bad.Finding.cycle_bound with
-   | Finding.Unbounded headers -> check_bool "loop header" true (List.mem 1 headers)
-   | Finding.Bounded _ -> Alcotest.fail "loop not detected");
+   | Finding.Unbounded headers -> check_bool "loop header" true (List.mem 3 headers)
+   | Finding.Bounded _ -> Alcotest.fail "data-dependent loop not detected");
   let good = analyze (Isa.Lui (5, 1) :: halt_seq) in
   match good.Finding.cycle_bound with
   | Finding.Bounded n -> check_int "straight-line bound" 4 n
   | Finding.Unbounded _ -> Alcotest.fail "acyclic program reported unbounded"
+
+let test_counted_loop_bound () =
+  (* a constant countdown loop now gets a *proven* bound: the interval
+     domain resolves init=10, step=-1, limit=0 exactly. The machine
+     takes 24 cycles; the bound must dominate it without being wild. *)
+  let prog =
+    Isa.Lui (5, 10) :: Isa.Alui (ADD, 5, 5, -1) :: Isa.Branch (BNE, 5, 0, 1)
+    :: halt_seq
+  in
+  let r = analyze prog in
+  check_bool "counted loop is clean" true (Finding.ok r);
+  match r.Finding.cycle_bound with
+  | Finding.Bounded n ->
+    let cycles =
+      (Zkflow_zkvm.Machine.run (Program.of_instrs (Array.of_list prog)) ~input:[||])
+        .Zkflow_zkvm.Machine.cycles
+    in
+    check_bool "bound dominates execution" true (n >= cycles);
+    check_bool "bound is tight-ish" true (n <= 3 * cycles + 8)
+  | Finding.Unbounded _ -> Alcotest.fail "constant loop should be bounded"
 
 let test_sha_cycle_weight () =
   let r =
@@ -247,6 +272,193 @@ let test_gate_passes_clean_guest () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail ("clean guest refused: " ^ e)
 
+(* ---- parser positions and pragmas ---- *)
+
+let parse_err src =
+  match Zkflow_lang.Zirc_parse.parse src with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e -> e
+
+let test_parse_positions () =
+  (* first column of a fresh line *)
+  check_bool "line 2 col 1" true (contains ~sub:"2:1" (parse_err "let x = 1;\n@"));
+  (* tabs advance one column each *)
+  check_bool "tab columns" true (contains ~sub:"1:3" (parse_err "\t\t@"));
+  (* CRLF endings: \r is plain whitespace, lines don't double-count *)
+  check_bool "crlf line 3" true
+    (contains ~sub:"3:1" (parse_err "let x = 1;\r\nlet y = 2;\r\n@"));
+  (* an error on the last character of a line *)
+  check_bool "end of line" true (contains ~sub:"1:9" (parse_err "let x = @\n"))
+
+let test_trusted_pragma () =
+  let src = "//@ trusted\nlet x = read_word();\ncommit(x);\nhalt(0);" in
+  (match Zkflow_lang.Zirc_parse.parse_positioned src with
+  | Error e -> Alcotest.fail e
+  | Ok (_, ps) ->
+    check_bool "first stmt trusted" true
+      (List.hd ps).Zkflow_lang.Zirc_parse.trusted;
+    check_bool "second stmt not" false
+      (List.nth ps 1).Zkflow_lang.Zirc_parse.trusted);
+  match Zkflow_lang.Zirc_parse.parse "//@ nonsense\nhalt(0);" with
+  | Ok _ -> Alcotest.fail "unknown pragma accepted"
+  | Error e -> check_bool "names the pragma" true (contains ~sub:"nonsense" e)
+
+(* ---- interval domain ---- *)
+
+let test_interval_ops () =
+  let module I = A.Interval in
+  let r = I.alu Isa.ADD (I.range 0 10) (I.const 5) in
+  check_bool "add shifts bounds" true
+    (I.contains r 5 && I.contains r 15 && not (I.contains r 16));
+  (* singleton arguments follow machine semantics exactly *)
+  check_int "divu by zero" 0xffff_ffff (I.alu_eval Isa.DIVU 7 0);
+  check_bool "divu by zero lifted" true
+    (I.is_const (I.alu Isa.DIVU (I.const 7) (I.const 0)) = Some 0xffff_ffff);
+  check_int "remu by zero" 7 (I.alu_eval Isa.REMU 7 0);
+  (* strided values keep their congruence through scaling *)
+  let idx = I.alu Isa.MUL (I.range 0 100) (I.const 8) in
+  check_bool "stride 8" true (I.contains idx 16 && not (I.contains idx 12));
+  (* widening jumps past thresholds instead of inching *)
+  let w = I.widen (I.range 0 1) (I.range 0 2) in
+  check_bool "widen is extensive" true (w.I.hi >= 2 && w.I.lo = 0);
+  (* branch refinement cuts infeasible edges *)
+  match I.refine_branch Isa.BLTU (I.const 5) (I.const 3) ~taken:true with
+  | None -> ()
+  | Some _ -> Alcotest.fail "5 <u 3 cannot be taken"
+
+(* ---- finding order, dedupe, sarif ---- *)
+
+let test_normalize_sorts_dedupes () =
+  let at line col pass =
+    Finding.error ~loc:(Finding.Src { line; col }) ~pass "m"
+  in
+  let a = at 1 5 "a" and b = at 2 1 "b" in
+  let n = Finding.normalize [ b; a; b; a ] in
+  check_int "deduped" 2 (List.length n);
+  check_bool "position-sorted" true (List.hd n = a);
+  (* pc findings sort after source findings, stably by pass *)
+  let p = Finding.error ~loc:(Finding.Pc 0) ~pass:"z" "m" in
+  check_bool "src before pc" true (List.hd (Finding.normalize [ p; a ]) = a)
+
+let test_sarif_smoke () =
+  let clean = analyze halt_seq in
+  let dirty = analyze (Isa.Alu (Isa.ADD, 5, 6, 7) :: halt_seq) in
+  let s = Finding.sarif_json [ clean; dirty ] in
+  check_bool "sarif version" true (contains ~sub:"\"2.1.0\"" s);
+  check_bool "driver name" true (contains ~sub:"zkflow-audit" s);
+  check_bool "uninit rule listed" true (contains ~sub:"uninit" s)
+
+(* ---- taint ---- *)
+
+let audit_src src =
+  match Zkflow_lang.Zirc_parse.parse_positioned src with
+  | Error e -> Alcotest.fail e
+  | Ok (prog, ps) -> A.audit_zirc ~subject:"test" ~positions:ps prog
+
+let test_taint_journal () =
+  let r = audit_src "let x = read_word();\ncommit(x);\nhalt(0);" in
+  check_bool "unvalidated commit flagged" true (has ~severity:`Error r "taint-journal")
+
+let test_taint_addr () =
+  let r = audit_src "let x = read_word();\nlet y = mem[x];\ncommit(y);\nhalt(0);" in
+  check_bool "input-derived address flagged" true
+    (has ~severity:`Error r "taint-addr")
+
+let test_taint_laundered () =
+  let r =
+    audit_src
+      "let x = read_word();\nif x < 100 { commit(x); } else { halt(1); }\nhalt(0);"
+  in
+  check_bool "comparison launders" false (has ~severity:`Error r "taint-journal")
+
+let test_trusted_suppression () =
+  (* a trusted source is demoted to Checked at the read... *)
+  let src = "//@ trusted\nlet x = read_word();\ncommit(x);\nhalt(0);" in
+  (match Zkflow_lang.Zirc_parse.parse_positioned src with
+  | Error e -> Alcotest.fail e
+  | Ok (prog, ps) ->
+    let findings, _ = A.Taint.check_zirc ~positions:ps prog in
+    check_int "trusted source commits clean" 0 (List.length findings));
+  (* ...while a trusted sink has its finding suppressed and counted *)
+  let src = "let x = read_word();\n//@ trusted\ncommit(x);\nhalt(0);" in
+  match Zkflow_lang.Zirc_parse.parse_positioned src with
+  | Error e -> Alcotest.fail e
+  | Ok (prog, ps) ->
+    let findings, suppressed = A.Taint.check_zirc ~positions:ps prog in
+    check_int "no findings" 0 (List.length findings);
+    check_bool "suppression counted" true (suppressed >= 1)
+
+let test_audit_drops_compiler_unreachable () =
+  let r = audit_src "halt(0);\ncommit(1);" in
+  check_bool "source-level dead code reported" true
+    (has ~severity:`Warning r "zirc-unreachable");
+  check_bool "lowering artifacts dropped" false
+    (List.exists (fun f -> f.Finding.pass = "unreachable") r.Finding.findings)
+
+(* ---- the example guests, verbatim and mutated ---- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* The test binary runs from _build/default/test; find the examples by
+   walking up (works both from the build tree and the source tree). *)
+let example name =
+  let rec up d fuel =
+    let cand = Filename.concat (Filename.concat d "examples") name in
+    if Sys.file_exists cand then cand
+    else if fuel = 0 then Alcotest.fail ("cannot locate examples/" ^ name)
+    else up (Filename.dirname d) (fuel - 1)
+  in
+  up (Sys.getcwd ()) 6
+
+let replace ~sub ~by s =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then Alcotest.fail ("mutation target absent: " ^ sub)
+    else if String.sub s i n = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+    else go (i + 1)
+  in
+  go 0
+
+let examples = [ "loss_audit.zirc"; "traffic_totals.zirc" ]
+
+let test_examples_audit_clean () =
+  List.iter
+    (fun path ->
+      let r = audit_src (read_file (example path)) in
+      check_int (path ^ " has no findings") 0 (List.length r.Finding.findings))
+    examples
+
+let test_example_mutants_rejected () =
+  List.iter
+    (fun path ->
+      let src = read_file (example path) in
+      (* drop the in-guest root check: the committed region is now
+         unvalidated input *)
+      let no_check =
+        replace ~sub:"if cmp8(0x200000, 0x200) { } else { halt(1); }" ~by:"" src
+      in
+      check_bool (path ^ " taint mutant flagged") true
+        (has ~severity:`Error (audit_src no_check) "taint-journal");
+      (* move the root buffer past the end of guest RAM *)
+      let oob = replace ~sub:"read_words(0x200, 8);" ~by:"read_words(0x10000000, 8);" src in
+      check_bool (path ^ " membounds mutant flagged") true
+        (has ~severity:`Error (audit_src oob) "zirc-membounds"))
+    examples
+
+(* ---- gate budget ---- *)
+
+let test_gate_budget () =
+  let prog = Program.of_instrs (Array.of_list halt_seq) in
+  (match A.gate ~subject:"tiny guest" prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match A.gate ~subject:"tiny guest" ~budget:2 prog with
+  | Ok () -> Alcotest.fail "expected a budget refusal"
+  | Error e ->
+    check_bool "names the bound" true (contains ~sub:"cycle bound" e);
+    check_bool "names the override" true (contains ~sub:"ZKFLOW_NO_ANALYZE" e)
+
 let () =
   Alcotest.run "zkflow_analysis"
     [
@@ -260,6 +472,7 @@ let () =
           Alcotest.test_case "wild jump" `Quick test_wild_jump;
           Alcotest.test_case "ecall protocol" `Quick test_ecall_protocol;
           Alcotest.test_case "unbounded loop" `Quick test_unbounded_loop;
+          Alcotest.test_case "counted loop bound" `Quick test_counted_loop_bound;
           Alcotest.test_case "sha cycle weight" `Quick test_sha_cycle_weight;
           Alcotest.test_case "call/return precision" `Quick test_call_return_precision;
           Alcotest.test_case "malformed register" `Quick test_malformed_register;
@@ -277,9 +490,37 @@ let () =
           Alcotest.test_case "built-ins are clean" `Quick test_builtin_guests_clean;
           Alcotest.test_case "report json" `Quick test_report_json;
         ] );
+      ( "parser",
+        [
+          Alcotest.test_case "error positions" `Quick test_parse_positions;
+          Alcotest.test_case "trusted pragma" `Quick test_trusted_pragma;
+        ] );
+      ( "interval",
+        [ Alcotest.test_case "domain operations" `Quick test_interval_ops ] );
+      ( "findings",
+        [
+          Alcotest.test_case "normalize sorts and dedupes" `Quick
+            test_normalize_sorts_dedupes;
+          Alcotest.test_case "sarif smoke" `Quick test_sarif_smoke;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "journal sink" `Quick test_taint_journal;
+          Alcotest.test_case "address sink" `Quick test_taint_addr;
+          Alcotest.test_case "comparison launders" `Quick test_taint_laundered;
+          Alcotest.test_case "trusted suppression" `Quick test_trusted_suppression;
+          Alcotest.test_case "compiler dead code dropped" `Quick
+            test_audit_drops_compiler_unreachable;
+        ] );
+      ( "examples",
+        [
+          Alcotest.test_case "audit clean" `Quick test_examples_audit_clean;
+          Alcotest.test_case "mutants rejected" `Quick test_example_mutants_rejected;
+        ] );
       ( "gate",
         [
           Alcotest.test_case "refuses defective" `Quick test_gate_refuses;
+          Alcotest.test_case "budget refusal" `Quick test_gate_budget;
           Alcotest.test_case "env override" `Slow test_gate_override;
           Alcotest.test_case "passes clean" `Slow test_gate_passes_clean_guest;
         ] );
