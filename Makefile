@@ -2,7 +2,8 @@
 # bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
 # exercised even where the default would be sequential, plus the
 # static analyzer over the built-in guests and every example query.
-.PHONY: all build test check lint audit audit-sarif bench bench-smoke chaos
+.PHONY: all build test check lint audit audit-sarif bench bench-smoke chaos \
+        matrix report
 
 all: build
 
@@ -67,6 +68,22 @@ bench-smoke: build
 	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --strict
 	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --json \
 	  > health-smoke.json
+	$(MAKE) report
+
+# The proof-backend benchmark matrix (DESIGN.md §14): one aggregation
+# round per cell across backend × queries × scale, written to
+# BENCH_matrix.json. Quick mode is the CI grid; `make matrix
+# QUICK=` runs the full one.
+QUICK ?= 1
+matrix: build
+	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=$(QUICK) dune exec bench/main.exe -- matrix
+
+# Regenerate the matrix and render REPORT.md (+ a machine-readable
+# twin) from it — the cost/soundness frontier report CI uploads.
+report: matrix
+	dune exec bin/zkflow.exe -- report BENCH_matrix.json > REPORT.md
+	dune exec bin/zkflow.exe -- report BENCH_matrix.json --json > report.json
+	@echo "report: wrote REPORT.md and report.json"
 
 # Deterministic fault-injection matrix: 8 seeded random plans plus the
 # curated ones under chaos/plans/. Every run must end verified — either

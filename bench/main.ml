@@ -5,13 +5,18 @@
                  vs. number of NetFlow records, plus the constant-time
                  verification the text reports.
      table1    — Table 1: proof / journal / receipt sizes vs. records.
+     matrix    — proof-backend benchmark matrix: one aggregation round
+                 across backend (receipt vs 256-B wrap) × spot-check
+                 queries × scale; writes BENCH_matrix.json + REPORT.md
+                 with the cost/soundness Pareto frontier.
      tamper    — §5/§6 tampering experiment: modified data ⇒ no proof.
      ablations — §7 discussions: proof parallelization, specialized
                  proof systems (STARK vs zkVM hashing), the TEE
                  baseline, and sketch-based logging.
      micro     — substrate microbenchmarks (bechamel).
 
-   Usage: dune exec bench/main.exe [-- fig4|table1|tamper|ablations|incr|micro|all]
+   Usage: dune exec bench/main.exe
+            [-- fig4|table1|matrix|tamper|ablations|incr|micro|all]
    Set ZKFLOW_BENCH_QUICK=1 to cap the sweep at 500 records. *)
 
 module D = Zkflow_hash.Digest32
@@ -40,43 +45,22 @@ let write_json path body =
   close_out oc;
   Printf.printf "   wrote %s\n%!" path
 
-(* Every BENCH_*.json records the machine shape it was produced on, so
-   perf numbers are never compared across incomparable environments. *)
+(* Every BENCH_*.json records the machine shape it was produced on
+   plus provenance (git commit, dirty flag, hostname), so perf numbers
+   are never compared across incomparable environments — bench-diff
+   cross-checks these blocks and flags cross-commit or cross-machine
+   comparisons. *)
 let env_json () =
   Jsonx.Obj
-    [
-      ("zkflow_jobs", Jsonx.Num (float_of_int (Pool.jobs ())));
-      ("ncores", Jsonx.Num (float_of_int (Domain.recommended_domain_count ())));
-      ("quick", Jsonx.Bool (quick ()));
-    ]
+    ([
+       ("zkflow_jobs", Jsonx.Num (float_of_int (Pool.jobs ())));
+       ("ncores", Jsonx.Num (float_of_int (Domain.recommended_domain_count ())));
+       ("quick", Jsonx.Bool (quick ()));
+     ]
+    @ Matrix.env_provenance ())
 
-let phases_json phases =
-  Jsonx.Obj
-    (List.map
-       (fun (name, (count, total_s)) ->
-         ( name,
-           Jsonx.Obj
-             [
-               ("count", Jsonx.Num (float_of_int count));
-               ("total_s", Jsonx.Num total_s);
-             ] ))
-       phases)
-
-let pool_json (s : Pool.stats) =
-  let num v = Jsonx.Num (float_of_int v) in
-  Jsonx.Obj
-    [
-      ("jobs", num s.Pool.jobs);
-      ("regions", num s.Pool.regions);
-      ("tasks", num s.Pool.tasks);
-      ("busy_ns", num s.Pool.busy_ns);
-      ("region_wall_ns", num s.Pool.region_wall_ns);
-      ("submit_wait_ns", num s.Pool.submit_wait_ns);
-      ("seq_regions", num s.Pool.seq_regions);
-      ("nested_seq", num s.Pool.nested_seq);
-      ("spawned_domains", num s.Pool.spawned_domains);
-      ("utilization", Jsonx.Num (Pool.utilization s));
-    ]
+let phases_json = Matrix.phases_json
+let pool_json = Matrix.pool_json
 
 let sizes () =
   if quick () then [ 50; 100; 500 ] else [ 50; 100; 500; 1000; 2000; 3000 ]
@@ -101,6 +85,7 @@ type sweep_row = {
   proof_bytes : int;       (* wrapped seal: constant *)
   journal_bytes : int;
   receipt_bytes : int;
+  soundness_bits : float;  (* of the round's spot-check parameters *)
   clog_rebuild_s : float;  (* second batch, tree rebuilt from scratch *)
   clog_incr_s : float;     (* second batch, dirty-subtree update *)
   agg_analyze_s : float;   (* full static audit of the guest, uncached *)
@@ -237,6 +222,9 @@ let run_size n =
         proof_bytes = Bytes.length wrapped.Zkflow_zkproof.Wrap.seal256;
         journal_bytes = Receipt.journal_size round.Aggregate.receipt;
         receipt_bytes = Receipt.size round.Aggregate.receipt;
+        soundness_bits =
+          Zkflow_zkproof.Params.soundness_bits
+            round.Aggregate.receipt.Receipt.seal.Receipt.params;
         clog_rebuild_s;
         clog_incr_s;
         agg_analyze_s;
@@ -299,14 +287,15 @@ let fig4 () =
 
 let table1 () =
   print_endline "== Table 1: proof size of aggregation ==";
-  Printf.printf "%12s %14s %13s %13s\n" "# of records" "Proof (bytes)" "Journal (KB)"
-    "Receipt (KB)";
+  Printf.printf "%12s %14s %13s %13s %17s\n" "# of records" "Proof (bytes)"
+    "Journal (KB)" "Receipt (KB)" "Soundness (bits)";
   List.iter
     (fun n ->
       let r = run_size n in
-      Printf.printf "%12d %14d %13.1f %13.1f\n%!" r.n r.proof_bytes
+      Printf.printf "%12d %14d %13.1f %13.1f %17.2f\n%!" r.n r.proof_bytes
         (float_of_int r.journal_bytes /. 1024.)
-        (float_of_int r.receipt_bytes /. 1024.))
+        (float_of_int r.receipt_bytes /. 1024.)
+        r.soundness_bits)
     (sizes ());
   write_json "BENCH_table1.json"
     (Jsonx.to_string
@@ -324,6 +313,7 @@ let table1 () =
                          ("proof_bytes", Jsonx.Num (float_of_int r.proof_bytes));
                          ("journal_bytes", Jsonx.Num (float_of_int r.journal_bytes));
                          ("receipt_bytes", Jsonx.Num (float_of_int r.receipt_bytes));
+                         ("soundness_bits", Jsonx.Num r.soundness_bits);
                          ("phases", phases_json r.phases);
                          ("pool", pool_json r.pool);
                        ])
@@ -859,7 +849,7 @@ let ablation_queries () =
       (* detection power against a trace where 5 % of positions are
          inconsistent (DESIGN.md §5: single-position forgeries are the
          documented statistical gap of the simulation) *)
-      let bits = -.Float.log2 (Float.pow 0.95 (float_of_int q)) in
+      let bits = Zkflow_zkproof.Params.soundness_bits params in
       Printf.printf "%8d %12.1f %12.2f %14.1f %24.1f\n%!" q
         (float_of_int (Receipt.seal_size receipt) /. 1024.)
         prove_s (1000. *. verify_s) bits)
@@ -870,6 +860,32 @@ let ablation_queries () =
     "   the production analogue is FRI query count vs. soundness bits.";
   print_endline
     "   (a real STARK gets full soundness; see DESIGN.md §5 for the gap)"
+
+(* ------------------------------------------------------------------ *)
+(* Proof-backend benchmark matrix (DESIGN.md §14)                      *)
+(* ------------------------------------------------------------------ *)
+
+let matrix () =
+  print_endline
+    "== Proof-backend benchmark matrix (backend × queries × scale) ==";
+  let grid = Matrix.default_grid ~quick:(quick ()) in
+  (match Matrix.run ~log:(fun s -> Printf.printf "   %s\n%!" s) grid with
+  | Error e -> failwith e
+  | Ok cells ->
+    let doc = Matrix.to_json ~env:(env_json ()) cells in
+    write_json "BENCH_matrix.json" (Jsonx.to_string doc);
+    (match Matrix.report_markdown doc with
+    | Error e -> failwith ("matrix report: " ^ e)
+    | Ok md ->
+      let oc = open_out "REPORT.md" in
+      output_string oc md;
+      close_out oc;
+      Printf.printf "   wrote REPORT.md\n%!"));
+  print_endline
+    "   shape checks: wrap cells cost one extra re-verify but ship 256-byte";
+  print_endline
+    "   proofs; more queries buys soundness bits linearly in seal bytes;";
+  print_endline "   prove time grows with records, verification stays flat."
 
 let ablations () =
   ablation_par ();
@@ -951,6 +967,8 @@ let () =
     print_newline ();
     table1 ();
     print_newline ();
+    matrix ();
+    print_newline ();
     tamper ();
     print_newline ();
     ablations ();
@@ -965,6 +983,7 @@ let () =
     fig4 ();
     print_newline ();
     table1 ()
+  | "matrix" -> matrix ()
   | "tamper" -> tamper ()
   | "ablations" -> ablations ()
   | "par" -> ablation_par ()

@@ -347,6 +347,12 @@ let stats dir json =
     let summaries = Prover_service.summaries service in
     Printf.printf "%d aggregation round(s); CLog root %s (%d entries)\n"
       (List.length summaries) (D.short (Clog.root clog)) (Clog.length clog);
+    let p = Prover_service.proof_params service in
+    Printf.printf
+      "proof params: %d spot checks/category ≈ %.2f soundness bits (5%% \
+       corruption convention, DESIGN.md §5)\n"
+      p.Zkflow_zkproof.Params.queries
+      (Zkflow_zkproof.Params.soundness_bits p);
     List.iter
       (fun (s : Prover_service.round_summary) ->
         Printf.printf "  round %d: %7d entries, %9d cycles, root %s%s\n" s.index
@@ -755,6 +761,32 @@ let bench_diff old_path new_path threshold min_s json =
          (List.length report.Bench_diff.regressions)
          (threshold *. 100.))
 
+(* ---- report ---- *)
+
+(* Render a BENCH_matrix.json artifact (bench/main.exe -- matrix) into
+   the comparative report: the full cost/soundness matrix with Pareto
+   frontier marks. Same hardening contract as stats: missing or
+   corrupt input is a one-line error and a nonzero exit, never a
+   backtrace. *)
+let report path json =
+  let* bytes = read_file path in
+  let* doc =
+    match Jsonx.parse (Bytes.to_string bytes) with
+    | Ok v -> Ok v
+    | Error e -> Error (Printf.sprintf "%s: corrupt artifact: %s" path e)
+  in
+  let tag r = Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) r in
+  if json then begin
+    let* v = tag (Matrix.report_json doc) in
+    print_endline (Jsonx.to_string v);
+    Ok ()
+  end
+  else begin
+    let* md = tag (Matrix.report_markdown doc) in
+    print_string md;
+    Ok ()
+  end
+
 (* ---- cmdliner wiring ---- *)
 
 open Cmdliner
@@ -1050,6 +1082,36 @@ let bench_diff_cmd =
              threshold.")
     Term.(const run $ old_file $ new_file $ threshold $ min_s $ json)
 
+let report_cmd =
+  let file =
+    (* a plain string, not Arg.file: a missing path must take our
+       one-line read_file error path, not cmdliner's usage dump *)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_matrix.json"
+           ~doc:"Matrix artifact written by `bench/main.exe -- matrix`.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Machine-readable report (rows with frontier flags).")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ]
+           ~doc:"Markdown report (the default; what REPORT.md is built from).")
+  in
+  let run file json markdown =
+    handle
+      (if json && markdown then
+         Error "report: --json and --markdown are mutually exclusive"
+       else report file json)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a proof-backend benchmark matrix artifact into a \
+             comparative cost/soundness report: per-cell prove/verify time, \
+             proof bytes and soundness bits across backend × queries × \
+             scale, with the Pareto frontier (cells not dominated on time × \
+             bytes × soundness).")
+    Term.(const run $ file $ json $ markdown)
+
 let () =
   let info =
     Cmd.info "zkflow" ~version:"1.0.0"
@@ -1061,5 +1123,5 @@ let () =
           [
             simulate_cmd; prove_cmd; lint_cmd; audit_cmd; verify_cmd;
             stats_cmd; trace_check_cmd; monitor_cmd; chaos_cmd;
-            bench_diff_cmd;
+            bench_diff_cmd; report_cmd;
           ]))

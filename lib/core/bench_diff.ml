@@ -23,15 +23,27 @@ let rows_of json =
     | Some (Jsonx.Arr rows) -> Ok rows
     | _ -> Error "bench-diff: no \"rows\" or \"sweep\" array in artifact")
 
-(* Row identity: the sweep axes the bench binary writes. A fig4 row is
-   keyed by record count, a parallel-sweep row by job count. *)
+(* Row identity: the full configuration key — every sweep axis the
+   bench binary writes. A fig4 row is keyed by record count alone, a
+   parallel-sweep row by job count, a matrix row by backend + proof
+   parameters + scale. Matching on the whole configuration means a
+   grid change (say, a new queries setting) produces one-side notes,
+   never a false regression from comparing unlike cells. *)
 let row_key row =
-  let part name =
+  let num name =
     match Jsonx.member name row with
     | Some (Jsonx.Num f) -> Some (Printf.sprintf "%s=%d" name (int_of_float f))
     | _ -> None
   in
-  match List.filter_map Fun.id [ part "records"; part "jobs" ] with
+  let str name =
+    match Jsonx.member name row with
+    | Some (Jsonx.Str s) -> Some (Printf.sprintf "%s=%s" name s)
+    | _ -> None
+  in
+  match
+    List.filter_map Fun.id
+      [ str "backend"; num "queries"; num "records"; num "routers"; num "jobs" ]
+  with
   | [] -> None
   | parts -> Some (String.concat " " parts)
 
@@ -46,7 +58,8 @@ let numeric_fields row =
     List.concat_map
       (fun (name, v) ->
         match (name, v) with
-        | ("records" | "jobs" | "pool"), _ -> []
+        | ("records" | "jobs" | "backend" | "queries" | "routers" | "pool"), _ ->
+          []
         | "phases", Jsonx.Obj phases ->
           let fields =
             List.filter_map
@@ -87,6 +100,42 @@ let numeric_fields row =
       members
   | _ -> []
 
+(* Provenance sanity of the comparison itself: the env blocks record
+   where each artifact came from (EXPERIMENTS.md's provenance note).
+   Comparing across commits, machines or quick/full modes is often
+   intentional — baseline vs candidate is by construction
+   cross-commit — so mismatches are surfaced as notes for the reader,
+   never synthesized into regressions. *)
+let env_notes ~old_json ~new_json =
+  match (Jsonx.member "env" old_json, Jsonx.member "env" new_json) with
+  | Some o, Some n ->
+    let str k j =
+      match Jsonx.member k j with Some (Jsonx.Str s) -> Some s | _ -> None
+    in
+    let mismatch k label acc =
+      match (str k o, str k n) with
+      | Some a, Some b when a <> b ->
+        Printf.sprintf "env: %s differs (%s vs %s) — %s comparison" k a b label
+        :: acc
+      | _ -> acc
+    in
+    let dirty j side acc =
+      if Jsonx.member "git_dirty" j = Some (Jsonx.Bool true) then
+        Printf.sprintf "env: %s artifact was produced from a dirty tree" side
+        :: acc
+      else acc
+    in
+    let quick acc =
+      match (Jsonx.member "quick" o, Jsonx.member "quick" n) with
+      | Some (Jsonx.Bool a), Some (Jsonx.Bool b) when a <> b ->
+        "env: quick-mode flag differs — sweeps cover different grids" :: acc
+      | _ -> acc
+    in
+    [] |> mismatch "git_commit" "cross-commit"
+    |> mismatch "hostname" "cross-machine"
+    |> dirty o "OLD" |> dirty n "NEW" |> quick |> List.rev
+  | _ -> []
+
 let diff ?(threshold = 0.25) ?(min_s = 0.05) ~old_json ~new_json () =
   match (rows_of old_json, rows_of new_json) with
   | Error e, _ | _, Error e -> Error e
@@ -96,7 +145,8 @@ let diff ?(threshold = 0.25) ?(min_s = 0.05) ~old_json ~new_json () =
     in
     let old_k = keyed old_rows and new_k = keyed new_rows in
     let compared = ref 0 in
-    let regressions = ref [] and improvements = ref [] and notes = ref [] in
+    let regressions = ref [] and improvements = ref [] in
+    let notes = ref (List.rev (env_notes ~old_json ~new_json)) in
     List.iter
       (fun (key, old_row) ->
         match List.assoc_opt key new_k with
@@ -112,15 +162,31 @@ let diff ?(threshold = 0.25) ?(min_s = 0.05) ~old_json ~new_json () =
                   :: !notes
               | Some new_v ->
                 let timing = has_suffix field "_s" in
-                let counted = timing || has_suffix field "_cycles" || has_suffix field "_bytes" in
+                (* [_bits] fields (soundness) are better when larger, so
+                   the regression direction flips: losing bits regresses,
+                   gaining them improves. Deterministic like cycle and
+                   byte counts — no noise floor. *)
+                let inverted = has_suffix field "_bits" in
+                let counted =
+                  timing || inverted || has_suffix field "_cycles"
+                  || has_suffix field "_bytes"
+                in
                 if counted then begin
                   incr compared;
                   let ratio = if old_v = 0. then (if new_v = 0. then 1. else infinity) else new_v /. old_v in
                   let above_floor = (not timing) || old_v >= min_s || new_v >= min_s in
                   let change = { key; field; old_v; new_v; ratio } in
-                  if above_floor && ratio > 1. +. threshold then
+                  let worse =
+                    if inverted then ratio < 1. /. (1. +. threshold)
+                    else ratio > 1. +. threshold
+                  in
+                  let better =
+                    if inverted then ratio > 1. +. threshold
+                    else ratio < 1. /. (1. +. threshold)
+                  in
+                  if above_floor && worse then
                     regressions := change :: !regressions
-                  else if above_floor && ratio < 1. /. (1. +. threshold) then
+                  else if above_floor && better then
                     improvements := change :: !improvements
                 end)
             (numeric_fields old_row))

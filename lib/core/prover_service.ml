@@ -50,6 +50,7 @@ let create ?(proof_params = Zkflow_zkproof.Params.default) ~db ~board () =
   }
 
 let clog t = t.clog
+let proof_params t = t.proof_params
 let rounds t = List.rev t.rounds_rev
 let coverage t = List.rev t.coverage_rev
 let latest_root t = Clog.root t.clog
@@ -734,6 +735,16 @@ let summary_json t =
        [
          ("entries", Jsonx.Num (float_of_int (Clog.length t.clog)));
          ("root", Jsonx.Str (Zkflow_hash.Digest32.to_hex (Clog.root t.clog)));
+         ( "proof_params",
+           Jsonx.Obj
+             [
+               ( "queries",
+                 Jsonx.Num
+                   (float_of_int t.proof_params.Zkflow_zkproof.Params.queries) );
+               ( "soundness_bits",
+                 Jsonx.Num (Zkflow_zkproof.Params.soundness_bits t.proof_params)
+               );
+             ] );
          ("rounds", Jsonx.Arr (List.mapi round_obj (summaries t)));
          ("round_cycles", cycle_percentiles);
          ("gaps", Jsonx.Arr (List.map gap_json t.gaps));

@@ -29,6 +29,11 @@ val create :
 val clog : t -> Clog.t
 (** Current aggregated state (starts empty). *)
 
+val proof_params : t -> Zkflow_zkproof.Params.t
+(** The spot-check parameters every round of this service proves
+    under — [zkflow stats] derives its soundness-bits line from
+    this. *)
+
 val rounds : t -> Aggregate.round list
 (** Completed rounds, oldest first. *)
 

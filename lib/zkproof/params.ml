@@ -6,3 +6,8 @@ let make ~queries =
   if queries < 1 || queries > 4096 then
     invalid_arg "Params.make: queries out of range";
   { queries }
+
+let soundness_bits ?(bad_fraction = 0.05) t =
+  if bad_fraction <= 0. || bad_fraction >= 1. then
+    invalid_arg "Params.soundness_bits: bad_fraction out of (0, 1)";
+  -.float_of_int t.queries *. Float.log2 (1. -. bad_fraction)

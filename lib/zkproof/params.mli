@@ -12,3 +12,16 @@ val default : t
 
 val make : queries:int -> t
 (** Raises [Invalid_argument] unless [1 <= queries <= 4096]. *)
+
+val soundness_bits : ?bad_fraction:float -> t -> float
+(** Detection power of the spot checks against a trace where a
+    fraction [bad_fraction] of positions is inconsistent: all
+    [queries] checks of one category miss with probability
+    [(1 - bad_fraction)^queries], so the attacker's escape chance is
+    worth [-queries * log2 (1 - bad_fraction)] bits. The single
+    bad-position bound documented above is the [bad_fraction = 1/n]
+    instance; the default [bad_fraction = 0.05] is the 5%-corruption
+    reporting convention the benchmarks use (DESIGN.md §5 — a real
+    STARK gets full cryptographic soundness, this quantifies the
+    simulation's statistical argument). Raises [Invalid_argument]
+    unless [0 < bad_fraction < 1]. *)

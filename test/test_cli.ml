@@ -112,7 +112,8 @@ let test_events_workflow () =
   (* stats works and surfaces percentiles *)
   let code, out = run [ "stats"; "--dir"; dir ] in
   check_int ("stats: " ^ out) 0 code;
-  check_bool "round cycle percentiles" true (contains ~needle:"round cycles: p50" out)
+  check_bool "round cycle percentiles" true (contains ~needle:"round cycles: p50" out);
+  check_bool "soundness bits surfaced" true (contains ~needle:"soundness bits" out)
 
 let test_monitor_missing_log () =
   let dir = fresh_dir () in
@@ -214,6 +215,92 @@ let test_bench_diff_json () =
     check_bool "ok flag" true
       (Zkflow_util.Jsonx.member "ok" v = Some (Zkflow_util.Jsonx.Bool true))
 
+(* ---- report ---- *)
+
+(* Two matrix cells; the 256-byte wrap cell trades verify-anywhere for
+   size, so both sit on the frontier. *)
+let matrix_fixture =
+  {|{"schema":"zkflow-bench-matrix/v1",
+     "env":{"git_commit":"abc1234","git_dirty":false,"hostname":"fixture"},
+     "rows":[
+       {"backend":"receipt","queries":16,"records":48,"routers":2,"jobs":1,
+        "agg_cycles":12000,"exec_s":0.01,"prove_s":1.0,"verify_s":0.014,
+        "proof_bytes":110000,"journal_bytes":904,"receipt_bytes":110904,
+        "soundness_bits":1.18,
+        "phases":{"stark.prove":{"count":2,"total_s":0.7}}},
+       {"backend":"wrap","queries":16,"records":48,"routers":2,"jobs":1,
+        "agg_cycles":12000,"exec_s":0.01,"prove_s":1.1,"verify_s":0.001,
+        "proof_bytes":256,"journal_bytes":904,"receipt_bytes":1410,
+        "soundness_bits":1.18,
+        "phases":{"stark.prove":{"count":2,"total_s":0.7}}}]}|}
+
+let test_report_markdown () =
+  let dir = fresh_dir () in
+  let f = Filename.concat dir "BENCH_matrix.json" in
+  write_text f matrix_fixture;
+  let code, out = run [ "report"; f ] in
+  check_int ("report: " ^ out) 0 code;
+  check_bool "matrix table" true (contains ~needle:"## Matrix" out);
+  check_bool "frontier table" true (contains ~needle:"## Pareto frontier" out);
+  check_bool "provenance line" true (contains ~needle:"git_commit=abc1234" out);
+  check_bool "soundness column" true (contains ~needle:"soundness (bits)" out);
+  (* --markdown is the default spelled out *)
+  let code, out2 = run [ "report"; f; "--markdown" ] in
+  check_int "explicit --markdown" 0 code;
+  check_bool "same rendering" true (out = out2)
+
+let test_report_json () =
+  let dir = fresh_dir () in
+  let f = Filename.concat dir "BENCH_matrix.json" in
+  write_text f matrix_fixture;
+  let code, out = run [ "report"; f; "--json" ] in
+  check_int ("report --json: " ^ out) 0 code;
+  match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("report json does not parse: " ^ e)
+  | Ok v ->
+    (match Zkflow_util.Jsonx.member "cells" v with
+    | Some (Zkflow_util.Jsonx.Num n) -> check_int "cells" 2 (int_of_float n)
+    | _ -> Alcotest.fail "no cells count");
+    (match Zkflow_util.Jsonx.member "frontier" v with
+    | Some (Zkflow_util.Jsonx.Arr keys) ->
+      (* both fixture cells trade off prove time vs proof bytes *)
+      check_int "both cells on frontier" 2 (List.length keys)
+    | _ -> Alcotest.fail "no frontier list")
+
+let test_report_missing_input () =
+  let dir = fresh_dir () in
+  let f = Filename.concat dir "nope.json" in
+  let code, out = run [ "report"; f ] in
+  check_int "nonzero exit" 1 code;
+  check_bool "one-line error" true
+    (List.length (String.split_on_char '\n' (String.trim out)) = 1);
+  check_bool "names the file" true (contains ~needle:"nope.json" out);
+  check_bool "no backtrace" false (contains ~needle:"Raised" out)
+
+let test_report_corrupt_input () =
+  let dir = fresh_dir () in
+  let f = Filename.concat dir "broken.json" in
+  write_text f "{\"rows\": [truncated";
+  let code, out = run [ "report"; f ] in
+  check_int "nonzero exit" 1 code;
+  check_bool "one-line error" true
+    (List.length (String.split_on_char '\n' (String.trim out)) = 1);
+  check_bool "says corrupt" true (contains ~needle:"corrupt artifact" out);
+  (* valid JSON that is not a matrix artifact is diagnosed, not rendered *)
+  let g = Filename.concat dir "other.json" in
+  write_text g {|{"env":{},"sweep":[{"records":10,"agg_prove_s":1.0}]}|};
+  let code, out = run [ "report"; g ] in
+  check_int "wrong-schema exit" 1 code;
+  check_bool "points at the schema" true (contains ~needle:"rows" out)
+
+let test_report_flag_conflict () =
+  let dir = fresh_dir () in
+  let f = Filename.concat dir "BENCH_matrix.json" in
+  write_text f matrix_fixture;
+  let code, out = run [ "report"; f; "--json"; "--markdown" ] in
+  check_int "nonzero exit" 1 code;
+  check_bool "says mutually exclusive" true (contains ~needle:"mutually exclusive" out)
+
 let () =
   Alcotest.run "zkflow_cli"
     [
@@ -242,5 +329,17 @@ let () =
           Alcotest.test_case "regression detection and thresholds" `Quick
             test_bench_diff_regression;
           Alcotest.test_case "json output" `Quick test_bench_diff_json;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "renders markdown with frontier" `Quick
+            test_report_markdown;
+          Alcotest.test_case "json output" `Quick test_report_json;
+          Alcotest.test_case "missing input is a one-line error" `Quick
+            test_report_missing_input;
+          Alcotest.test_case "corrupt input is a one-line error" `Quick
+            test_report_corrupt_input;
+          Alcotest.test_case "--json/--markdown conflict" `Quick
+            test_report_flag_conflict;
         ] );
     ]

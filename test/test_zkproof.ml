@@ -422,6 +422,41 @@ let test_receipt_mutation_fuzz () =
   check_int "decoder never crashes" 0 !crashes;
   check_int "no mutated receipt verifies" 0 !accepted
 
+(* ---- Params.soundness_bits ---- *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_soundness_bits_formula () =
+  (* -queries · log2(1 - bad_fraction): the escape probability of a
+     prover who corrupted a [bad_fraction] of positions, in bits. With
+     bad_fraction = 1/n this is exactly the (1 - 1/n)^queries bound. *)
+  let bits q f = Params.soundness_bits ~bad_fraction:f (Params.make ~queries:q) in
+  check_float "48 queries @ 5%" (-48. *. Float.log2 0.95) (bits 48 0.05);
+  check_float "default convention is 5%"
+    (bits Params.(default.queries) 0.05)
+    (Params.soundness_bits Params.default);
+  (* at 50% corruption each query halves the escape probability:
+     exactly one bit per query *)
+  check_float "one bit per query at 50%" 10. (bits 10 0.5);
+  check_float "linear in queries" (2. *. bits 16 0.05) (bits 32 0.05)
+
+let test_soundness_bits_monotone () =
+  check_bool "more queries, more bits" true
+    (Params.soundness_bits (Params.make ~queries:96)
+    > Params.soundness_bits (Params.make ~queries:48));
+  check_bool "positive" true (Params.soundness_bits (Params.make ~queries:1) > 0.)
+
+let test_soundness_bits_rejects_bad_fraction () =
+  let rejects f =
+    match Params.soundness_bits ~bad_fraction:f Params.default with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "0 rejected" true (rejects 0.);
+  check_bool "1 rejected" true (rejects 1.);
+  check_bool "negative rejected" true (rejects (-0.1));
+  check_bool "interior accepted" false (rejects 0.5)
+
 let () =
   Alcotest.run "zkflow_zkproof"
     [
@@ -461,6 +496,15 @@ let () =
           Alcotest.test_case "bad inner refused" `Quick test_wrap_rejects_bad_inner;
           Alcotest.test_case "tampering rejected" `Quick test_wrap_rejects_tampering;
           Alcotest.test_case "encode/decode" `Quick test_wrap_encode_decode;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "soundness_bits formula" `Quick
+            test_soundness_bits_formula;
+          Alcotest.test_case "soundness_bits monotone" `Quick
+            test_soundness_bits_monotone;
+          Alcotest.test_case "bad_fraction domain" `Quick
+            test_soundness_bits_rejects_bad_fraction;
         ] );
       ( "scaling",
         [
