@@ -2,8 +2,8 @@
 # bench, both under ZKFLOW_JOBS=2 so the Domain-pool code paths are
 # exercised even where the default would be sequential, plus the
 # static analyzer over the built-in guests and every example query.
-.PHONY: all build test check lint audit audit-sarif bench bench-smoke chaos \
-        matrix report
+.PHONY: all build test check lint audit audit-sarif bench bench-smoke \
+        watch-smoke chaos matrix report
 
 all: build
 
@@ -41,34 +41,74 @@ check: build lint audit
 	ZKFLOW_JOBS=2 ZKFLOW_BENCH_QUICK=1 dune exec bench/main.exe -- par
 
 # Tiny end-to-end pipeline under telemetry: simulate, prove with a
-# Chrome trace, the flight-recorder event log and the counter
-# snapshot, verify, then validate all three artifacts (trace_event
-# schema; event-log JSONL with monotone per-track timestamps and
-# router-before-verifier causality; counters) and replay the log into
-# a strict health report. CI uploads the trace and the health report
-# as artifacts. The simulation spans 3 epochs over 200 flows so the
-# prover chains multiple rounds — the --require assertion then proves
-# the incremental Merkle path actually reused subtrees on the warm
-# rounds rather than silently falling back to full rebuilds.
+# Chrome trace, the flight-recorder event log, the counter snapshot
+# and the metric time-series, verify, then validate the artifacts
+# (trace_event schema; event-log JSONL with monotone per-track
+# timestamps and router-before-verifier causality; counters) and
+# replay the log into a strict health report and a strict SLO
+# verdict. Every scratch artifact lands in the gitignored smoke-out/
+# so a local run never dirties the working tree. CI uploads the trace
+# and the health report as artifacts. The simulation spans 3 epochs
+# over 200 flows so the prover chains multiple rounds — the --require
+# assertion then proves the incremental Merkle path actually reused
+# subtrees on the warm rounds rather than silently falling back to
+# full rebuilds.
+SMOKE := smoke-out
 bench-smoke: build
-	rm -rf bench-smoke-state
-	dune exec bin/zkflow.exe -- simulate --dir bench-smoke-state \
+	rm -rf $(SMOKE)/state $(SMOKE)/trace-smoke.json $(SMOKE)/stats-smoke.json \
+	  $(SMOKE)/health-smoke.json
+	mkdir -p $(SMOKE)
+	dune exec bin/zkflow.exe -- simulate --dir $(SMOKE)/state \
 	  --routers 2 --flows 200 --rate 20 --duration 12000 \
-	  --events bench-smoke-state/events.jsonl
-	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- prove --dir bench-smoke-state \
-	  --queries 8 --trace trace-smoke.json \
-	  --events bench-smoke-state/events.jsonl \
-	  --stats stats-smoke.json
-	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- verify --dir bench-smoke-state \
-	  --events bench-smoke-state/events.jsonl
-	dune exec bin/zkflow.exe -- trace-check trace-smoke.json --min-names 5 \
-	  --events bench-smoke-state/events.jsonl \
-	  --counters stats-smoke.json --require merkle.nodes_reused=1
-	dune exec bin/zkflow.exe -- stats --dir bench-smoke-state --json
-	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --strict
-	dune exec bin/zkflow.exe -- monitor --dir bench-smoke-state --json \
-	  > health-smoke.json
+	  --events $(SMOKE)/state/events.jsonl
+	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- prove --dir $(SMOKE)/state \
+	  --queries 8 --trace $(SMOKE)/trace-smoke.json \
+	  --events $(SMOKE)/state/events.jsonl \
+	  --stats $(SMOKE)/stats-smoke.json \
+	  --timeseries $(SMOKE)/state/timeseries.jsonl
+	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- verify --dir $(SMOKE)/state \
+	  --events $(SMOKE)/state/events.jsonl
+	dune exec bin/zkflow.exe -- trace-check $(SMOKE)/trace-smoke.json \
+	  --min-names 5 --events $(SMOKE)/state/events.jsonl \
+	  --counters $(SMOKE)/stats-smoke.json --require merkle.nodes_reused=1
+	dune exec bin/zkflow.exe -- stats --dir $(SMOKE)/state --json
+	dune exec bin/zkflow.exe -- monitor --dir $(SMOKE)/state --strict
+	dune exec bin/zkflow.exe -- slo --dir $(SMOKE)/state --strict
+	dune exec bin/zkflow.exe -- monitor --dir $(SMOKE)/state --json \
+	  > $(SMOKE)/health-smoke.json
 	$(MAKE) report
+
+# The live telemetry plane end to end: record a small proved run
+# (events + time-series), validate every endpoint schema offline via
+# --probe, then serve the artifacts over the embedded HTTP server and
+# curl all three endpoints. CI uploads the time-series JSONL.
+watch-smoke: build
+	rm -rf $(SMOKE)/watch
+	mkdir -p $(SMOKE)/watch
+	dune exec bin/zkflow.exe -- simulate --dir $(SMOKE)/watch/state \
+	  --routers 2 --flows 60 --rate 20 --duration 6000 \
+	  --events $(SMOKE)/watch/state/events.jsonl
+	ZKFLOW_JOBS=2 dune exec bin/zkflow.exe -- prove --dir $(SMOKE)/watch/state \
+	  --queries 8 --events $(SMOKE)/watch/state/events.jsonl \
+	  --timeseries $(SMOKE)/watch/state/timeseries.jsonl
+	dune exec bin/zkflow.exe -- slo --dir $(SMOKE)/watch/state --strict --json \
+	  > $(SMOKE)/watch/slo.json
+	dune exec bin/zkflow.exe -- watch --dir $(SMOKE)/watch/state \
+	  --probe /healthz > $(SMOKE)/watch/healthz.json
+	dune exec bin/zkflow.exe -- watch --dir $(SMOKE)/watch/state \
+	  --probe /metrics > $(SMOKE)/watch/metrics.txt
+	python3 -c "import json; json.load(open('$(SMOKE)/watch/slo.json'))"
+	python3 -c "import json; d=json.load(open('$(SMOKE)/watch/healthz.json')); \
+	  assert d['schema'] == 'zkflow-healthz/v1' and d['healthy'] is True"
+	grep -q '^zkflow_' $(SMOKE)/watch/metrics.txt
+	./_build/default/bin/zkflow.exe watch --dir $(SMOKE)/watch/state \
+	  --listen 19464 & pid=$$!; sleep 1; \
+	  ok=0; \
+	  curl -sf http://127.0.0.1:19464/metrics | grep -q '^zkflow_' && \
+	  curl -sf http://127.0.0.1:19464/healthz | grep -q 'zkflow-healthz/v1' && \
+	  curl -sf http://127.0.0.1:19464/slo | grep -q 'zkflow-slo/v1' || ok=1; \
+	  kill $$pid; exit $$ok
+	@echo "watch-smoke: all endpoints schema-valid"
 
 # The proof-backend benchmark matrix (DESIGN.md §14): one aggregation
 # round per cell across backend × queries × scale, written to

@@ -15,8 +15,12 @@
                  baseline, and sketch-based logging.
      micro     — substrate microbenchmarks (bechamel).
 
+     obs       — observability overhead: the same prove round with
+                 telemetry fully off vs fully on (events + sampler),
+                 gated against a <2% wall-time budget.
+
    Usage: dune exec bench/main.exe
-            [-- fig4|table1|matrix|tamper|ablations|incr|micro|all]
+            [-- fig4|table1|matrix|tamper|ablations|incr|obs|micro|all]
    Set ZKFLOW_BENCH_QUICK=1 to cap the sweep at 500 records. *)
 
 module D = Zkflow_hash.Digest32
@@ -862,6 +866,98 @@ let ablation_queries () =
     "   (a real STARK gets full soundness; see DESIGN.md §5 for the gap)"
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead (DESIGN.md §15)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The telemetry plane's standing claim: a fully instrumented prove
+   (gate enabled, events recorded, the 100 ms sampler ticking) costs
+   < 2 % wall time over the same round with the gate cold. Both arms
+   run the identical deterministic workload, best-of-reps so a stray
+   scheduler hiccup doesn't decide the verdict. *)
+let obs_overhead () =
+  print_endline "== Observability overhead: prove with telemetry off vs on ==";
+  let n = if quick () then 200 else 1000 in
+  let reps = 3 in
+  let budget = 0.02 in
+  (* Interleave the arms (off, on, off, on, ...) so slow machine-wide
+     drift — thermal throttling, a neighbour waking up — lands on both
+     sides instead of billing whichever arm ran second. *)
+  let one ~on ~rep =
+    Gc.compact ();
+    Zkflow_zkproof.Prove.clear_commit_cache ();
+    Obs.reset ();
+    if on then begin
+      Obs.enable ();
+      ignore (Zkflow_obs.Timeseries.start ())
+    end;
+    let rng = Zkflow_util.Rng.create (Int64.of_int (0x0b5e + n + rep)) in
+    let batches =
+      List.init routers (fun r ->
+          let records =
+            Gen.records rng Gen.default_profile ~router_id:r
+              ~count:(n / routers)
+          in
+          (Export.batch_hash records, records))
+    in
+    let _, s =
+      time (fun () ->
+          match Aggregate.prove_round ~prev:Clog.empty batches with
+          | Ok r -> r
+          | Error e -> failwith e)
+    in
+    if on then begin
+      Zkflow_obs.Timeseries.stop ();
+      Obs.disable ()
+    end;
+    s
+  in
+  let off_best = ref infinity and on_best = ref infinity and frames = ref 0 in
+  for rep = 1 to reps do
+    let s_off = one ~on:false ~rep in
+    if s_off < !off_best then off_best := s_off;
+    let s_on = one ~on:true ~rep in
+    frames := List.length (Zkflow_obs.Timeseries.frames ());
+    if s_on < !on_best then on_best := s_on
+  done;
+  let off_s = !off_best and on_s = !on_best and frames = !frames in
+  let delta = (on_s -. off_s) /. off_s in
+  Printf.printf "%10s %14s\n" "backend" "prove (s)";
+  Printf.printf "%10s %14.3f\n" "obs_off" off_s;
+  Printf.printf "%10s %14.3f   (%d frames sampled)\n" "obs_on" on_s frames;
+  Printf.printf "   prove-time delta: %+.2f%% (budget %.0f%%) — %s\n"
+    (100. *. delta) (100. *. budget)
+    (if delta <= budget then "within budget" else "OVER BUDGET");
+  let row backend s =
+    Jsonx.Obj
+      [
+        ("backend", Jsonx.Str backend);
+        ("records", Jsonx.Num (float_of_int n));
+        ("routers", Jsonx.Num (float_of_int routers));
+        ("reps", Jsonx.Num (float_of_int reps));
+        ("agg_prove_s", Jsonx.Num s);
+      ]
+  in
+  write_json "BENCH_obs.json"
+    (Jsonx.to_string
+       (Jsonx.Obj
+          [
+            ("env", env_json ());
+            ("rows", Jsonx.Arr [ row "obs_off" off_s; row "obs_on" on_s ]);
+            ( "overhead",
+              Jsonx.Obj
+                [
+                  ("delta_frac", Jsonx.Num delta);
+                  ("budget_frac", Jsonx.Num budget);
+                  ("within_budget", Jsonx.Bool (delta <= budget));
+                  ("frames_sampled", Jsonx.Num (float_of_int frames));
+                ] );
+          ]));
+  if delta > budget then
+    Printf.printf
+      "   note: advisory — single-shot timing on a shared machine; see \
+       EXPERIMENTS.md\n"
+
+(* ------------------------------------------------------------------ *)
 (* Proof-backend benchmark matrix (DESIGN.md §14)                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -988,6 +1084,7 @@ let () =
   | "ablations" -> ablations ()
   | "par" -> ablation_par ()
   | "incr" -> ablation_incr ()
+  | "obs" -> obs_overhead ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->

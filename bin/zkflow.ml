@@ -50,6 +50,7 @@ let receipts_path dir = dir // "receipts.bin"
 let query_path dir = dir // "query.bin"
 let service_path dir = dir // "service.bin"
 let events_path dir = dir // "events.jsonl"
+let timeseries_path dir = dir // "timeseries.jsonl"
 let ckpt_path dir = dir // "checkpoints.wal"
 
 let epoch_policy = Epoch.default
@@ -71,6 +72,32 @@ let with_events ?(append = false) events f =
         Obs.disable ();
         Obs.write_events ~append path)
       f
+
+(* Live telemetry plane: --listen PORT on prove/chaos starts the
+   embedded server over the in-process registries (plus the sampler,
+   so /metrics has frame gauges) for the duration of the run. *)
+
+(* The embedded server never exits on its own: it serves until the
+   process is killed (CI backgrounds it and kills by pid). *)
+let rec serve_forever () =
+  Thread.delay 3600.;
+  serve_forever ()
+
+let start_live_listener port =
+  ignore (Zkflow_obs.Timeseries.start ());
+  match
+    Zkflow_obs.Httpd.start ~port (Watch.handler (Watch.live_source ()))
+  with
+  | Error e -> Error ("--listen: " ^ e)
+  | Ok srv ->
+    Printf.printf
+      "live telemetry on http://127.0.0.1:%d (/metrics /healthz /slo)\n%!"
+      (Zkflow_obs.Httpd.port srv);
+    Ok srv
+
+let stop_live_listener srv =
+  Zkflow_obs.Httpd.stop srv;
+  Zkflow_obs.Timeseries.stop ()
 
 (* ---- simulate ---- *)
 
@@ -285,15 +312,34 @@ let print_phase_totals () =
       (fun (name, (count, s)) -> Printf.printf "  %-24s %6dx %9.3fs\n" name count s)
       totals
 
-let prove dir queries_n src dst metric op zirc trace_out events stats_out =
-  let recording = trace_out <> None || events <> None || stats_out <> None in
+let prove dir queries_n src dst metric op zirc trace_out events stats_out
+    timeseries listen =
+  let recording =
+    trace_out <> None || events <> None || stats_out <> None
+    || timeseries <> None || listen <> None
+  in
   if recording then begin
     Obs.reset ();
     Obs.enable ()
   end;
+  let sampling = timeseries <> None || listen <> None in
+  if sampling then ignore (Zkflow_obs.Timeseries.start ());
+  let* server =
+    match listen with
+    | None -> Ok None
+    | Some port -> Result.map Option.some (start_live_listener port)
+  in
   let result =
     Fun.protect
       ~finally:(fun () ->
+        Option.iter Zkflow_obs.Httpd.stop server;
+        if sampling then Zkflow_obs.Timeseries.stop ();
+        (match timeseries with
+        | Some path ->
+          Zkflow_obs.Timeseries.write_jsonl path;
+          Printf.printf "time-series written to %s (%d frames)\n" path
+            (List.length (Zkflow_obs.Timeseries.frames ()))
+        | None -> ());
         if recording then begin
           Obs.disable ();
           (match events with
@@ -383,7 +429,8 @@ let stats dir json =
    seen earlier on some router's track (the commitment the verdict is
    about had to exist first). *)
 let events_check path =
-  let* events = Zkflow_obs.Event.load_jsonl path in
+  let* events, tail_note = Zkflow_obs.Event.load_jsonl path in
+  Option.iter (Printf.eprintf "warning: %s\n") tail_note;
   let last_ts = Hashtbl.create 16 in
   let router_epochs = Hashtbl.create 64 in
   let is_router_track t = String.length t > 7 && String.sub t 0 7 = "router." in
@@ -672,17 +719,42 @@ let verify dir zirc events =
 
 (* ---- monitor ---- *)
 
-let monitor dir events json strict gap_grace =
+(* Shared by monitor/slo/watch: load the flight log, surfacing a
+   torn-tail note (crash mid-flush) as a warning instead of a hard
+   error — the decodable prefix is still a valid log. *)
+let load_events_or_hint dir events =
   let path = match events with Some p -> p | None -> events_path dir in
-  let* events =
-    match Zkflow_obs.Event.load_jsonl path with
-    | Ok evs -> Ok evs
-    | Error e ->
-      Error
-        (Printf.sprintf
-           "%s (run the workflow with --events %s to record a flight log)" e
-           (events_path dir))
+  match Zkflow_obs.Event.load_jsonl path with
+  | Ok (evs, tail_note) ->
+    Option.iter (Printf.eprintf "warning: %s\n%!") tail_note;
+    Ok evs
+  | Error e ->
+    Error
+      (Printf.sprintf
+         "%s (run the workflow with --events %s to record a flight log)" e
+         (events_path dir))
+
+(* The saved time-series is optional context everywhere: an explicit
+   --timeseries FILE must load; the conventional DIR/timeseries.jsonl
+   is picked up only when present. *)
+let load_frames_opt dir timeseries =
+  let path =
+    match timeseries with
+    | Some p -> Some p
+    | None ->
+      let p = timeseries_path dir in
+      if Sys.file_exists p then Some p else None
   in
+  match path with
+  | None -> Ok None
+  | Some p ->
+    let* frames, tail_note = Zkflow_obs.Timeseries.load_jsonl p in
+    Option.iter (Printf.eprintf "warning: %s\n%!") tail_note;
+    Ok (Some frames)
+
+let monitor dir events timeseries json strict gap_grace =
+  let* events = load_events_or_hint dir events in
+  let* frames = load_frames_opt dir timeseries in
   (* The saved service state is optional context: without it the
      report is built from the event log alone. *)
   let service =
@@ -696,19 +768,79 @@ let monitor dir events json strict gap_grace =
         | Ok s -> Some s
         | Error _ | (exception _) -> None))
   in
-  let report = Monitor.build ?service ~gap_grace events in
+  let report = Monitor.build ?service ?frames ~gap_grace events in
   if json then print_endline (Jsonx.to_string (Monitor.to_json report))
   else Format.printf "%a@." Monitor.pp report;
   if strict && not (Monitor.healthy report) then
     Error "monitor: pipeline health degraded"
   else Ok ()
 
+(* ---- slo ---- *)
+
+let load_specs_opt = function
+  | None -> Ok Slo.default_specs
+  | Some path -> Slo.load_specs path
+
+let slo dir events specs_file json strict =
+  let* events = load_events_or_hint dir events in
+  let* specs = load_specs_opt specs_file in
+  let alerts = Slo.evaluate ~specs events in
+  if json then print_endline (Jsonx.to_string (Slo.to_json alerts))
+  else Format.printf "%a@." Slo.pp alerts;
+  match Slo.firing_names alerts with
+  | [] -> Ok ()
+  | names when strict ->
+    Error (Printf.sprintf "slo: firing: %s" (String.concat ", " names))
+  | _ -> Ok ()
+
+(* ---- watch ---- *)
+
+let watch dir events timeseries specs_file listen probe =
+  let present p = if Sys.file_exists p then Some p else None in
+  let events_file =
+    match events with Some p -> Some p | None -> present (events_path dir)
+  in
+  let ts_file =
+    match timeseries with
+    | Some p -> Some p
+    | None -> present (timeseries_path dir)
+  in
+  let* specs = load_specs_opt specs_file in
+  let handler =
+    Watch.handler ~specs
+      (Watch.artifact_source ~events_path:events_file ?timeseries_path:ts_file
+         ())
+  in
+  match probe with
+  | Some path ->
+    let r = Watch.probe handler path in
+    print_endline r.Zkflow_obs.Httpd.body;
+    if r.Zkflow_obs.Httpd.status < 400 then Ok ()
+    else
+      Error
+        (Printf.sprintf "watch: %s -> HTTP %d" path r.Zkflow_obs.Httpd.status)
+  | None ->
+    let* srv = Zkflow_obs.Httpd.start ~port:listen handler in
+    Printf.printf
+      "watch: serving http://127.0.0.1:%d (/metrics /healthz /slo); kill to \
+       stop\n%!"
+      (Zkflow_obs.Httpd.port srv);
+    serve_forever ()
+
 (* ---- chaos ---- *)
 
 let chaos dir seed plan_file routers flows rate duration loss queries
-    max_restarts json events =
+    max_restarts json events listen =
   let events = match events with Some p -> Some p | None -> Some (events_path dir) in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let* server =
+    match listen with
+    | None -> Ok None
+    | Some port -> Result.map Option.some (start_live_listener port)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter stop_live_listener server)
+  @@ fun () ->
   with_events ~append:false events (fun () ->
       let module Fault = Zkflow_fault.Fault in
       let* plan =
@@ -807,6 +939,23 @@ let events_arg =
                (conventionally DIR/events.jsonl; simulate truncates, later \
                stages append).")
 
+let listen_arg =
+  Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT"
+         ~doc:"Serve the live telemetry plane (/metrics, /healthz, /slo) \
+               on this loopback port for the duration of the run (0 picks \
+               an ephemeral port, printed at startup).")
+
+let specs_arg =
+  Arg.(value & opt (some file) None & info [ "specs" ] ~docv:"FILE"
+         ~doc:"SLO specs as a JSON array (default: the built-in objectives \
+               — coverage, board-integrity, prover-errors, prover-restarts, \
+               verifier-acceptance).")
+
+let timeseries_read_arg =
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE"
+         ~doc:"Saved metric time-series to load (default: \
+               DIR/timeseries.jsonl when present).")
+
 let simulate_cmd =
   let routers = Arg.(value & opt int 4 & info [ "routers" ] ~doc:"Vantage points.") in
   let flows = Arg.(value & opt int 30 & info [ "flows" ] ~doc:"Flow population.") in
@@ -846,13 +995,23 @@ let prove_cmd =
            ~doc:"Record telemetry and write the counter/histogram/span \
                  snapshot as JSON (checkable with trace-check --counters).")
   in
-  let run dir queries src dst metric op zirc trace events stats_out =
-    handle (prove dir queries src dst metric op zirc trace events stats_out)
+  let timeseries =
+    Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE"
+           ~doc:"Sample every counter/histogram plus GC stats on a background \
+                 tick and write the frame series to this JSONL file \
+                 (conventionally DIR/timeseries.jsonl; enables monitor's \
+                 round-latency trend).")
+  in
+  let run dir queries src dst metric op zirc trace events stats_out timeseries
+      listen =
+    handle
+      (prove dir queries src dst metric op zirc trace events stats_out
+         timeseries listen)
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Aggregate every epoch under proof; optionally prove a query.")
     Term.(const run $ dir_arg $ queries $ src $ dst $ metric $ op $ zirc $ trace
-          $ events_arg $ stats_out)
+          $ events_arg $ stats_out $ timeseries $ listen_arg)
 
 let stats_cmd =
   let json =
@@ -996,16 +1155,71 @@ let monitor_cmd =
                  counts as stale (and fails --strict). Default 0: any open \
                  gap is stale.")
   in
-  let run dir events json strict gap_grace =
-    handle (monitor dir events json strict gap_grace)
+  let run dir events timeseries json strict gap_grace =
+    handle (monitor dir events timeseries json strict gap_grace)
   in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Replay the flight-recorder event log (and saved prover state) \
              into a health report: per-router commitment lag and gaps, round \
              latency percentiles, verifier rejections by cause, degraded \
-             rounds and open coverage gaps, service backlog.")
-    Term.(const run $ dir_arg $ events $ json $ strict $ gap_grace)
+             rounds and open coverage gaps, service backlog, and — when a \
+             saved time-series is available — the round-latency trend.")
+    Term.(const run $ dir_arg $ events $ timeseries_read_arg $ json $ strict
+          $ gap_grace)
+
+let slo_cmd =
+  let events =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Event log to evaluate (default: DIR/events.jsonl).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Exit nonzero when any objective is firing.")
+  in
+  let run dir events specs json strict = handle (slo dir events specs json strict) in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:"Evaluate service-level objectives over the flight-recorder event \
+             log with multi-window burn-rate alerting: each objective's bad \
+             fraction is judged against its error budget over paired \
+             long/short windows, and firing alerts carry the causal keys \
+             (router/epoch/round) of the bad events behind them.")
+    Term.(const run $ dir_arg $ events $ specs_arg $ json $ strict)
+
+let watch_cmd =
+  let events =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Event log to serve (default: DIR/events.jsonl when present).")
+  in
+  let listen =
+    Arg.(value & opt int 9464 & info [ "listen" ] ~docv:"PORT"
+           ~doc:"Loopback port to serve on (0 picks an ephemeral port, \
+                 printed at startup).")
+  in
+  let probe =
+    Arg.(value & opt (some string) None & info [ "probe" ] ~docv:"PATH"
+           ~doc:"Do not serve: print the response body one request to PATH \
+                 (e.g. /slo) would get, then exit — nonzero when the \
+                 endpoint would error. Lets tests and CI validate endpoint \
+                 schemas without binding a port.")
+  in
+  let run dir events timeseries specs listen probe =
+    handle (watch dir events timeseries specs listen probe)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Serve the telemetry plane for a recorded run: /metrics \
+             (Prometheus text rebuilt from the saved time-series), /healthz \
+             (the monitor report with a top-level verdict) and /slo \
+             (burn-rate alerts), re-reading the artifacts on every request. \
+             For a live view of a run in progress, use prove/chaos \
+             --listen instead.")
+    Term.(const run $ dir_arg $ events $ timeseries_read_arg $ specs_arg
+          $ listen $ probe)
 
 let chaos_cmd =
   let seed =
@@ -1033,10 +1247,10 @@ let chaos_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
   let run dir seed plan routers flows rate duration loss queries max_restarts
-      json events =
+      json events listen =
     handle
       (chaos dir seed plan routers flows rate duration loss queries max_restarts
-         json events)
+         json events listen)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1048,7 +1262,7 @@ let chaos_cmd =
              or explicitly degraded — never silent loss). Exits nonzero on \
              any violation.")
     Term.(const run $ dir_arg $ seed $ plan $ routers $ flows $ rate $ duration
-          $ loss $ queries $ max_restarts $ json $ events_arg)
+          $ loss $ queries $ max_restarts $ json $ events_arg $ listen_arg)
 
 let bench_diff_cmd =
   let old_file =
@@ -1122,6 +1336,6 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; prove_cmd; lint_cmd; audit_cmd; verify_cmd;
-            stats_cmd; trace_check_cmd; monitor_cmd; chaos_cmd;
-            bench_diff_cmd; report_cmd;
+            stats_cmd; trace_check_cmd; monitor_cmd; slo_cmd; watch_cmd;
+            chaos_cmd; bench_diff_cmd; report_cmd;
           ]))

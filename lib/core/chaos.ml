@@ -49,6 +49,11 @@ type report = {
   twin_root : string;
   safety_ok : bool;
   liveness_ok : bool;
+  slo_expected : string list;
+  slo_fired : string list;
+  slo_ok : bool;
+  twin_slo_fired : string list;
+  twin_slo_ok : bool;
 }
 
 let ( let* ) = Result.bind
@@ -225,27 +230,32 @@ let aggregate_uncovered service db =
 (* ---- the uninterrupted twin ----
 
    Same records, same data faults (they shape {e what} is available to
-   aggregate), but no crashes, no storage corruption, no flight
-   recorder: the clean-room control run. Safety's acid test is that
-   the chaos run's final CLog root is bit-identical to this one. *)
+   aggregate), but no crashes, no storage corruption: the clean-room
+   control run. Safety's acid test is that the chaos run's final CLog
+   root is bit-identical to this one. When the flight recorder is on,
+   the twin records into an isolated ring ({!Event.isolate}) — its
+   events feed the "clean runs don't trip the SLOs" assertion without
+   ever polluting the chaos run's log. *)
 let twin_root ~cfg ~plan db =
-  let was_on = Obs.on () in
-  Obs.disable ();
-  Fun.protect
-    ~finally:(fun () -> if was_on then Obs.enable ())
-    (fun () ->
-      let emitted = Hashtbl.create 16 in
-      let board = Board.create () in
-      let service =
-        Prover_service.create
-          ~proof_params:(Zkflow_zkproof.Params.make ~queries:cfg.queries)
-          ~db ~board ()
-      in
-      let* () = publish_prompt emitted board db ~plan ~emit:false in
-      let* () = aggregate_uncovered service db in
-      let* () = publish_held emitted board db ~plan ~emit:false in
-      let* _ = Prover_service.heal service in
-      Ok (Prover_service.latest_root service))
+  let body () =
+    let emitted = Hashtbl.create 16 in
+    let board = Board.create () in
+    let service =
+      Prover_service.create
+        ~proof_params:(Zkflow_zkproof.Params.make ~queries:cfg.queries)
+        ~db ~board ()
+    in
+    let* () = publish_prompt emitted board db ~plan ~emit:false in
+    let* () = aggregate_uncovered service db in
+    let* () = publish_held emitted board db ~plan ~emit:false in
+    let* _ = Prover_service.heal service in
+    Ok (Prover_service.latest_root service)
+  in
+  if Obs.on () then begin
+    let result, twin_events = Event.isolate body in
+    Result.map (fun root -> (root, twin_events)) result
+  end
+  else Result.map (fun root -> (root, [])) (body ())
 
 (* ---- storage corruption while the prover is down ---- *)
 
@@ -317,7 +327,7 @@ let run ?dir ?(config = default_config) ~plan () =
   in
   let proof_params = Zkflow_zkproof.Params.make ~queries:cfg.queries in
   (* Control run first, before any fault is armed. *)
-  let* twin = twin_root ~cfg ~plan db in
+  let* twin, twin_events = twin_root ~cfg ~plan db in
   (* Now the chaos. *)
   Fault.install plan;
   let emitted = Hashtbl.create 16 in
@@ -415,6 +425,25 @@ let run ?dir ?(config = default_config) ~plan () =
          open_gaps
   in
   let coverage = Prover_service.coverage service in
+  (* SLO cross-check: every injected fault must trip the objective
+     watching the surface it wounds (drops/delays -> coverage,
+     duplicates -> board-integrity, crashes -> prover-restarts), while
+     the uninterrupted twin may only fire what its shared data faults
+     legitimately cause — never the crash/restart objectives, and
+     nothing at all under a fault-free plan. Both lists are derived
+     from recorded events, so with the flight recorder off they are
+     empty and the check is vacuous. *)
+  let chaos_events = Event.events () in
+  let slo_expected = Slo.expected_for chaos_events in
+  let slo_fired = Slo.firing_names (Slo.evaluate chaos_events) in
+  let slo_ok = List.for_all (fun n -> List.mem n slo_fired) slo_expected in
+  let twin_slo_fired = Slo.firing_names (Slo.evaluate twin_events) in
+  let twin_allowed =
+    List.filter (fun n -> n = "coverage" || n = "board-integrity") slo_expected
+  in
+  let twin_slo_ok =
+    List.for_all (fun n -> List.mem n twin_allowed) twin_slo_fired
+  in
   (* Leave artifacts behind for `zkflow stats` / `monitor`: the public
      board and the saved service state, both written atomically. *)
   Zkflow_store.Wal.write_file_atomic
@@ -442,6 +471,11 @@ let run ?dir ?(config = default_config) ~plan () =
       twin_root = D.to_hex twin;
       safety_ok;
       liveness_ok;
+      slo_expected;
+      slo_fired;
+      slo_ok;
+      twin_slo_fired;
+      twin_slo_ok;
     }
 
 (* ---- reporting ---- *)
@@ -472,6 +506,12 @@ let to_json r =
       ("twin_root", Jsonx.Str r.twin_root);
       ("safety_ok", Jsonx.Bool r.safety_ok);
       ("liveness_ok", Jsonx.Bool r.liveness_ok);
+      ("slo_expected", Jsonx.Arr (List.map (fun s -> Jsonx.Str s) r.slo_expected));
+      ("slo_fired", Jsonx.Arr (List.map (fun s -> Jsonx.Str s) r.slo_fired));
+      ("slo_ok", Jsonx.Bool r.slo_ok);
+      ( "twin_slo_fired",
+        Jsonx.Arr (List.map (fun s -> Jsonx.Str s) r.twin_slo_fired) );
+      ("twin_slo_ok", Jsonx.Bool r.twin_slo_ok);
     ]
 
 let pp fmt r =
@@ -491,6 +531,14 @@ let pp fmt r =
          (List.map (fun (router, ep) -> Printf.sprintf "r%d/e%d" router ep) gs)));
   Format.fprintf fmt "final root: %s@," (String.sub r.final_root 0 16);
   Format.fprintf fmt "twin root:  %s@," (String.sub r.twin_root 0 16);
+  (if r.slo_expected <> [] || r.slo_fired <> [] || r.twin_slo_fired <> [] then
+     let names = function [] -> "none" | l -> String.concat "," l in
+     Format.fprintf fmt
+       "slo: expected [%s] fired [%s] -> %s; twin fired [%s] -> %s@,"
+       (names r.slo_expected) (names r.slo_fired)
+       (if r.slo_ok then "OK" else "MISSED")
+       (names r.twin_slo_fired)
+       (if r.twin_slo_ok then "OK" else "SPURIOUS"));
   Format.fprintf fmt "safety: %s, liveness: %s -> %s@]"
     (if r.safety_ok then "OK" else "VIOLATED")
     (if r.liveness_ok then "OK" else "VIOLATED")

@@ -4,8 +4,9 @@
 
     The harness runs the same deterministic traffic twice. First the
     {e twin}: data faults only (drops, delays, duplicates — they shape
-    what is available to aggregate), no crashes, no corruption, flight
-    recorder off. Then the {e chaos run}: same data faults plus the
+    what is available to aggregate), no crashes, no corruption, its
+    flight-recorder events captured in isolation ({!Zkflow_obs.Event.isolate})
+    so they never pollute the chaos run's log. Then the {e chaos run}: same data faults plus the
     plan's armed crash sites, flaky reads and storage corruption, with
     the prover checkpointing to [dir/checkpoints.wal] and a
     kill/restart loop playing the process dying at every armed site.
@@ -53,6 +54,17 @@ type report = {
   twin_root : string;         (** uninterrupted twin's root, hex *)
   safety_ok : bool;
   liveness_ok : bool;
+  slo_expected : string list;
+      (** SLO names the plan's injected faults should trip
+          ({!Slo.expected_for} over the chaos run's log) *)
+  slo_fired : string list;   (** SLOs that actually fired on the chaos run *)
+  slo_ok : bool;             (** [slo_expected] is a subset of [slo_fired] *)
+  twin_slo_fired : string list;
+      (** SLOs firing on the twin — it shares the plan's data faults,
+          so [coverage] / [board-integrity] may legitimately fire *)
+  twin_slo_ok : bool;
+      (** the twin fired nothing beyond its shared data-fault SLOs —
+          in particular never [prover-restarts] *)
 }
 
 val run :

@@ -1,8 +1,18 @@
 module Event = Zkflow_obs.Event
 module Metric = Zkflow_obs.Metric
+module Timeseries = Zkflow_obs.Timeseries
 module Jsonx = Zkflow_util.Jsonx
 
 type latency = { count : int; p50_ns : int; p95_ns : int; p99_ns : int; max_ns : int }
+
+type trend = {
+  trend_metric : string;
+  last_count : int;
+  last_p95_ns : int;
+  prev_count : int;
+  prev_p95_ns : int;
+  trend_ratio : float option;
+}
 
 type router_health = {
   router_id : int;
@@ -49,7 +59,44 @@ type report = {
   service_rounds : int option;
   service_entries : int option;
   service_root : string option;
+  round_trend : trend option;
 }
+
+(* Trend over a saved time-series: split the frame history in half and
+   compare the p95 of the metric's activity in the newer half against
+   the older half. Frames hold cumulative snapshots, so each half's
+   activity is the bucket-wise delta of its boundary frames. *)
+let trend_of_frames ?(metric = "prover.round_ns") frames =
+  let n = List.length frames in
+  if n < 3 then None
+  else begin
+    let arr = Array.of_list frames in
+    let empty = { Metric.count = 0; sum = 0; max_value = 0; buckets = [] } in
+    let hist f =
+      Option.value ~default:empty
+        (List.assoc_opt metric f.Timeseries.histograms)
+    in
+    let mid = n / 2 in
+    let prev = Metric.sub_snapshot (hist arr.(mid)) (hist arr.(0)) in
+    let last = Metric.sub_snapshot (hist arr.(n - 1)) (hist arr.(mid)) in
+    if prev.Metric.count = 0 && last.Metric.count = 0 then None
+    else begin
+      let last_p95_ns = Metric.percentile last 0.95 in
+      let prev_p95_ns = Metric.percentile prev 0.95 in
+      Some
+        {
+          trend_metric = metric;
+          last_count = last.Metric.count;
+          last_p95_ns;
+          prev_count = prev.Metric.count;
+          prev_p95_ns;
+          trend_ratio =
+            (if prev.Metric.count = 0 || last.Metric.count = 0 || prev_p95_ns = 0
+             then None
+             else Some (float_of_int last_p95_ns /. float_of_int prev_p95_ns));
+        }
+    end
+  end
 
 let attr_num name (e : Event.t) =
   match List.assoc_opt name e.Event.attrs with
@@ -80,7 +127,7 @@ let latency_of_values = function
         max_ns = s.Metric.max_value;
       }
 
-let build ?service ?(gap_grace = 0) events =
+let build ?service ?frames ?(gap_grace = 0) events =
   (* Fresh publications only — board replays are recorded under a
      different kind precisely so re-importing board.txt on every CLI
      invocation does not look like router liveness. *)
@@ -256,6 +303,7 @@ let build ?service ?(gap_grace = 0) events =
       Option.map
         (fun s -> Zkflow_hash.Digest32.to_hex (Prover_service.latest_root s))
         service;
+    round_trend = Option.bind frames (fun fs -> trend_of_frames fs);
   }
 
 (* Injected-fault counts (the chaos, track "fault") never degrade
@@ -311,6 +359,14 @@ let pp fmt r =
       r.crashes r.resumes r.retries;
   pp_latency fmt "round wall" r.round_latency;
   pp_latency fmt "prove phase" r.prove_latency;
+  (match r.round_trend with
+  | None -> ()
+  | Some t ->
+    Format.fprintf fmt "  %-14s last p95<=%.2fms (n=%d) vs prev p95<=%.2fms (n=%d)%s@,"
+      "round trend" (ms t.last_p95_ns) t.last_count (ms t.prev_p95_ns) t.prev_count
+      (match t.trend_ratio with
+      | Some ratio -> Printf.sprintf "  ratio %.2fx" ratio
+      | None -> ""));
   Format.fprintf fmt "  queries: %d done, %d error@," r.queries_done r.queries_error;
   if r.gaps <> [] then begin
     Format.fprintf fmt "@,gaps (%d open, %d stale past grace %d):@,"
@@ -388,6 +444,22 @@ let to_json r =
           ] );
       ("round_latency", latency_json r.round_latency);
       ("prove_latency", latency_json r.prove_latency);
+      ( "round_latency_trend",
+        match r.round_trend with
+        | None -> Jsonx.Null
+        | Some t ->
+          Jsonx.Obj
+            [
+              ("metric", Jsonx.Str t.trend_metric);
+              ("last_count", num t.last_count);
+              ("last_p95_ns", num t.last_p95_ns);
+              ("prev_count", num t.prev_count);
+              ("prev_p95_ns", num t.prev_p95_ns);
+              ( "ratio",
+                match t.trend_ratio with
+                | Some ratio -> Jsonx.Num ratio
+                | None -> Jsonx.Null );
+            ] );
       ( "queue_depth",
         Jsonx.Arr
           (List.map

@@ -13,6 +13,20 @@
     Prometheus exporter's quantile lines). *)
 type latency = { count : int; p50_ns : int; p95_ns : int; p99_ns : int; max_ns : int }
 
+(** Round-latency trend from a saved metric time-series: the p95 of
+    the newer half of the frame history against the older half, so one
+    [monitor --json] artifact answers "is the prover slowing down"
+    without a second run to diff against. *)
+type trend = {
+  trend_metric : string;  (** histogram the trend is over *)
+  last_count : int;  (** observations in the newer half-window *)
+  last_p95_ns : int;
+  prev_count : int;
+  prev_p95_ns : int;
+  trend_ratio : float option;
+      (** [last_p95 / prev_p95]; [None] when either half is empty *)
+}
+
 type router_health = {
   router_id : int;
   publishes : int;  (** fresh board publications seen on this router's track *)
@@ -69,15 +83,28 @@ type report = {
   service_rounds : int option;  (** from the saved service state, when given *)
   service_entries : int option;
   service_root : string option;
+  round_trend : trend option;
+      (** from the saved time-series, when frames were given *)
 }
 
+val trend_of_frames :
+  ?metric:string -> Zkflow_obs.Timeseries.frame list -> trend option
+(** Half-vs-half p95 comparison over a frame history ([metric]
+    defaults to ["prover.round_ns"]). [None] with fewer than 3 frames
+    or when neither half saw an observation. *)
+
 val build :
-  ?service:Prover_service.t -> ?gap_grace:int -> Zkflow_obs.Event.t list -> report
+  ?service:Prover_service.t ->
+  ?frames:Zkflow_obs.Timeseries.frame list ->
+  ?gap_grace:int ->
+  Zkflow_obs.Event.t list ->
+  report
 (** Replay a recorded event list into a health report. [?service] adds
     the persisted prover-service view (round count, CLog size, root)
     for cross-checking against what the log claims happened.
-    [?gap_grace] (default 0) is how many rounds a coverage gap may
-    stay open before it counts as stale. *)
+    [?frames] adds the saved metric time-series, enabling
+    [round_trend]. [?gap_grace] (default 0) is how many rounds a
+    coverage gap may stay open before it counts as stale. *)
 
 val healthy : report -> bool
 (** No rejections anywhere, no round or query errors, every router

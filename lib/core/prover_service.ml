@@ -330,8 +330,18 @@ let prove_and_commit t ~epoch ~routers ~absent ~heal batches =
     new_gaps;
   Ok (round, new_gaps)
 
+(* The per-round latency histograms the time-series sampler snapshots:
+   these are what turn "each round took N ns" into a queryable history
+   ([monitor]'s round-latency trend, the /metrics window percentiles). *)
+let h_round_ns = Obs.Metric.histogram "prover.round_ns"
+let h_prove_ns = Obs.Metric.histogram "prover.prove_ns"
+
 let round_done_event t ~epoch ~round_ix ~covered ~missing ~heal
     (round : Aggregate.round) =
+  let prove_ns = int_of_float (Float.round (round.Aggregate.prove_s *. 1e9)) in
+  let execute_ns = int_of_float (Float.round (round.Aggregate.execute_s *. 1e9)) in
+  Obs.Metric.observe h_round_ns (prove_ns + execute_ns);
+  Obs.Metric.observe h_prove_ns prove_ns;
   Obs.Event.emit ~epoch ~round:round_ix ~track:"prover" "prover.round.done"
     ~attrs:
       [
@@ -609,6 +619,11 @@ let load ?proof_params ~db ~board bytes =
    deterministic, so the re-proved rounds are bit-identical to the
    ones the crash destroyed. *)
 let resume ?proof_params ~db ~board ~path () =
+  (* A cold start (no journal yet) is not a restart: the
+     ["prover.resume"] event — what the prover-restarts SLO counts —
+     is only emitted when there was a previous session's journal to
+     resume over. *)
+  let journal_existed = Sys.file_exists path in
   match Wal.replay path with
   | Error e -> Error ("resume: " ^ e)
   | Ok rows ->
@@ -642,13 +657,14 @@ let resume ?proof_params ~db ~board ~path () =
       good;
     with_checkpoints t ~path;
     let restored = List.length good in
-    Obs.Event.emit ~track:"prover" "prover.resume"
-      ~attrs:
-        [
-          ("restored_rounds", Jsonx.Num (float_of_int restored));
-          ("dropped_rows", Jsonx.Num (float_of_int dropped_rows));
-          ("open_gaps", Jsonx.Num (float_of_int (List.length (open_gaps t))));
-        ];
+    if journal_existed then
+      Obs.Event.emit ~track:"prover" "prover.resume"
+        ~attrs:
+          [
+            ("restored_rounds", Jsonx.Num (float_of_int restored));
+            ("dropped_rows", Jsonx.Num (float_of_int dropped_rows));
+            ("open_gaps", Jsonx.Num (float_of_int (List.length (open_gaps t))));
+          ];
     Ok (t, restored)
 
 (* ---- round summaries ---- *)

@@ -1,0 +1,116 @@
+(* The live telemetry plane: routes the embedded HTTP server's three
+   endpoints over either the in-process registries (a running prove)
+   or saved run artifacts (a finished one). *)
+
+module Event = Zkflow_obs.Event
+module Timeseries = Zkflow_obs.Timeseries
+module Export = Zkflow_obs.Export
+module Httpd = Zkflow_obs.Httpd
+module Jsonx = Zkflow_util.Jsonx
+
+type source = {
+  label : string;
+  events : unit -> (Event.t list, string) result;
+  frames : unit -> (Timeseries.frame list, string) result;
+  metrics_text : unit -> string;
+}
+
+let live_source () =
+  {
+    label = "live";
+    events = (fun () -> Ok (Event.events ()));
+    frames = (fun () -> Ok (Timeseries.frames ()));
+    metrics_text =
+      (fun () ->
+        Export.prometheus ()
+        ^ Timeseries.prometheus_gauges (Timeseries.frames ()));
+  }
+
+let artifact_source ~events_path ?timeseries_path () =
+  let load_frames () =
+    match timeseries_path with
+    | None -> Ok []
+    | Some p -> Result.map fst (Timeseries.load_jsonl p)
+  in
+  {
+    label = "artifact";
+    events =
+      (fun () ->
+        match events_path with
+        | None -> Ok []
+        | Some p -> Result.map fst (Event.load_jsonl p));
+    frames = load_frames;
+    metrics_text =
+      (fun () ->
+        let frames = match load_frames () with Ok fs -> fs | Error _ -> [] in
+        let registry =
+          match List.rev frames with
+          | [] -> ""
+          | last :: _ ->
+              Export.prometheus_of ~counters:last.Timeseries.counters
+                ~histograms:last.Timeseries.histograms ~spans:[]
+        in
+        registry ^ Timeseries.prometheus_gauges frames);
+  }
+
+let json status body : Httpd.response =
+  { status; content_type = "application/json"; body = Jsonx.to_string body }
+
+let unavailable err =
+  json 503 (Jsonx.Obj [ ("error", Jsonx.Str err) ])
+
+let healthz ?(gap_grace = 0) source =
+  match source.events () with
+  | Error e -> unavailable e
+  | Ok events ->
+      let frames =
+        match source.frames () with Ok fs -> fs | Error _ -> []
+      in
+      let report = Monitor.build ~frames ~gap_grace events in
+      json 200
+        (Jsonx.Obj
+           [
+             ("schema", Jsonx.Str "zkflow-healthz/v1");
+             ("source", Jsonx.Str source.label);
+             ("healthy", Jsonx.Bool (Monitor.healthy report));
+             ("report", Monitor.to_json report);
+           ])
+
+let slo ?specs source =
+  match source.events () with
+  | Error e -> unavailable e
+  | Ok events -> json 200 (Slo.to_json (Slo.evaluate ?specs events))
+
+let index : Httpd.response =
+  json 200
+    (Jsonx.Obj
+       [
+         ("schema", Jsonx.Str "zkflow-watch/v1");
+         ( "endpoints",
+           Jsonx.Arr
+             [ Jsonx.Str "/metrics"; Jsonx.Str "/healthz"; Jsonx.Str "/slo" ]
+         );
+       ])
+
+let handler ?specs ?gap_grace source : Httpd.handler =
+ fun path ->
+  match path with
+  | "/" -> Some index
+  | "/metrics" ->
+      Some
+        {
+          status = 200;
+          content_type = "text/plain; version=0.0.4";
+          body = source.metrics_text ();
+        }
+  | "/healthz" -> Some (healthz ?gap_grace source)
+  | "/slo" -> Some (slo ?specs source)
+  | _ -> None
+
+let probe (h : Httpd.handler) path : Httpd.response =
+  match h path with
+  | Some r -> r
+  | None ->
+      json 404
+        (Jsonx.Obj
+           [ ("error", Jsonx.Str "not found"); ("path", Jsonx.Str path) ])

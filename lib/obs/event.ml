@@ -154,15 +154,55 @@ let load_jsonl path =
          lines := input_line ic :: !lines
        done
      with End_of_file -> close_in ic);
+    (* A crash mid-flush leaves at most one torn line, and it is the
+       final one — keep the longest decodable prefix and surface a
+       note instead of failing the whole load. A bad line with intact
+       events after it is corruption, not a torn tail, and still
+       errors. *)
     let rec go acc lineno = function
-      | [] -> Ok (List.rev acc)
+      | [] -> Ok (List.rev acc, None)
       | line :: rest ->
         if String.trim line = "" then go acc (lineno + 1) rest
         else begin
           match parse_line line with
           | Ok e -> go (e :: acc) (lineno + 1) rest
-          | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+          | Error e ->
+            if List.for_all (fun l -> String.trim l = "") rest then
+              Ok
+                ( List.rev acc,
+                  Some
+                    (Printf.sprintf "%s:%d: truncated tail dropped (%s)" path
+                       lineno e) )
+            else Error (Printf.sprintf "%s:%d: %s" path lineno e)
         end
     in
     go [] 1 (List.rev !lines)
   end
+
+let isolate f =
+  Mutex.lock lock;
+  let saved_buf = !buf
+  and saved_head = !head
+  and saved_len = !len
+  and saved_dropped = !dropped_count in
+  buf := Array.make (Array.length saved_buf) None;
+  head := 0;
+  len := 0;
+  dropped_count := 0;
+  Mutex.unlock lock;
+  let restore () =
+    Mutex.lock lock;
+    buf := saved_buf;
+    head := saved_head;
+    len := saved_len;
+    dropped_count := saved_dropped;
+    Mutex.unlock lock
+  in
+  match f () with
+  | v ->
+    let captured = events () in
+    restore ();
+    (v, captured)
+  | exception e ->
+    restore ();
+    raise e

@@ -82,6 +82,17 @@ val write_jsonl : ?append:bool -> string -> unit
 (** Flush the buffer to a file as JSONL ([append] defaults to
     [false]: truncate). *)
 
-val load_jsonl : string -> (t list, string) result
-(** Read a JSONL event log back, skipping blank lines. Errors carry
-    the 1-based line number. *)
+val load_jsonl : string -> (t list * string option, string) result
+(** Read a JSONL event log back, skipping blank lines. A truncated or
+    corrupt {e final} line — what a crash mid-flush leaves behind — is
+    tolerated: the longest decodable prefix is returned together with
+    a [truncated_tail] note describing what was dropped. A bad line
+    with intact events after it is real corruption and still fails.
+    Errors carry the 1-based line number. *)
+
+val isolate : (unit -> 'a) -> 'a * t list
+(** [isolate f] runs [f] against a fresh, empty ring and returns its
+    result together with every event recorded during the call; the
+    previous ring contents (and drop counter) are restored afterwards,
+    also on exception. Used by the chaos harness to flight-record the
+    uninterrupted twin without polluting the chaos run's log. *)

@@ -34,13 +34,13 @@ let sanitize name =
       | _ -> '_')
     name
 
-let prometheus () =
+let prometheus_of ~counters ~histograms ~spans =
   let b = Buffer.create 1024 in
   List.iter
     (fun (name, v) ->
       let n = "zkflow_" ^ sanitize name in
       Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
-    (Metric.counters ());
+    counters;
   List.iter
     (fun (name, (s : Metric.histogram_snapshot)) ->
       let n = "zkflow_" ^ sanitize name in
@@ -62,8 +62,7 @@ let prometheus () =
             (Printf.sprintf "%s{quantile=\"%g\"} %d\n" n q
                (Metric.percentile s q)))
         [ 0.5; 0.95; 0.99 ])
-    (Metric.histograms ());
-  let spans = Span.totals () in
+    histograms;
   if spans <> [] then begin
     Buffer.add_string b "# TYPE zkflow_span_seconds_total counter\n";
     List.iter
@@ -81,6 +80,10 @@ let prometheus () =
       spans
   end;
   Buffer.contents b
+
+let prometheus () =
+  prometheus_of ~counters:(Metric.counters ()) ~histograms:(Metric.histograms ())
+    ~spans:(Span.totals ())
 
 let stats_json () =
   let counters =

@@ -1,0 +1,172 @@
+(* Minimal embedded HTTP/1.0 server — just enough protocol for a
+   Prometheus scrape or a curl: GET only, Connection: close, one
+   handler thread per connection. No dependencies beyond unix +
+   threads, by design: this runs inside the prover. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = string -> response option
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  accept_thread : Thread.t;
+}
+
+let reason_of = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let respond fd { status; content_type; body } =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       status (reason_of status) content_type (String.length body) body)
+
+let not_found path =
+  {
+    status = 404;
+    content_type = "application/json";
+    body = Printf.sprintf {|{"error":"not found","path":%s}|} (Zkflow_util.Jsonx.quote path);
+  }
+
+(* Read up to the end of the request headers (CRLFCRLF); we only need
+   the request line, the rest is drained and ignored. *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 16384 then None
+    else
+      let seen = Buffer.contents buf in
+      let done_ =
+        let rec find i =
+          i + 3 < String.length seen
+          && ((seen.[i] = '\r' && seen.[i + 1] = '\n' && seen.[i + 2] = '\r'
+               && seen.[i + 3] = '\n')
+             || find (i + 1))
+        in
+        find 0
+        || (* tolerate bare-LF clients *)
+        (let rec find2 i =
+           i + 1 < String.length seen
+           && ((seen.[i] = '\n' && seen.[i + 1] = '\n') || find2 (i + 1))
+         in
+         find2 0)
+      in
+      if done_ then Some seen
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let handle_conn handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request fd with
+      | None -> ()
+      | Some req ->
+        let line =
+          match String.index_opt req '\n' with
+          | Some i -> String.trim (String.sub req 0 i)
+          | None -> String.trim req
+        in
+        let resp =
+          match String.split_on_char ' ' line with
+          | meth :: _ when meth <> "GET" ->
+            {
+              status = 405;
+              content_type = "application/json";
+              body = {|{"error":"method not allowed"}|};
+            }
+          | _ :: target :: _ ->
+            (* Strip any query string: the endpoints take none. *)
+            let path =
+              match String.index_opt target '?' with
+              | Some i -> String.sub target 0 i
+              | None -> target
+            in
+            (try Option.value ~default:(not_found path) (handler path)
+             with e ->
+               {
+                 status = 500;
+                 content_type = "application/json";
+                 body =
+                   Printf.sprintf {|{"error":"handler raised","detail":%s}|}
+                     (Zkflow_util.Jsonx.quote (Printexc.to_string e));
+               })
+          | _ -> not_found "/"
+        in
+        (try respond fd resp with Unix.Unix_error _ -> ()))
+
+let start ?(host = "127.0.0.1") ~port handler =
+  (* A peer closing mid-write must not kill the prover. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match
+    let addr = Unix.inet_addr_of_string host in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    (try Unix.bind sock (Unix.ADDR_INET (addr, port))
+     with e ->
+       Unix.close sock;
+       raise e);
+    Unix.listen sock 16;
+    let port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (sock, port)
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "listen %s:%d: %s" host port (Unix.error_message err))
+  | exception Failure _ -> Error (Printf.sprintf "listen: bad host %S" host)
+  | sock, port ->
+    let stopping = Atomic.make false in
+    let accept_thread =
+      Thread.create
+        (fun () ->
+          let rec loop () =
+            match Unix.accept sock with
+            | fd, _ ->
+              ignore (Thread.create (fun () -> handle_conn handler fd) ());
+              loop ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            | exception Unix.Unix_error _ ->
+              (* The listening socket was closed under us: shutdown. *)
+              if not (Atomic.get stopping) then () else ()
+          in
+          loop ())
+        ()
+    in
+    Ok { sock; port; stopping; accept_thread }
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* shutdown before close: a close alone does not wake a thread
+     blocked in accept(2) on Linux, and the join would hang *)
+  (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  Thread.join t.accept_thread

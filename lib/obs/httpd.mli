@@ -1,0 +1,32 @@
+(** Minimal embedded HTTP/1.0 server over Unix sockets — no
+    dependencies, by design: it runs {e inside} the prover process to
+    expose the live telemetry plane ([/metrics], [/healthz], [/slo])
+    while a long [prove]/[chaos] run is underway.
+
+    Protocol surface on purpose: GET only, [Connection: close], the
+    response fully buffered (the bodies are a few KB of metrics text
+    or JSON). One accept thread, one short-lived thread per
+    connection; requests never touch proof state except through the
+    handler given to {!start}. SIGPIPE is ignored on startup so a
+    scraper disconnecting mid-response cannot kill the prover. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = string -> response option
+(** Called with the request path (query string stripped). [None]
+    yields a JSON 404. Exceptions become a JSON 500; they never
+    propagate to the server. *)
+
+type t
+
+val start : ?host:string -> port:int -> handler -> (t, string) result
+(** Bind [host] (default loopback [127.0.0.1]) on [port] — [0] picks
+    an ephemeral port, which {!port} reports — and serve in background
+    threads until {!stop}. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0]). *)
+
+val stop : t -> unit
+(** Close the listening socket and join the accept thread. In-flight
+    connection threads finish on their own. *)

@@ -5,7 +5,8 @@ let disable () = Control.set false
 let reset () =
   Metric.reset_all ();
   Span.reset ();
-  Event.reset ()
+  Event.reset ();
+  Timeseries.reset ()
 
 let with_enabled f =
   reset ();

@@ -1,0 +1,350 @@
+module Jsonx = Zkflow_util.Jsonx
+
+type frame = {
+  seq : int;
+  ts_ns : int;
+  counters : (string * int) list;
+  histograms : (string * Metric.histogram_snapshot) list;
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_compactions : int;
+  gc_heap_words : int;
+}
+
+(* Bounded frame ring, same eviction discipline as the event ring:
+   oldest frames fall off once the ring is full, with the drop count
+   kept so window queries can say how much history they lost. *)
+let lock = Mutex.create ()
+let default_capacity = 512
+let buf = ref (Array.make default_capacity None)
+let head = ref 0
+let len = ref 0
+let dropped_count = ref 0
+let next_seq = ref 0
+
+let capacity () =
+  Mutex.lock lock;
+  let n = Array.length !buf in
+  Mutex.unlock lock;
+  n
+
+let set_capacity n =
+  let n = max 2 n in
+  Mutex.lock lock;
+  buf := Array.make n None;
+  head := 0;
+  len := 0;
+  dropped_count := 0;
+  next_seq := 0;
+  Mutex.unlock lock
+
+let reset () =
+  Mutex.lock lock;
+  Array.fill !buf 0 (Array.length !buf) None;
+  head := 0;
+  len := 0;
+  dropped_count := 0;
+  next_seq := 0;
+  Mutex.unlock lock
+
+let dropped () =
+  Mutex.lock lock;
+  let d = !dropped_count in
+  Mutex.unlock lock;
+  d
+
+let push f =
+  Mutex.lock lock;
+  let cap = Array.length !buf in
+  !buf.(!head) <- Some f;
+  head := (!head + 1) mod cap;
+  if !len < cap then incr len else incr dropped_count;
+  Mutex.unlock lock
+
+let sample () =
+  let gc = Gc.quick_stat () in
+  let f =
+    {
+      seq =
+        (Mutex.lock lock;
+         let s = !next_seq in
+         incr next_seq;
+         Mutex.unlock lock;
+         s);
+      ts_ns = Clock.now_ns ();
+      counters = Metric.counters ();
+      histograms = Metric.histograms ();
+      gc_minor_words = gc.Gc.minor_words;
+      gc_major_words = gc.Gc.major_words;
+      gc_compactions = gc.Gc.compactions;
+      gc_heap_words = gc.Gc.heap_words;
+    }
+  in
+  push f;
+  f
+
+let frames () =
+  Mutex.lock lock;
+  let cap = Array.length !buf in
+  let n = !len in
+  let first = (!head - n + cap) mod cap in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match !buf.((first + i) mod cap) with
+    | Some f -> out := f :: !out
+    | None -> ()
+  done;
+  Mutex.unlock lock;
+  !out
+
+(* ---- the tick thread ---- *)
+
+let default_interval_ms = 100
+
+type sampler = { stop_flag : bool Atomic.t; thread : Thread.t }
+
+let sampler_lock = Mutex.create ()
+let current : sampler option ref = ref None
+
+let start ?(interval_ms = default_interval_ms) () =
+  let interval_s = float_of_int (max 1 interval_ms) /. 1000. in
+  Mutex.lock sampler_lock;
+  let started =
+    match !current with
+    | Some _ -> false
+    | None ->
+      let stop_flag = Atomic.make false in
+      let thread =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop_flag) do
+              ignore (sample ());
+              Thread.delay interval_s
+            done)
+          ()
+      in
+      current := Some { stop_flag; thread };
+      true
+  in
+  Mutex.unlock sampler_lock;
+  started
+
+let stop () =
+  Mutex.lock sampler_lock;
+  let s = !current in
+  current := None;
+  Mutex.unlock sampler_lock;
+  match s with
+  | None -> ()
+  | Some { stop_flag; thread } ->
+    Atomic.set stop_flag true;
+    Thread.join thread;
+    (* One final frame so the window queries always see the state at
+       shutdown, however the tick landed. *)
+    ignore (sample ())
+
+let running () =
+  Mutex.lock sampler_lock;
+  let r = !current <> None in
+  Mutex.unlock sampler_lock;
+  r
+
+(* ---- window queries ---- *)
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let bounds = function
+  | [] | [ _ ] -> None
+  | first :: _ as l -> Some (first, List.nth l (List.length l - 1))
+
+let rate name ~last fs =
+  match bounds (last_n (max 2 last) fs) with
+  | None -> None
+  | Some (a, b) ->
+    let v f = Option.value ~default:0 (List.assoc_opt name f.counters) in
+    let dt_ns = b.ts_ns - a.ts_ns in
+    if dt_ns <= 0 then None
+    else Some (float_of_int (v b - v a) /. Clock.ns_to_s dt_ns)
+
+let window_hist name ~last fs =
+  match bounds (last_n (max 2 last) fs) with
+  | None -> None
+  | Some (a, b) -> (
+    match (List.assoc_opt name b.histograms, List.assoc_opt name a.histograms) with
+    | None, _ -> None
+    | Some hb, None -> Some hb
+    | Some hb, Some ha -> Some (Metric.sub_snapshot hb ha))
+
+let window_percentiles name ~last fs =
+  match window_hist name ~last fs with
+  | None -> None
+  | Some s when s.Metric.count = 0 -> None
+  | Some s ->
+    Some
+      ( s.Metric.count,
+        Metric.percentile s 0.50,
+        Metric.percentile s 0.95,
+        Metric.percentile s 0.99 )
+
+(* ---- JSONL persistence ---- *)
+
+let hist_json (s : Metric.histogram_snapshot) =
+  let num n = Jsonx.Num (float_of_int n) in
+  Jsonx.Obj
+    [
+      ("count", num s.Metric.count);
+      ("sum", num s.Metric.sum);
+      ("max", num s.Metric.max_value);
+      ( "buckets",
+        Jsonx.Arr
+          (List.map
+             (fun (le, cum) -> Jsonx.Arr [ num le; num cum ])
+             s.Metric.buckets) );
+    ]
+
+let hist_of_json v =
+  let int_field k =
+    match Jsonx.member k v with Some (Jsonx.Num f) -> Some (int_of_float f) | _ -> None
+  in
+  match (int_field "count", int_field "sum", int_field "max", Jsonx.member "buckets" v) with
+  | Some count, Some sum, Some max_value, Some (Jsonx.Arr bs) ->
+    let buckets =
+      List.filter_map
+        (function
+          | Jsonx.Arr [ Jsonx.Num le; Jsonx.Num cum ] ->
+            Some (int_of_float le, int_of_float cum)
+          | _ -> None)
+        bs
+    in
+    Ok { Metric.count; sum; max_value; buckets }
+  | _ -> Error "timeseries: malformed histogram"
+
+let to_json f =
+  let num n = Jsonx.Num (float_of_int n) in
+  Jsonx.Obj
+    [
+      ("seq", num f.seq);
+      ("ts_ns", num f.ts_ns);
+      ("counters", Jsonx.Obj (List.map (fun (k, v) -> (k, num v)) f.counters));
+      ("histograms", Jsonx.Obj (List.map (fun (k, s) -> (k, hist_json s)) f.histograms));
+      ( "gc",
+        Jsonx.Obj
+          [
+            ("minor_words", Jsonx.Num f.gc_minor_words);
+            ("major_words", Jsonx.Num f.gc_major_words);
+            ("compactions", num f.gc_compactions);
+            ("heap_words", num f.gc_heap_words);
+          ] );
+    ]
+
+let of_json v =
+  let int_field k =
+    match Jsonx.member k v with Some (Jsonx.Num f) -> Some (int_of_float f) | _ -> None
+  in
+  match (int_field "seq", int_field "ts_ns") with
+  | Some seq, Some ts_ns ->
+    let counters =
+      match Jsonx.member "counters" v with
+      | Some (Jsonx.Obj kvs) ->
+        List.filter_map
+          (function k, Jsonx.Num f -> Some (k, int_of_float f) | _ -> None)
+          kvs
+      | _ -> []
+    in
+    let histograms =
+      match Jsonx.member "histograms" v with
+      | Some (Jsonx.Obj kvs) ->
+        List.filter_map
+          (fun (k, hv) -> match hist_of_json hv with Ok s -> Some (k, s) | Error _ -> None)
+          kvs
+      | _ -> []
+    in
+    let gc_num k =
+      match Jsonx.member "gc" v with
+      | Some gc -> (
+        match Jsonx.member k gc with Some (Jsonx.Num f) -> f | _ -> 0.)
+      | None -> 0.
+    in
+    Ok
+      {
+        seq;
+        ts_ns;
+        counters;
+        histograms;
+        gc_minor_words = gc_num "minor_words";
+        gc_major_words = gc_num "major_words";
+        gc_compactions = int_of_float (gc_num "compactions");
+        gc_heap_words = int_of_float (gc_num "heap_words");
+      }
+  | _ -> Error "timeseries: frame missing seq/ts_ns"
+
+let parse_line line = Result.bind (Jsonx.parse line) of_json
+
+let write_jsonl ?(append = false) path =
+  let flags =
+    (if append then [ Open_append ] else [ Open_trunc ]) @ [ Open_wronly; Open_creat ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun f -> output_string oc (Jsonx.to_string (to_json f) ^ "\n"))
+        (frames ()))
+
+(* Same torn-tail discipline as {!Event.load_jsonl}: the sampler can
+   die mid-line too, and one lost frame must not cost the history. *)
+let load_jsonl path =
+  if not (Sys.file_exists path) then Error (path ^ ": not found")
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let rec go acc lineno = function
+      | [] -> Ok (List.rev acc, None)
+      | line :: rest ->
+        if String.trim line = "" then go acc (lineno + 1) rest
+        else begin
+          match parse_line line with
+          | Ok f -> go (f :: acc) (lineno + 1) rest
+          | Error e ->
+            if List.for_all (fun l -> String.trim l = "") rest then
+              Ok
+                ( List.rev acc,
+                  Some
+                    (Printf.sprintf "%s:%d: truncated tail dropped (%s)" path
+                       lineno e) )
+            else Error (Printf.sprintf "%s:%d: %s" path lineno e)
+        end
+    in
+    go [] 1 (List.rev !lines)
+  end
+
+(* ---- Prometheus gauge lines for the /metrics endpoint ---- *)
+
+let prometheus_gauges fs =
+  let b = Buffer.create 256 in
+  let gauge name v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name v)
+  in
+  gauge "zkflow_timeseries_frames" (string_of_int (List.length fs));
+  (match bounds fs with
+  | Some (a, z) ->
+    gauge "zkflow_timeseries_span_seconds"
+      (Printf.sprintf "%.3f" (Clock.ns_to_s (z.ts_ns - a.ts_ns)))
+  | None -> ());
+  (match List.rev fs with
+  | [] -> ()
+  | last :: _ ->
+    gauge "zkflow_timeseries_last_seq" (string_of_int last.seq);
+    gauge "zkflow_gc_minor_words" (Printf.sprintf "%.0f" last.gc_minor_words);
+    gauge "zkflow_gc_major_words" (Printf.sprintf "%.0f" last.gc_major_words);
+    gauge "zkflow_gc_compactions" (string_of_int last.gc_compactions);
+    gauge "zkflow_gc_heap_words" (string_of_int last.gc_heap_words));
+  Buffer.contents b

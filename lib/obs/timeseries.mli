@@ -1,0 +1,104 @@
+(** Periodic metric time-series: the history behind the live plane.
+
+    A {e frame} is one cumulative snapshot of every registered counter
+    and histogram plus the GC accounting ([Gc.quick_stat]) at one
+    monotonic instant. Frames land in a bounded ring (oldest evicted,
+    drop count kept) either from an explicit {!sample} call or from the
+    background tick thread ({!start}/{!stop}, default tick
+    {!default_interval_ms}).
+
+    Because frames are cumulative, windowed queries are deltas between
+    two frames: {!rate} divides a counter delta by the wall-clock span,
+    {!window_hist} subtracts histogram snapshots bucket-wise
+    ({!Metric.sub_snapshot}) so {!Metric.percentile} answers "p95 over
+    the last N frames", not "p95 since process start". That is what
+    lets [zkflow monitor] report trends and [zkflow watch] serve live
+    gauges.
+
+    Sampling reads the registry without touching the {!Control} gate:
+    a sample taken while telemetry is disabled is a frame of frozen
+    values, which is exactly what an on/off overhead comparison wants
+    to see. The tick thread itself is the only cost telemetry-on adds,
+    and the obs-overhead bench row keeps that honest. *)
+
+type frame = {
+  seq : int;  (** monotonically increasing sample number *)
+  ts_ns : int;  (** {!Clock.now_ns} at sample time *)
+  counters : (string * int) list;  (** cumulative, sorted by name *)
+  histograms : (string * Metric.histogram_snapshot) list;  (** cumulative *)
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_compactions : int;
+  gc_heap_words : int;
+}
+
+val sample : unit -> frame
+(** Take one frame now and push it onto the ring. *)
+
+val frames : unit -> frame list
+(** Buffered frames, oldest first. *)
+
+val default_interval_ms : int
+(** The default sampler tick (100 ms). *)
+
+val start : ?interval_ms:int -> unit -> bool
+(** Start the background tick thread; [false] if one is already
+    running (it is left untouched). *)
+
+val stop : unit -> unit
+(** Stop the tick thread, wait for it, and take one final frame so the
+    shutdown state is always in the ring. No-op when not running. *)
+
+val running : unit -> bool
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring (drops everything buffered; min capacity 2 — a
+    window needs two frames). *)
+
+val dropped : unit -> int
+(** Frames evicted since the last {!reset}. *)
+
+val reset : unit -> unit
+
+(** {2 Window queries}
+
+    All take the frame list explicitly (from {!frames} or
+    {!load_jsonl}) so saved series query the same way live ones do.
+    [last] counts frames; fewer than two available frames means no
+    window, hence [None]. *)
+
+val rate : string -> last:int -> frame list -> float option
+(** Counter delta per second across the last [last] frames. *)
+
+val window_hist :
+  string -> last:int -> frame list -> Metric.histogram_snapshot option
+(** Histogram activity within the last [last] frames (cumulative
+    snapshots subtracted bucket-wise). *)
+
+val window_percentiles :
+  string -> last:int -> frame list -> (int * int * int * int) option
+(** [(count, p50, p95, p99)] of {!window_hist}, [None] when the window
+    saw no observations. *)
+
+(** {2 JSONL persistence} *)
+
+val to_json : frame -> Zkflow_util.Jsonx.t
+val of_json : Zkflow_util.Jsonx.t -> (frame, string) result
+val parse_line : string -> (frame, string) result
+
+val write_jsonl : ?append:bool -> string -> unit
+(** Write the buffered frames to a file, one JSON object per line
+    ([append] defaults to [false]: truncate). The ring is left
+    untouched — unlike the event log, a time-series is re-exported
+    whole. *)
+
+val load_jsonl : string -> (frame list * string option, string) result
+(** Read a frame series back. Same torn-tail tolerance as
+    {!Event.load_jsonl}: a truncated final line yields the decodable
+    prefix plus a note; corruption mid-file is still an error. *)
+
+val prometheus_gauges : frame list -> string
+(** Gauge lines for the [/metrics] endpoint: frame count, series span,
+    last sequence number, and the last frame's GC numbers. *)

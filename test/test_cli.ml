@@ -170,6 +170,99 @@ let test_chaos_dropped_export_fails_strict_monitor () =
   let code, _ = run [ "monitor"; "--dir"; dir; "--gap-grace"; "99" ] in
   check_int "lenient monitor exit" 0 code
 
+(* ---- the live telemetry plane: slo, watch, monitor trends ---- *)
+
+(* One recorded pipeline (events + time-series) feeds all three
+   surfaces: the strict SLO verdict must pass on a clean run, every
+   watch --probe endpoint must serve its schema from the artifacts,
+   and the monitor trend must surface the round-latency time-series. *)
+let test_telemetry_plane_clean_run () =
+  let dir = fresh_dir () in
+  let events = Filename.concat dir "events.jsonl" in
+  let timeseries = Filename.concat dir "timeseries.jsonl" in
+  let code, out =
+    run
+      [ "simulate"; "--dir"; dir; "--events"; events; "--flows"; "6"; "--rate";
+        "60"; "--duration"; "2000"; "--routers"; "2" ]
+  in
+  check_int ("simulate: " ^ out) 0 code;
+  let code, out =
+    run
+      [ "prove"; "--dir"; dir; "--events"; events; "--timeseries"; timeseries;
+        "--queries"; "8" ]
+  in
+  check_int ("prove: " ^ out) 0 code;
+  check_bool "time-series written" true (Sys.file_exists timeseries);
+  (* clean run: every objective met, strict exits 0 *)
+  let code, out = run [ "slo"; "--dir"; dir; "--strict" ] in
+  check_int ("slo --strict: " ^ out) 0 code;
+  check_bool "all objectives met" true (contains ~needle:"all objectives met" out);
+  let code, out = run [ "slo"; "--dir"; dir; "--json" ] in
+  check_int "slo --json exit" 0 code;
+  (match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("slo json does not parse: " ^ e)
+  | Ok v ->
+    check_bool "slo schema" true
+      (Zkflow_util.Jsonx.member "schema" v
+      = Some (Zkflow_util.Jsonx.Str "zkflow-slo/v1"));
+    check_bool "ok" true
+      (Zkflow_util.Jsonx.member "ok" v = Some (Zkflow_util.Jsonx.Bool true)));
+  (* every endpoint probes schema-valid from the artifacts *)
+  let code, out = run [ "watch"; "--dir"; dir; "--probe"; "/healthz" ] in
+  check_int ("watch /healthz: " ^ out) 0 code;
+  (match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("healthz does not parse: " ^ e)
+  | Ok v ->
+    check_bool "healthz schema" true
+      (Zkflow_util.Jsonx.member "schema" v
+      = Some (Zkflow_util.Jsonx.Str "zkflow-healthz/v1"));
+    check_bool "healthy" true
+      (Zkflow_util.Jsonx.member "healthy" v = Some (Zkflow_util.Jsonx.Bool true)));
+  let code, out = run [ "watch"; "--dir"; dir; "--probe"; "/slo" ] in
+  check_int ("watch /slo: " ^ out) 0 code;
+  check_bool "slo endpoint schema" true (contains ~needle:"zkflow-slo/v1" out);
+  let code, out = run [ "watch"; "--dir"; dir; "--probe"; "/metrics" ] in
+  check_int ("watch /metrics: " ^ out) 0 code;
+  check_bool "prometheus names" true (contains ~needle:"zkflow_" out);
+  check_bool "timeseries gauges" true (contains ~needle:"zkflow_timeseries_frames" out);
+  (* an unknown path is a failed probe, not a silent 404 body *)
+  let code, out = run [ "watch"; "--dir"; dir; "--probe"; "/nope" ] in
+  check_int "unknown path fails the probe" 1 code;
+  check_bool "names the status" true (contains ~needle:"404" out);
+  (* the monitor trend reads the conventional DIR/timeseries.jsonl *)
+  let code, out = run [ "monitor"; "--dir"; dir; "--json" ] in
+  check_int ("monitor --json: " ^ out) 0 code;
+  match Zkflow_util.Jsonx.parse (String.trim out) with
+  | Error e -> Alcotest.fail ("monitor json does not parse: " ^ e)
+  | Ok v -> (
+    match Zkflow_util.Jsonx.member "round_latency_trend" v with
+    | Some trend ->
+      check_bool "trend names the metric" true
+        (Zkflow_util.Jsonx.member "metric" trend
+        = Some (Zkflow_util.Jsonx.Str "prover.round_ns"))
+    | None -> Alcotest.fail "no round_latency_trend in monitor json")
+
+(* The other half of the chaos contract: an injected drop must trip
+   the coverage objective, and the strict verdict must say so with a
+   nonzero exit. *)
+let test_slo_strict_flags_chaos_drop () =
+  let dir = fresh_dir () in
+  let plan = Filename.concat dir "plan.json" in
+  write_text plan
+    {|{"seed": 4, "name": "cli-slo-drop",
+       "faults": [{"kind": "drop", "router": 1, "epoch": 0}]}|};
+  let code, out = run ([ "chaos"; "--dir"; dir; "--plan"; plan ] @ chaos_flags) in
+  check_int ("chaos: " ^ out) 0 code;
+  check_bool "chaos verdict names the slo" true (contains ~needle:"coverage" out);
+  let code, out = run [ "slo"; "--dir"; dir; "--strict" ] in
+  check_int "strict slo fails" 1 code;
+  check_bool "coverage fired" true (contains ~needle:"coverage" out);
+  check_bool "says firing" true (contains ~needle:"firing" out);
+  (* without --strict the same verdict is informational *)
+  let code, out = run [ "slo"; "--dir"; dir ] in
+  check_int "non-strict exit" 0 code;
+  check_bool "still reports FIRING" true (contains ~needle:"FIRING" out)
+
 (* ---- bench-diff ---- *)
 
 let old_bench =
@@ -323,6 +416,13 @@ let () =
             test_chaos_crash_plan_stays_healthy;
           Alcotest.test_case "dropped export: degraded + strict monitor fails" `Slow
             test_chaos_dropped_export_fails_strict_monitor;
+        ] );
+      ( "telemetry-plane",
+        [
+          Alcotest.test_case "clean run: slo, watch probes, monitor trend" `Quick
+            test_telemetry_plane_clean_run;
+          Alcotest.test_case "chaos drop trips the strict slo verdict" `Slow
+            test_slo_strict_flags_chaos_drop;
         ] );
       ( "bench-diff",
         [

@@ -110,6 +110,32 @@ let test_percentile () =
   let empty = Metric.snapshot_of_values [] in
   check_int "empty is 0" 0 (Metric.percentile empty 0.5)
 
+let test_percentile_all_equal () =
+  (* every observation in one bucket: the cap at the observed max makes
+     the estimate exact, not an upper bound *)
+  let s = Metric.snapshot_of_values (List.init 10 (fun _ -> 16)) in
+  check_int "count" 10 s.Metric.count;
+  check_int "p50 exact" 16 (Metric.percentile s 0.50);
+  check_int "p99 exact" 16 (Metric.percentile s 0.99)
+
+let test_sub_snapshot_window () =
+  (* a window delta between two cumulative snapshots: only what came
+     after the older snapshot counts *)
+  let older = Metric.snapshot_of_values [ 1; 2; 4 ] in
+  let newer = Metric.snapshot_of_values [ 1; 2; 4; 100; 200 ] in
+  let d = Metric.sub_snapshot newer older in
+  check_int "window count" 2 d.Metric.count;
+  check_int "window sum" 300 d.Metric.sum;
+  (* the delta's max is the lifetime max — an upper bound *)
+  check_int "window max" 200 d.Metric.max_value;
+  (* 100 lands in [64,128): the bucket bound is the p50 estimate *)
+  check_int "window p50" 127 (Metric.percentile d 0.50);
+  check_int "window p100 capped at max" 200 (Metric.percentile d 1.0);
+  (* subtracting a snapshot from itself is an empty window *)
+  let zero = Metric.sub_snapshot newer newer in
+  check_int "self-delta count" 0 zero.Metric.count;
+  check_int "self-delta percentile" 0 (Metric.percentile zero 0.5)
+
 (* ---- events: the pipeline flight recorder ---- *)
 
 module Event = Zkflow_obs.Event
@@ -191,6 +217,228 @@ let test_prometheus_quantiles () =
     (fun needle ->
       check_bool (needle ^ " in prometheus dump") true (contains ~needle text))
     [ "quantile=\"0.5\""; "quantile=\"0.95\""; "quantile=\"0.99\"" ]
+
+(* ---- time-series: the frame ring and its window queries ---- *)
+
+module Timeseries = Zkflow_obs.Timeseries
+
+let test_timeseries_wraparound () =
+  Obs.reset ();
+  Timeseries.reset ();
+  let saved = Timeseries.capacity () in
+  Timeseries.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () ->
+      Timeseries.set_capacity saved;
+      Obs.disable ())
+    (fun () ->
+      Obs.enable ();
+      let c = Metric.counter "test.ts.work" in
+      let h = Metric.histogram "test.ts.lat" in
+      for i = 1 to 8 do
+        Metric.add c 10;
+        Metric.observe h (i * i);
+        ignore (Timeseries.sample ())
+      done;
+      let fs = Timeseries.frames () in
+      check_int "ring holds capacity" 4 (List.length fs);
+      check_int "four evicted" 4 (Timeseries.dropped ());
+      (* seq keeps counting across eviction: the survivors are the
+         last four samples *)
+      (match (fs, List.rev fs) with
+      | first :: _, last :: _ ->
+        check_int "oldest surviving seq" 4 first.Timeseries.seq;
+        check_int "newest seq" 7 last.Timeseries.seq
+      | _ -> Alcotest.fail "empty ring");
+      (* window queries straddle the wrap: the counter rose 30 across
+         the 4 surviving frames (3 deltas of 10) *)
+      (match Timeseries.rate "test.ts.work" ~last:4 fs with
+      | Some r -> check_bool "positive rate" true (r > 0.)
+      | None -> Alcotest.fail "no rate over surviving frames");
+      (* asking for more frames than survive clamps, not fails *)
+      check_bool "oversized window clamps" true
+        (Timeseries.rate "test.ts.work" ~last:100 fs <> None);
+      (* the histogram window sees only the post-wrap observations:
+         i=6,7,8 (between the first surviving frame and the last) *)
+      (match Timeseries.window_percentiles "test.ts.lat" ~last:4 fs with
+      | Some (count, p50, _, p99) ->
+        check_int "window observation count" 3 count;
+        (* 36 and 49 share the [32,64) bucket: p50 is its bound *)
+        check_int "window p50" 63 p50;
+        (* p99 rank is 64's bucket, capped at the observed max *)
+        check_int "window p99" 64 p99
+      | None -> Alcotest.fail "no window percentiles");
+      (* a single frame is no window *)
+      Timeseries.reset ();
+      ignore (Timeseries.sample ());
+      check_bool "one frame, no rate" true
+        (Timeseries.rate "test.ts.work" ~last:4 (Timeseries.frames ()) = None))
+
+(* ---- JSONL loaders: round-trip and torn-tail tolerance ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let temp_path suffix =
+  let path = Filename.temp_file "zkflow-obs" suffix in
+  path
+
+(* A crash mid-flush tears the final line at an arbitrary byte. Every
+   cut point inside the last line must yield the decodable prefix plus
+   a note — never an error, never silent loss of the intact lines. *)
+let test_event_load_torn_tail () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      for i = 0 to 2 do
+        Event.emit ~epoch:i ~track:"test" "test.tick"
+      done);
+  let path = temp_path ".jsonl" in
+  Event.write_jsonl path;
+  let full = read_file path in
+  (* intact file: all three events, no note *)
+  (match Event.load_jsonl path with
+  | Ok (evs, None) -> check_int "intact load" 3 (List.length evs)
+  | Ok (_, Some note) -> Alcotest.fail ("unexpected note on intact file: " ^ note)
+  | Error e -> Alcotest.fail e);
+  let len = String.length full in
+  let last_start = String.rindex_from full (len - 2) '\n' + 1 in
+  (* cut at the line boundary: a clean two-event log *)
+  write_file path (String.sub full 0 last_start);
+  (match Event.load_jsonl path with
+  | Ok (evs, None) -> check_int "boundary cut" 2 (List.length evs)
+  | Ok (_, Some note) -> Alcotest.fail ("boundary cut is not torn: " ^ note)
+  | Error e -> Alcotest.fail e);
+  (* every mid-line cut: prefix plus a truncated_tail note *)
+  for cut = last_start + 1 to len - 2 do
+    write_file path (String.sub full 0 cut);
+    match Event.load_jsonl path with
+    | Ok (evs, Some _) ->
+      check_int (Printf.sprintf "torn at byte %d keeps the prefix" cut) 2
+        (List.length evs)
+    | Ok (_, None) ->
+      Alcotest.fail (Printf.sprintf "torn at byte %d: no truncation note" cut)
+    | Error e -> Alcotest.fail (Printf.sprintf "torn at byte %d rejected: %s" cut e)
+  done;
+  (* a torn tail followed only by blank lines is still just a tail *)
+  write_file path (String.sub full 0 (len - 2) ^ "\n\n");
+  (match Event.load_jsonl path with
+  | Ok (evs, Some _) -> check_int "tail before blanks" 2 (List.length evs)
+  | Ok (_, None) -> Alcotest.fail "no note for torn tail before blanks"
+  | Error e -> Alcotest.fail e);
+  (* corruption mid-file — intact events after the bad line — is an
+     error that names the line, not a tail to shrug off *)
+  (match String.split_on_char '\n' full with
+  | [ l0; _; l2; _ ] ->
+    write_file path (l0 ^ "\n{torn" ^ "\n" ^ l2 ^ "\n");
+    (match Event.load_jsonl path with
+    | Ok _ -> Alcotest.fail "mid-file corruption accepted"
+    | Error e -> check_bool "names line 2" true (contains ~needle:":2:" e))
+  | _ -> Alcotest.fail "expected 3 lines");
+  Sys.remove path
+
+let test_timeseries_load_roundtrip_and_torn_tail () =
+  Obs.reset ();
+  Timeseries.reset ();
+  Obs.with_enabled (fun () ->
+      let c = Metric.counter "test.ts.persist" in
+      for _ = 1 to 3 do
+        Metric.add c 5;
+        ignore (Timeseries.sample ())
+      done);
+  let path = temp_path ".jsonl" in
+  Timeseries.write_jsonl path;
+  (* the ring is left untouched by export *)
+  check_int "ring intact after write" 3 (List.length (Timeseries.frames ()));
+  let live = Timeseries.frames () in
+  (match Timeseries.load_jsonl path with
+  | Ok (fs, None) ->
+    check_int "frames round-trip" 3 (List.length fs);
+    List.iter2
+      (fun (a : Timeseries.frame) (b : Timeseries.frame) ->
+        check_int "seq" a.Timeseries.seq b.Timeseries.seq;
+        check_int "ts_ns" a.Timeseries.ts_ns b.Timeseries.ts_ns;
+        check_bool "counters" true (a.Timeseries.counters = b.Timeseries.counters);
+        check_bool "histograms" true (a.Timeseries.histograms = b.Timeseries.histograms))
+      live fs;
+    (* loaded series answer window queries the same way live ones do *)
+    check_bool "loaded rate" true
+      (Timeseries.rate "test.ts.persist" ~last:3 fs
+      = Timeseries.rate "test.ts.persist" ~last:3 live)
+  | Ok (_, Some note) -> Alcotest.fail ("unexpected note: " ^ note)
+  | Error e -> Alcotest.fail e);
+  (* same torn-tail discipline as the event log *)
+  let full = read_file path in
+  write_file path (String.sub full 0 (String.length full - 2));
+  (match Timeseries.load_jsonl path with
+  | Ok (fs, Some _) -> check_int "torn tail keeps prefix" 2 (List.length fs)
+  | Ok (_, None) -> Alcotest.fail "no truncation note"
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+(* ---- the embedded HTTP server ---- *)
+
+module Httpd = Zkflow_obs.Httpd
+
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 512 in
+      let chunk = Bytes.create 1024 in
+      let rec go () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      in
+      go ();
+      Buffer.contents buf)
+
+let test_httpd_roundtrip () =
+  let handler = function
+    | "/ping" -> Some { Httpd.status = 200; content_type = "text/plain"; body = "pong" }
+    | "/boom" -> failwith "kaboom"
+    | _ -> None
+  in
+  match Httpd.start ~port:0 handler with
+  | Error e -> Alcotest.fail ("httpd start: " ^ e)
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Httpd.stop srv)
+      (fun () ->
+        let port = Httpd.port srv in
+        check_bool "ephemeral port bound" true (port > 0);
+        let resp = http_get ~port "/ping" in
+        check_bool "status 200" true (contains ~needle:"HTTP/1.0 200" resp);
+        check_bool "body served" true (contains ~needle:"pong" resp);
+        check_bool "connection closed" true (contains ~needle:"Connection: close" resp);
+        (* a query string is stripped before routing *)
+        check_bool "query string stripped" true
+          (contains ~needle:"HTTP/1.0 200" (http_get ~port "/ping?x=1"));
+        (* unknown path: JSON 404 naming the path *)
+        let resp = http_get ~port "/nope" in
+        check_bool "404" true (contains ~needle:"HTTP/1.0 404" resp);
+        check_bool "404 names the path" true (contains ~needle:{|"/nope"|} resp);
+        (* a handler exception becomes a JSON 500, never a crash *)
+        let resp = http_get ~port "/boom" in
+        check_bool "500 on handler raise" true (contains ~needle:"HTTP/1.0 500" resp);
+        check_bool "500 carries detail" true (contains ~needle:"kaboom" resp);
+        (* the server survived all of the above *)
+        check_bool "still serving" true
+          (contains ~needle:"HTTP/1.0 200" (http_get ~port "/ping")))
 
 (* ---- monitor: health reports from synthetic event logs ---- *)
 
@@ -507,6 +755,27 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "reset zeroes" `Quick test_reset_zeroes;
           Alcotest.test_case "percentiles from log2 buckets" `Quick test_percentile;
+          Alcotest.test_case "percentile of equal values is exact" `Quick
+            test_percentile_all_equal;
+          Alcotest.test_case "sub_snapshot window delta" `Quick
+            test_sub_snapshot_window;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "window queries straddle ring wrap" `Quick
+            test_timeseries_wraparound;
+          Alcotest.test_case "jsonl round-trip and torn tail" `Quick
+            test_timeseries_load_roundtrip_and_torn_tail;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "event log torn at every byte offset" `Quick
+            test_event_load_torn_tail;
+        ] );
+      ( "httpd",
+        [
+          Alcotest.test_case "GET round-trip, 404, handler raise" `Quick
+            test_httpd_roundtrip;
         ] );
       ( "event",
         [
