@@ -3,7 +3,7 @@
 # exercised even where the default would be sequential, plus the
 # static analyzer over the built-in guests and every example query.
 .PHONY: all build test check lint audit audit-sarif bench bench-smoke \
-        watch-smoke chaos matrix report
+        watch-smoke serve-smoke chaos matrix report
 
 all: build
 
@@ -110,6 +110,44 @@ watch-smoke: build
 	  kill $$pid; exit $$ok
 	@echo "watch-smoke: all endpoints schema-valid"
 
+# The resident daemon end to end: simulate a small run, start `zkflow
+# serve` in the background, wait until /status reports both replayed
+# epochs proved (queries before that land on a moving root, which
+# defeats the memo check by design) and /healthz is green, exercise
+# the proof-backed query plane (the second identical query must come
+# from the memo cache), then SIGTERM and require a clean drain: exit
+# 0, and the
+# flushed event log must satisfy the strict SLO verdict. This is the
+# daemon-lifecycle contract CI enforces: graceful shutdown is not
+# best-effort.
+serve-smoke: build
+	rm -rf $(SMOKE)/serve
+	mkdir -p $(SMOKE)/serve
+	dune exec bin/zkflow.exe -- simulate --dir $(SMOKE)/serve/state \
+	  --routers 2 --flows 60 --rate 20 --duration 6000
+	./_build/default/bin/zkflow.exe serve --dir $(SMOKE)/serve/state \
+	  --listen 19465 > $(SMOKE)/serve/serve.log 2>&1 & pid=$$!; \
+	  ok=0; up=1; \
+	  for i in $$(seq 1 100); do \
+	    curl -sf http://127.0.0.1:19465/status | grep -q '"rounds":2' \
+	      && up=0 && break; \
+	    sleep 0.2; \
+	  done; \
+	  [ $$up -eq 0 ] && \
+	  curl -sf http://127.0.0.1:19465/healthz >/dev/null && \
+	  curl -sf http://127.0.0.1:19465/status | grep -q 'zkflow-daemon-status/v1' && \
+	  curl -sf 'http://127.0.0.1:19465/query?metric=packets&op=count' \
+	    | grep -q '"cached":false' && \
+	  curl -sf 'http://127.0.0.1:19465/query?metric=packets&op=count' \
+	    | grep -q '"cached":true' && \
+	  curl -sf 'http://127.0.0.1:19465/flows?first=3' | grep -q '"rows"' && \
+	  curl -sf http://127.0.0.1:19465/metrics | grep -q '^zkflow_' || ok=1; \
+	  kill -TERM $$pid; \
+	  wait $$pid || ok=1; \
+	  cat $(SMOKE)/serve/serve.log; exit $$ok
+	dune exec bin/zkflow.exe -- slo --dir $(SMOKE)/serve/state --strict
+	@echo "serve-smoke: daemon served, drained cleanly, SLOs green"
+
 # The proof-backend benchmark matrix (DESIGN.md §14): one aggregation
 # round per cell across backend × queries × scale, written to
 # BENCH_matrix.json. Quick mode is the CI grid; `make matrix
@@ -126,7 +164,10 @@ report: matrix
 	@echo "report: wrote REPORT.md and report.json"
 
 # Deterministic fault-injection matrix: 8 seeded random plans plus the
-# curated ones under chaos/plans/. Every run must end verified — either
+# curated ones under chaos/plans/ (the daemon-* plans are dispatched
+# with --daemon, aiming the same kills and corruption at the resident
+# daemon's bounded-ingest pipeline, plus exact-shed overload bursts).
+# Every run must end verified — either
 # complete or explicitly degraded (safety: the final root is
 # bit-identical to an uninterrupted twin; liveness: any open gap names
 # a destroyed export). Per-plan artifacts land in chaos-out/<plan>/:
@@ -146,7 +187,8 @@ chaos: build
 	done
 	for plan in chaos/plans/*.json; do \
 	  name=$$(basename $$plan .json); \
-	  dune exec bin/zkflow.exe -- chaos --plan $$plan \
+	  mode=""; case $$name in daemon-*) mode="--daemon";; esac; \
+	  dune exec bin/zkflow.exe -- chaos --plan $$plan $$mode \
 	    --dir chaos-out/$$name --json \
 	    > chaos-out/$$name-report.json || exit 1; \
 	  dune exec bin/zkflow.exe -- monitor --dir chaos-out/$$name --strict \

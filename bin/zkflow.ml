@@ -830,7 +830,7 @@ let watch dir events timeseries specs_file listen probe =
 (* ---- chaos ---- *)
 
 let chaos dir seed plan_file routers flows rate duration loss queries
-    max_restarts json events listen =
+    max_restarts daemon json events listen =
   let events = match events with Some p -> Some p | None -> Some (events_path dir) in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let* server =
@@ -859,18 +859,145 @@ let chaos dir seed plan_file routers flows rate duration loss queries
           max_restarts;
         }
       in
-      let* report = Chaos.run ~dir ~config ~plan () in
-      if json then print_endline (Jsonx.to_string (Chaos.to_json report))
-      else Format.printf "%a@." Chaos.pp report;
-      if report.Chaos.safety_ok && report.Chaos.liveness_ok then Ok ()
-      else
-        Error
-          (Printf.sprintf "chaos: %s violated under plan %S"
-             (match (report.Chaos.safety_ok, report.Chaos.liveness_ok) with
-             | false, false -> "safety and liveness"
-             | false, true -> "safety"
-             | _ -> "liveness")
-             report.Chaos.plan.Fault.name))
+      let verdict report ~flood_ok =
+        if report.Chaos.safety_ok && report.Chaos.liveness_ok && flood_ok then
+          Ok ()
+        else
+          Error
+            (Printf.sprintf "chaos: %s violated under plan %S"
+               (match
+                  (report.Chaos.safety_ok, report.Chaos.liveness_ok, flood_ok)
+                with
+               | false, false, _ -> "safety and liveness"
+               | false, true, _ -> "safety"
+               | true, false, _ -> "liveness"
+               | _ -> "bounded-ingest shedding")
+               report.Chaos.plan.Fault.name)
+      in
+      if daemon then begin
+        let* r = Chaos.run_daemon ~dir ~config ~plan () in
+        if json then print_endline (Jsonx.to_string (Chaos.daemon_to_json r))
+        else Format.printf "%a@." Chaos.pp_daemon r;
+        verdict r.Chaos.base ~flood_ok:r.Chaos.flood_ok
+      end
+      else begin
+        let* report = Chaos.run ~dir ~config ~plan () in
+        if json then print_endline (Jsonx.to_string (Chaos.to_json report))
+        else Format.printf "%a@." Chaos.pp report;
+        verdict report ~flood_ok:true
+      end)
+
+(* ---- serve: the resident daemon ---- *)
+
+(* [zkflow serve] turns the state directory into a running service:
+   the router flow logs recovered from rlogs.wal are replayed through
+   the daemon's bounded ingest queue (the daemon publishes to a fresh
+   board on the routers' behalf and proves rounds off-path), then the
+   process sits behind the embedded HTTP plane answering memoized
+   proof-backed queries until SIGTERM/SIGINT, at which point it drains
+   — finishes everything in flight — and flushes board, service
+   state, events and time-series before exiting 0. A SIGKILL instead
+   loses nothing durable: the next [serve] resumes from the v2
+   checkpoint WAL and re-proves only the unsynced tail. *)
+
+let serve_stop = Atomic.make false
+
+let serve dir listen queries_n capacity watchdog_ms events =
+  let events = match events with Some p -> Some p | None -> Some (events_path dir) in
+  let* db_src =
+    match Db.recover ~wal_path:(wal_path dir) ~epoch:epoch_policy with
+    | Ok db -> Ok db
+    | Error e -> Error ("recovering store: " ^ e)
+  in
+  Atomic.set serve_stop false;
+  (* Trap before replay: an early SIGTERM still drains cleanly. *)
+  let trap s = Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set serve_stop true)) in
+  trap Sys.sigterm;
+  trap Sys.sigint;
+  with_events ~append:true events @@ fun () ->
+  ignore (Zkflow_obs.Timeseries.start ());
+  let finish_sampler () =
+    Zkflow_obs.Timeseries.stop ();
+    Zkflow_obs.Timeseries.write_jsonl (timeseries_path dir)
+  in
+  let db = Db.create ~epoch:epoch_policy () in
+  let board = Board.create () in
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.queue_capacity = capacity;
+      watchdog_interval_ms = watchdog_ms;
+    }
+  in
+  let* d, restored =
+    Daemon.create ~config
+      ~proof_params:(Zkflow_zkproof.Params.make ~queries:queries_n)
+      ~db ~board ~ckpt_path:(ckpt_path dir) ()
+  in
+  match Zkflow_obs.Httpd.start ~port:listen (Daemon.handler d) with
+  | Error e ->
+    Daemon.stop d;
+    finish_sampler ();
+    Error ("serve: " ^ e)
+  | Ok srv ->
+    Printf.printf "zkflow serve on http://127.0.0.1:%d (/status /healthz /query /flows /metrics /slo)\n%!"
+      (Zkflow_obs.Httpd.port srv);
+    (* Replay the recovered flow log through the bounded queue,
+       epoch by epoch. [submit_wait] is the backpressure path: the
+       replay blocks rather than sheds when it outruns the prover. *)
+    let offered = ref 0 in
+    List.iter
+      (fun epoch ->
+        List.iter
+          (fun router_id ->
+            let recs = Array.to_list (Db.window db_src ~router_id ~epoch) in
+            incr offered;
+            ignore (Daemon.submit_wait d ~router_id ~epoch recs))
+          (Db.routers_for db_src ~epoch);
+        Daemon.advance d ~epoch)
+      (Db.epochs db_src);
+    Printf.printf "replaying %d window(s) over %d epoch(s); %d round(s) restored from checkpoints\n%!"
+      !offered
+      (List.length (Db.epochs db_src))
+      restored;
+    (* Resident phase: sit behind the HTTP plane until a signal. A
+       worker crash here (only possible with armed fault hooks) goes
+       through the same supervised restart a real kill would. *)
+    while not (Atomic.get serve_stop) do
+      Thread.delay 0.1;
+      match Daemon.crashed d with
+      | None -> ()
+      | Some site ->
+        Printf.eprintf "worker crashed at %s; restarting\n%!" site;
+        (match Daemon.restart d with
+        | Ok n -> Printf.eprintf "restarted: %d round(s) recovered\n%!" n
+        | Error e -> Printf.eprintf "restart failed: %s\n%!" e)
+    done;
+    Printf.printf "signal received: draining\n%!";
+    let rec drain_with_retry attempts =
+      match Daemon.drain d with
+      | Ok () -> Ok ()
+      | Error e when attempts > 0 && Daemon.crashed d <> None -> (
+        match Daemon.restart d with
+        | Ok _ -> drain_with_retry (attempts - 1)
+        | Error e' -> Error (e ^ "; restart failed: " ^ e'))
+      | Error e -> Error e
+    in
+    let drained = drain_with_retry 3 in
+    Zkflow_obs.Httpd.stop srv;
+    let c = Daemon.counters d in
+    write_file (board_path dir) (Bytes.of_string (Board.export board));
+    write_file (service_path dir) (Prover_service.save (Daemon.service d));
+    Daemon.stop d;
+    finish_sampler ();
+    let* () = drained in
+    Printf.printf
+      "drained: %d window(s) accepted (%d shed, %d duplicate), %d round(s) (%d heal), root %s\n"
+      c.Daemon.accepted c.Daemon.shed c.Daemon.duplicates c.Daemon.rounds
+      c.Daemon.heal_rounds
+      (String.sub (Daemon.root_hex d) 0 16);
+    Printf.printf "state flushed to %s (board.txt, service.bin, events, timeseries)\n" dir;
+    Ok ()
 
 (* ---- bench-diff ---- *)
 
@@ -1243,14 +1370,21 @@ let chaos_cmd =
     Arg.(value & opt int 40 & info [ "max-restarts" ]
            ~doc:"Kill/resume budget before the harness gives up.")
   in
+  let daemon =
+    Arg.(value & flag & info [ "daemon" ]
+           ~doc:"Aim the plan at the resident daemon instead of the batch \
+                 prover: windows flow through the bounded ingest queue, kills \
+                 go through the supervised restart path, and a flood entry \
+                 adds an overload burst whose shed count must be exact.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
   in
   let run dir seed plan routers flows rate duration loss queries max_restarts
-      json events listen =
+      daemon json events listen =
     handle
       (chaos dir seed plan routers flows rate duration loss queries max_restarts
-         json events listen)
+         daemon json events listen)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1259,10 +1393,46 @@ let chaos_cmd =
              checkpoint corruption), kill and resume the prover, then assert \
              safety (every receipt verifies; the final root is bit-identical \
              to an uninterrupted twin run) and liveness (everything verified \
-             or explicitly degraded — never silent loss). Exits nonzero on \
-             any violation.")
+             or explicitly degraded — never silent loss). With --daemon the \
+             same plan runs against the resident daemon's bounded-ingest \
+             pipeline. Exits nonzero on any violation.")
     Term.(const run $ dir_arg $ seed $ plan $ routers $ flows $ rate $ duration
-          $ loss $ queries $ max_restarts $ json $ events_arg $ listen_arg)
+          $ loss $ queries $ max_restarts $ daemon $ json $ events_arg
+          $ listen_arg)
+
+let serve_cmd =
+  let listen =
+    Arg.(value & opt int 0 & info [ "listen" ] ~docv:"PORT"
+           ~doc:"Loopback port for the query/health plane (0 picks an \
+                 ephemeral port, printed at startup).")
+  in
+  let queries =
+    Arg.(value & opt int 8 & info [ "queries" ] ~doc:"Proof spot-check count.")
+  in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ]
+           ~doc:"Bounded ingest queue depth; windows past it are shed \
+                 (rejected explicitly), never buffered without limit.")
+  in
+  let watchdog_ms =
+    Arg.(value & opt int 500 & info [ "watchdog-ms" ]
+           ~doc:"Self-check interval for the liveness watchdog that backs \
+                 /healthz (0 disables the watchdog thread).")
+  in
+  let run dir listen queries capacity watchdog_ms events =
+    handle (serve dir listen queries capacity watchdog_ms events)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident telemetry daemon over a simulated state \
+             directory: replay the recovered flow log through the bounded \
+             ingest queue, prove rounds continuously off the ingest path, \
+             and answer memoized proof-backed queries over HTTP (/status \
+             /healthz /query /flows /metrics /slo) until SIGTERM/SIGINT, \
+             then drain and flush all state. A SIGKILL loses nothing \
+             durable: the next serve resumes from the checkpoint WAL.")
+    Term.(const run $ dir_arg $ listen $ queries $ capacity $ watchdog_ms
+          $ events_arg)
 
 let bench_diff_cmd =
   let old_file =
@@ -1337,5 +1507,5 @@ let () =
           [
             simulate_cmd; prove_cmd; lint_cmd; audit_cmd; verify_cmd;
             stats_cmd; trace_check_cmd; monitor_cmd; slo_cmd; watch_cmd;
-            chaos_cmd; bench_diff_cmd; report_cmd;
+            chaos_cmd; serve_cmd; bench_diff_cmd; report_cmd;
           ]))

@@ -478,6 +478,352 @@ let run ?dir ?(config = default_config) ~plan () =
       twin_slo_ok;
     }
 
+(* ---- daemon-mode chaos ----
+
+   The same twin-run discipline, but the pipeline under test is the
+   resident {!Daemon} instead of the batch step sequence. The daemon
+   runs with [publish = false]: the harness plays the routers against
+   the board exactly as the batch run does (same [publish_prompt] /
+   [publish_held] / [attempt_duplicate] walks), so every data fault
+   keeps its batch semantics — a Drop is a publication destroyed, a
+   Delay is one held to the heal phase, a Duplicate is a board-level
+   reject — and the roots stay comparable to the {e batch} twin over
+   the same records.
+
+   Kills come from two directions: crash sites inside the worker
+   thread surface as [`Crashed] from {!Daemon.await_idle}, and crash
+   sites on harness-driven board walks (["board.publish"]) raise in
+   the harness thread, which then kills the parked daemon to model the
+   whole process dying. Either way recovery is the same supervised
+   path a real [zkflow serve] restart takes: at most one queued
+   storage fault corrupts the checkpoint WAL "while the process is
+   down", then {!Daemon.restart} resumes from disk (recursing on a
+   crash inside recovery itself). Every per-epoch step is idempotent
+   against recovered state — re-submitted windows come back
+   [Duplicate], republished pairs are skipped — so the schedule simply
+   re-runs after each death. *)
+
+type daemon_report = {
+  base : report;
+  submitted : int;      (** window exports the harness offered *)
+  accepted : int;       (** admitted by the bounded queue *)
+  shed : int;           (** rejected-newest (flood phase) *)
+  duplicates : int;     (** re-offered windows turned away *)
+  drains : int;
+  breaker_opens : int;
+  flood_windows : int;  (** 0 when the plan has no [Flood] *)
+  flood_shed : int;
+  flood_ok : bool;      (** sheds exactly [windows - capacity], and the
+                            flood daemon's own coverage verifies *)
+}
+
+exception Daemon_wedged of string
+
+let run_daemon ?dir ?(config = default_config) ~plan () =
+  let cfg = config in
+  let dir =
+    match dir with
+    | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      d
+    | None ->
+      let d = Filename.temp_file "zkflow-chaos" "" in
+      Sys.remove d;
+      Sys.mkdir d 0o755;
+      d
+  in
+  let ckpt_path = Filename.concat dir "checkpoints.wal" in
+  if Sys.file_exists ckpt_path then Sys.remove ckpt_path;
+  let db_sim, packets, records =
+    simulate ~cfg ~seed:plan.Fault.seed ~wal_path:(Filename.concat dir "rlogs.wal")
+  in
+  let proof_params = Zkflow_zkproof.Params.make ~queries:cfg.queries in
+  (* The control run is the *batch* twin over the same records: the
+     daemon must not only survive its kills, it must attest the exact
+     history the non-resident pipeline would have. *)
+  let* twin, twin_events = twin_root ~cfg ~plan db_sim in
+  let dcfg =
+    {
+      Daemon.default_config with
+      Daemon.publish = false;
+      retry_sleep = (fun (_ : float) -> ());
+    }
+  in
+  let db = Db.create ~epoch:(Epoch.make ~interval_ms:5000) () in
+  let board = Board.create () in
+  let* d = Daemon.create ~config:dcfg ~proof_params ~db ~board ~ckpt_path () in
+  let d, _ = d in
+  Fault.install plan;
+  let emitted = Hashtbl.create 16 in
+  let crashes = ref 0 and resumes = ref 0 and restored = ref 0 in
+  let submitted = ref 0 in
+  let storage_queue = ref (Fault.storage_faults plan) in
+  let serial = ref 0 in
+  let budget_ok () = !crashes <= cfg.max_restarts in
+  (* Recovery after a death: one storage fault while "down", then a
+     supervised restart — looping when recovery itself is killed. *)
+  let rec recover () =
+    if not (budget_ok ()) then
+      Error (Printf.sprintf "chaos: exceeded %d restarts" cfg.max_restarts)
+    else begin
+      (match !storage_queue with
+      | [] -> ()
+      | fault :: rest ->
+        storage_queue := rest;
+        incr serial;
+        apply_storage_fault ~seed:plan.Fault.seed ~serial:!serial ckpt_path fault);
+      match Daemon.restart d with
+      | Ok n ->
+        incr resumes;
+        restored := n;
+        Ok ()
+      | Error "crashed during resume" ->
+        incr crashes;
+        recover ()
+      | Error e -> Error ("chaos: resume failed: " ^ e)
+    end
+  in
+  (* A worker death shows up as [`Crashed]; rethrow it as the same
+     {!Fault.Crash} a harness-side site raises so [step] handles both
+     identically ({!Daemon.kill} on an already-crashed daemon is a
+     no-op join). *)
+  let settle () =
+    match Daemon.await_idle d with
+    | `Idle -> ()
+    | `Crashed site -> raise (Fault.Crash site)
+  in
+  let offer ~router_id ~epoch =
+    let recs = Array.to_list (Db.window db_sim ~router_id ~epoch) in
+    incr submitted;
+    match Daemon.submit_wait d ~router_id ~epoch recs with
+    | Daemon.Accepted | Daemon.Duplicate -> ()
+    | Daemon.Shed -> raise (Daemon_wedged "submit_wait shed a window")
+    | Daemon.Closed -> (
+      match Daemon.crashed d with
+      | Some site -> raise (Fault.Crash site)
+      | None -> raise (Daemon_wedged "intake closed under a running harness"))
+  in
+  let rec step name f =
+    match f () with
+    | Ok v -> Ok v
+    | Error e -> Error e
+    | exception Fault.Crash site ->
+      incr crashes;
+      if not (budget_ok ()) then
+        Error (Printf.sprintf "chaos: %s: exceeded %d restarts" name cfg.max_restarts)
+      else begin
+        Daemon.kill d ~site;
+        let* () = recover () in
+        step name f
+      end
+  in
+  (* Per-epoch schedule: ingest the epoch's windows, publish on the
+     routers' behalf, close the epoch, let the worker prove it. *)
+  let epoch_step epoch () =
+    List.iter (fun router_id -> offer ~router_id ~epoch) (Db.routers_for db_sim ~epoch);
+    settle ();
+    let* () = publish_prompt emitted board db_sim ~plan ~emit:true in
+    Daemon.advance d ~epoch;
+    settle ();
+    Ok ()
+  in
+  let rec drain_loop () =
+    match Daemon.drain d with
+    | Ok () -> Ok ()
+    | Error e -> (
+      match Daemon.crashed d with
+      | None -> Error e
+      | Some _ ->
+        incr crashes;
+        if not (budget_ok ()) then
+          Error (Printf.sprintf "chaos: drain: exceeded %d restarts" cfg.max_restarts)
+        else
+          let* () = recover () in
+          drain_loop ())
+  in
+  let result =
+    try
+      let rec epochs_loop = function
+        | [] -> Ok ()
+        | epoch :: rest ->
+          let* () = step "epoch" (epoch_step epoch) in
+          epochs_loop rest
+      in
+      let* () = epochs_loop (Db.epochs db_sim) in
+      (* Deliver what the delays held back, then drain: the heal
+         rounds happen inside the drain — which is exactly where the
+         kill-during-drain plans aim. *)
+      let* () = step "deliver" (fun () -> publish_held emitted board db_sim ~plan ~emit:true) in
+      drain_loop ()
+    with Daemon_wedged e -> Error ("chaos: " ^ e)
+  in
+  Fault.clear ();
+  let main_counters = Daemon.counters d in
+  (* ---- flood phase: overload burst against a parked throwaway
+     daemon (its own store/board/WAL — accepted flood windows must
+     never leak into the twin-compared history above) ---- *)
+  let* flood_windows, flood_shed, flood_ok =
+    match (result, Fault.flood plan) with
+    | Error _, _ | _, None -> Ok (0, 0, true)
+    | Ok (), Some (windows, capacity) ->
+      Event.emit ~track:"fault" "fault.flood"
+        ~attrs:
+          [
+            ("windows", Jsonx.Num (float_of_int windows));
+            ("capacity", Jsonx.Num (float_of_int capacity));
+          ];
+      let fdb = Db.create ~epoch:(Epoch.make ~interval_ms:5000) () in
+      let fboard = Board.create () in
+      let fckpt = Filename.concat dir "flood-checkpoints.wal" in
+      if Sys.file_exists fckpt then Sys.remove fckpt;
+      let fcfg = { dcfg with Daemon.publish = true; queue_capacity = capacity } in
+      let* fd =
+        Daemon.create ~config:fcfg ~proof_params ~paused:true ~db:fdb ~board:fboard
+          ~ckpt_path:fckpt ()
+      in
+      let fd, _ = fd in
+      let rng = Rng.create (Int64.of_int (0xf100d + plan.Fault.seed)) in
+      let shed = ref 0 in
+      (* One window per epoch, all at a parked worker: admission is a
+         pure queue race, so exactly [windows - capacity] must shed. *)
+      for i = 0 to windows - 1 do
+        let recs =
+          Gen.records rng Gen.default_profile ~router_id:0 ~count:2
+          |> Array.to_list
+          |> List.map (fun (r : Zkflow_netflow.Record.t) ->
+                 Zkflow_netflow.Record.make ~key:r.Zkflow_netflow.Record.key
+                   ~first_ts:(i * 5000)
+                   ~last_ts:((i * 5000) + 100)
+                   ~router_id:0 r.Zkflow_netflow.Record.metrics)
+        in
+        match Daemon.submit fd ~router_id:0 ~epoch:i recs with
+        | Daemon.Accepted -> ()
+        | Daemon.Shed -> incr shed
+        | Daemon.Duplicate | Daemon.Closed ->
+          incr shed (* impossible here; count it so flood_ok fails loudly *)
+      done;
+      Daemon.unpause fd;
+      Daemon.advance fd ~epoch:(windows - 1);
+      let flood_result = Daemon.drain fd in
+      let fservice = Daemon.service fd in
+      let fcovered =
+        List.map2
+          (fun (cov : Prover_service.coverage) (round : Aggregate.round) ->
+            {
+              Verifier_client.epoch = cov.Prover_service.epoch;
+              routers = cov.Prover_service.routers;
+              degraded = cov.Prover_service.degraded;
+              heal = cov.Prover_service.heal;
+              receipt = round.Aggregate.receipt;
+            })
+          (Prover_service.coverage fservice)
+          (Prover_service.rounds fservice)
+      in
+      let fverified =
+        Verifier_client.verify_coverage ~board:fboard
+          ~gaps:(Prover_service.open_gaps fservice)
+          fcovered
+      in
+      Daemon.stop fd;
+      let ok =
+        Result.is_ok flood_result
+        && Result.is_ok fverified
+        && !shed = max 0 (windows - capacity)
+      in
+      Ok (windows, !shed, ok)
+  in
+  let* () =
+    match result with
+    | Ok () -> Ok ()
+    | Error e ->
+      Daemon.stop d;
+      Error e
+  in
+  let service = Daemon.service d in
+  let covered_rounds =
+    List.map2
+      (fun (cov : Prover_service.coverage) (round : Aggregate.round) ->
+        {
+          Verifier_client.epoch = cov.Prover_service.epoch;
+          routers = cov.Prover_service.routers;
+          degraded = cov.Prover_service.degraded;
+          heal = cov.Prover_service.heal;
+          receipt = round.Aggregate.receipt;
+        })
+      (Prover_service.coverage service)
+      (Prover_service.rounds service)
+  in
+  let open_gaps = Prover_service.open_gaps service in
+  let verified =
+    Verifier_client.verify_coverage ~board ~gaps:open_gaps covered_rounds
+  in
+  let final = Prover_service.latest_root service in
+  let safety_ok = Result.is_ok verified && D.equal final twin in
+  let liveness_ok =
+    Result.is_ok verified
+    && List.for_all
+         (fun (router, epoch) -> Fault.dropped plan ~router ~epoch)
+         open_gaps
+  in
+  let coverage = Prover_service.coverage service in
+  let chaos_events = Event.events () in
+  let slo_expected = Slo.expected_for chaos_events in
+  let slo_fired = Slo.firing_names (Slo.evaluate chaos_events) in
+  let slo_ok = List.for_all (fun n -> List.mem n slo_fired) slo_expected in
+  let twin_slo_fired = Slo.firing_names (Slo.evaluate twin_events) in
+  let twin_allowed =
+    List.filter (fun n -> n = "coverage" || n = "board-integrity") slo_expected
+  in
+  let twin_slo_ok =
+    List.for_all (fun n -> List.mem n twin_allowed) twin_slo_fired
+  in
+  Zkflow_store.Wal.write_file_atomic
+    (Filename.concat dir "board.txt")
+    (Bytes.of_string (Board.export board));
+  Zkflow_store.Wal.write_file_atomic
+    (Filename.concat dir "service.bin")
+    (Prover_service.save service);
+  Daemon.stop d;
+  Ok
+    {
+      base =
+        {
+          plan;
+          status = (if open_gaps = [] then Complete else Degraded);
+          packets;
+          records;
+          epochs = List.length (Db.epochs db_sim);
+          rounds = List.length coverage;
+          heal_rounds =
+            List.length
+              (List.filter
+                 (fun (c : Prover_service.coverage) -> c.Prover_service.heal)
+                 coverage);
+          crashes = !crashes;
+          resumes = !resumes;
+          restored_rounds = !restored;
+          open_gaps;
+          final_root = D.to_hex final;
+          twin_root = D.to_hex twin;
+          safety_ok;
+          liveness_ok;
+          slo_expected;
+          slo_fired;
+          slo_ok;
+          twin_slo_fired;
+          twin_slo_ok;
+        };
+      submitted = !submitted;
+      accepted = main_counters.Daemon.accepted;
+      shed = main_counters.Daemon.shed + flood_shed;
+      duplicates = main_counters.Daemon.duplicates;
+      drains = main_counters.Daemon.drains;
+      breaker_opens = main_counters.Daemon.breaker_opens;
+      flood_windows;
+      flood_shed;
+      flood_ok;
+    }
+
 (* ---- reporting ---- *)
 
 let status_string = function Complete -> "complete" | Degraded -> "degraded"
@@ -543,3 +889,40 @@ let pp fmt r =
     (if r.safety_ok then "OK" else "VIOLATED")
     (if r.liveness_ok then "OK" else "VIOLATED")
     (status_string r.status)
+
+let daemon_to_json r =
+  let num n = Jsonx.Num (float_of_int n) in
+  match to_json r.base with
+  | Jsonx.Obj fields ->
+    Jsonx.Obj
+      (("mode", Jsonx.Str "daemon")
+       :: fields
+      @ [
+          ( "daemon",
+            Jsonx.Obj
+              [
+                ("submitted", num r.submitted);
+                ("accepted", num r.accepted);
+                ("shed", num r.shed);
+                ("duplicates", num r.duplicates);
+                ("drains", num r.drains);
+                ("breaker_opens", num r.breaker_opens);
+                ("flood_windows", num r.flood_windows);
+                ("flood_shed", num r.flood_shed);
+                ("flood_ok", Jsonx.Bool r.flood_ok);
+              ] );
+        ])
+  | v -> v
+
+let pp_daemon fmt r =
+  Format.fprintf fmt "@[<v>%a@," pp r.base;
+  Format.fprintf fmt "daemon: %d window(s) offered, %d accepted, %d shed, %d duplicate(s)@,"
+    r.submitted r.accepted r.shed r.duplicates;
+  Format.fprintf fmt "daemon: %d drain(s), breaker opened %d time(s)@," r.drains
+    r.breaker_opens;
+  if r.flood_windows > 0 then
+    Format.fprintf fmt "flood: %d window(s) -> %d shed -> %s@," r.flood_windows
+      r.flood_shed
+      (if r.flood_ok then "OK" else "VIOLATED")
+  else Format.fprintf fmt "flood: (no flood in plan)@,";
+  Format.fprintf fmt "@]"

@@ -84,3 +84,46 @@ val run :
 val status_string : status -> string
 val to_json : report -> Zkflow_util.Jsonx.t
 val pp : Format.formatter -> report -> unit
+
+(** {2 Daemon-mode chaos}
+
+    The same twin-run discipline aimed at the resident {!Daemon}: the
+    daemon runs with publication off while the harness plays the
+    routers against the board with the batch walks, so every data
+    fault keeps its batch semantics and the final root stays
+    comparable to the {e batch} twin over the same records. Worker
+    deaths (crash sites inside rounds/checkpoints) and harness-side
+    deaths (["board.publish"]) both go through the supervised
+    {!Daemon.restart} path, with storage faults corrupting the
+    checkpoint WAL between death and resume. A [Flood] entry in the
+    plan adds an overload burst against a parked throwaway daemon
+    with a tiny queue: everything past capacity must shed explicitly
+    ([daemon.ingest.shed]), and the shed count is exact. *)
+
+type daemon_report = {
+  base : report;        (** twin/safety/liveness/SLO verdicts, as {!run} *)
+  submitted : int;      (** window exports the harness offered *)
+  accepted : int;       (** admitted by the bounded queue *)
+  shed : int;           (** rejected-newest (flood phase included) *)
+  duplicates : int;     (** re-offered windows turned away *)
+  drains : int;
+  breaker_opens : int;
+  flood_windows : int;  (** 0 when the plan has no [Flood] *)
+  flood_shed : int;
+  flood_ok : bool;
+      (** exactly [windows - capacity] shed, and the flood daemon's
+          own coverage verifies *)
+}
+
+val run_daemon :
+  ?dir:string ->
+  ?config:config ->
+  plan:Zkflow_fault.Fault.plan ->
+  unit ->
+  (daemon_report, string) result
+(** One daemon-mode chaos cycle: simulate → batch twin → resident
+    daemon under the plan's kills/corruption → flood burst (if
+    planned) → verify. Same artifact layout as {!run}. *)
+
+val daemon_to_json : daemon_report -> Zkflow_util.Jsonx.t
+val pp_daemon : Format.formatter -> daemon_report -> unit

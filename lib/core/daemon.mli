@@ -1,0 +1,200 @@
+(** The resident telemetry service behind [zkflow serve]: a
+    crash-tolerant daemon that ingests router exports continuously,
+    proves rounds off-path, heals gaps, and answers proof-backed
+    queries over the embedded HTTP plane.
+
+    {b Architecture.} One worker thread owns all mutable pipeline
+    state (the record store, the prover service, the board): exports
+    enter through a {e bounded} ingest queue and everything downstream
+    is single-threaded, so no lock discipline is needed around the
+    store or the Merkle state. HTTP query threads never touch the
+    pipeline — they prove against an immutable CLog snapshot, behind a
+    proving lock and a memo table.
+
+    {b Shedding policy (reject-newest).} [submit] never blocks and
+    never buffers beyond [queue_capacity]: when the queue is full the
+    {e new} export is rejected with {!Shed}, a [daemon.ingest.shed]
+    event and a Prometheus counter. [submit_wait] is the backpressure
+    variant: it blocks the exporter until there is room. Each
+    [(router, epoch)] window is accepted at most once ({!Duplicate}
+    on a repeat), so a retrying exporter cannot double-ingest.
+
+    {b I/O edges.} Ingest ([daemon.ingest] failpoint) and board
+    publication ([daemon.publish] failpoint, when [publish] is on)
+    run under {!Zkflow_fault.Fault.Retry.with_backoff} with seeded
+    full jitter. Edges that exhaust their retry budget feed a circuit
+    breaker: past [breaker_threshold] consecutive exhaustions the
+    breaker opens ([daemon.breaker.open]), publication is skipped —
+    rounds proceed in the PR-5 degraded/gap-journal mode instead of
+    wedging — and after [breaker_cooldown] worker passes the breaker
+    half-opens and probes again ([daemon.breaker.close] on success).
+
+    {b Lifecycle.} [Running → Draining → Stopped], with [Crashed] as
+    an off-path state: a {!Zkflow_fault.Fault.Crash} anywhere in the
+    worker abandons the checkpoint WAL's unsynced tail and parks the
+    daemon; {!restart} re-runs {!Prover_service.resume} (emitting
+    [prover.resume]) and re-proves bit-identically. {!drain} is the
+    SIGTERM path: stop intake, finish everything in flight (including
+    heal rounds), then return — the caller flushes artifacts and
+    exits 0. *)
+
+type config = {
+  queue_capacity : int;  (** bounded ingest queue, in windows *)
+  publish : bool;
+      (** daemon publishes ingested windows to the board on the
+          routers' behalf (on for [zkflow serve]; the chaos harness
+          turns it off and drives the board itself) *)
+  retry_attempts : int;  (** per-I/O-edge retry budget *)
+  retry_base_ms : float;
+  retry_max_ms : float;
+  retry_sleep : float -> unit;
+      (** how to spend the jittered backoff (seconds);
+          [Thread.delay] in production, a no-op in deterministic
+          harnesses *)
+  breaker_threshold : int;
+      (** consecutive exhausted edges before the breaker opens *)
+  breaker_cooldown : int;
+      (** worker passes the breaker stays open before half-opening *)
+  watchdog_max_queue : int;  (** /healthz trips above this depth *)
+  watchdog_max_round_s : float;
+      (** /healthz trips when the last round took longer *)
+  watchdog_interval_ms : int;
+      (** watchdog thread period; [0] disables the thread (health is
+          still checked at the end of every worker pass) *)
+  gap_grace : int;  (** forwarded to {!Monitor.build} for /healthz *)
+}
+
+val default_config : config
+(** capacity 64, publish on, 5 attempts (base 1 ms, cap 50 ms,
+    [Thread.delay]), breaker 3/4, watchdog depth 48 / 30 s / thread
+    off, gap_grace 1. *)
+
+type t
+
+type submit_result =
+  | Accepted
+  | Shed  (** queue full — reject-newest, [daemon.ingest.shed] *)
+  | Duplicate  (** this [(router, epoch)] window was already accepted *)
+  | Closed  (** intake closed: draining, stopped, or crashed *)
+
+val create :
+  ?config:config ->
+  ?proof_params:Zkflow_zkproof.Params.t ->
+  ?seed:int ->
+  ?paused:bool ->
+  db:Zkflow_store.Db.t ->
+  board:Zkflow_commitlog.Board.t ->
+  ckpt_path:string ->
+  unit ->
+  (t * int, string) result
+(** Start the daemon: resume the prover from the checkpoint WAL at
+    [ckpt_path] (0 restored rounds for a fresh file), derive the
+    already-ingested [(router, epoch)] set from [db], and spawn the
+    worker (parked if [paused] — {!unpause} releases it; the chaos
+    flood phase uses this to fill the queue deterministically).
+    [seed] drives the retry jitter. Raises nothing on a crashpoint
+    armed during resume: that surfaces as [Error]. *)
+
+val submit :
+  t -> router_id:int -> epoch:int -> Zkflow_netflow.Record.t list -> submit_result
+(** Non-blocking ingest of one router's window export. *)
+
+val submit_wait :
+  t -> router_id:int -> epoch:int -> Zkflow_netflow.Record.t list -> submit_result
+(** Blocking ingest: waits while the queue is full (backpressure)
+    instead of shedding. Still returns immediately with {!Duplicate}
+    or {!Closed} when no amount of waiting would help. *)
+
+val advance : t -> epoch:int -> unit
+(** Raise the ingest watermark: epochs [<= epoch] are closed and the
+    worker may prove them. The watermark only moves forward, but the
+    call always schedules one more worker pass — harnesses use a
+    same-epoch [advance] as a poke after changing the board under a
+    [publish:false] daemon. *)
+
+val await_idle : t -> [ `Idle | `Crashed of string ]
+(** Block until the worker has nothing left to do under the current
+    watermark (queue empty, rounds proved, heals done) — or until it
+    crashed, returning the crash site. *)
+
+val crashed : t -> string option
+
+val kill : t -> site:string -> unit
+(** Harness hook: park the daemon as if the process died at [site]
+    right now — abandon unsynced checkpoint writes, discard the
+    queue, stop the worker. Call only while the worker is idle. *)
+
+val restart : t -> (int, string) result
+(** Supervised recovery from {!kill} or a worker crash: re-run
+    {!Prover_service.resume} on the checkpoint WAL (re-proving the
+    lost tail bit-identically, [prover.resume] event), re-derive the
+    ingested set from the store, and spawn a fresh worker. Returns
+    the restored round count. [Error "crashed during resume"] means a
+    crashpoint fired inside recovery itself — the caller may restart
+    again. *)
+
+val drain : t -> (unit, string) result
+(** Graceful shutdown of the pipeline (the SIGTERM path): close
+    intake, move the watermark past every epoch, and wait for the
+    worker to finish all ingest, rounds and heals. [Error] reports a
+    crash mid-drain; after {!restart}, calling [drain] again resumes
+    the drain. Emits [daemon.drain.start] / [daemon.drain.done]. *)
+
+val stop : t -> unit
+(** Join the worker and watchdog threads. The daemon is unusable
+    afterwards. *)
+
+val unpause : t -> unit
+
+val service : t -> Prover_service.t
+(** The underlying prover service (read-only use expected). *)
+
+val root_hex : t -> string
+(** Current CLog root, hex. *)
+
+type counters = {
+  accepted : int;
+  shed : int;
+  duplicates : int;
+  queue_depth : int;
+  max_depth : int;  (** high-water mark; never exceeds capacity *)
+  rounds : int;
+  heal_rounds : int;
+  drains : int;
+  breaker_opens : int;
+  memo_hits : int;
+  memo_misses : int;
+  breaker : string;  (** ["closed"], ["open"] or ["half-open"] *)
+}
+
+val counters : t -> counters
+
+type health = { healthy : bool; reasons : string list }
+
+val health : t -> health
+(** The /healthz verdict, [monitor --strict] semantics included: a
+    crash, a queue depth or round latency past the watchdog SLO, an
+    open breaker, or an unhealthy {!Monitor.build} report over the
+    live event ring each contribute a named reason. The first
+    healthy→unhealthy transition emits [daemon.watchdog.trip]. *)
+
+val query :
+  t -> Guests.query_params -> (Query.result_row * bool, string) result
+(** Prove (or serve memoized — the [bool] is [true] on a cache hit) a
+    query against the current CLog. Memo keyed by
+    [(Merkle root, query)]; proofs for superseded roots are evicted.
+    Heavy proving is serialized behind one lock. *)
+
+val query_flows :
+  t ->
+  metric:Guests.metric ->
+  Zkflow_netflow.Flowkey.t list ->
+  (Query.flows_result * bool, string) result
+(** Multi-flow readout through the batched multiproof, memoized like
+    {!query}. *)
+
+val handler : ?specs:Slo.spec list -> t -> Zkflow_obs.Httpd.handler
+(** The daemon's HTTP plane: [/], [/status], [/healthz] (200/503 per
+    {!health}), [/query?src=&dst=&ports=&proto=&op=&metric=],
+    [/flows?metric=&keys=src:dst:sp:dp:proto,...|first=N], plus
+    [/metrics] and [/slo] from the live {!Watch} source. *)

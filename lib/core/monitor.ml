@@ -56,6 +56,12 @@ type report = {
   resumes : int;
   retries : int;
   fault_events : (string * int) list;
+  ingest_accepted : int;
+  ingest_shed : int;
+  ingest_duplicates : int;
+  drains : int;
+  breaker_opens : int;
+  watchdog_trips : int;
   service_rounds : int option;
   service_entries : int option;
   service_root : string option;
@@ -148,6 +154,9 @@ let build ?service ?frames ?(gap_grace = 0) events =
   let gap_order = ref [] in
   let crashes = ref 0 and resumes = ref 0 and retries = ref 0 in
   let fault_events = Hashtbl.create 8 in
+  let ingest_accepted = ref 0 and ingest_shed = ref 0 in
+  let ingest_duplicates = ref 0 in
+  let drains = ref 0 and breaker_opens = ref 0 and watchdog_trips = ref 0 in
   let max_round = ref (-1) in
   let note_round (e : Event.t) =
     match e.Event.round with
@@ -231,6 +240,14 @@ let build ?service ?frames ?(gap_grace = 0) events =
       | "fault.retry" ->
         incr retries;
         bump fault_events "fault.retry"
+      (* daemon lifecycle: explicit cases, or the fault.* catch-all
+         below would never see them and they'd vanish silently *)
+      | "daemon.ingest.accept" -> incr ingest_accepted
+      | "daemon.ingest.shed" -> incr ingest_shed
+      | "daemon.ingest.duplicate" -> incr ingest_duplicates
+      | "daemon.drain.done" -> incr drains
+      | "daemon.breaker.open" -> incr breaker_opens
+      | "daemon.watchdog.trip" -> incr watchdog_trips
       | k when String.length k > 9 && String.sub k 0 9 = "verifier."
                && Filename.check_suffix k ".accept" -> incr verifier_accepts
       | k when String.length k > 6 && String.sub k 0 6 = "fault." ->
@@ -297,6 +314,12 @@ let build ?service ?frames ?(gap_grace = 0) events =
     resumes = !resumes;
     retries = !retries;
     fault_events = counts_sorted fault_events;
+    ingest_accepted = !ingest_accepted;
+    ingest_shed = !ingest_shed;
+    ingest_duplicates = !ingest_duplicates;
+    drains = !drains;
+    breaker_opens = !breaker_opens;
+    watchdog_trips = !watchdog_trips;
     service_rounds = Option.map (fun s -> List.length (Prover_service.rounds s)) service;
     service_entries = Option.map (fun s -> Clog.length (Prover_service.clog s)) service;
     service_root =
@@ -357,6 +380,14 @@ let pp fmt r =
   if r.crashes + r.resumes > 0 then
     Format.fprintf fmt "  crashes: %d injected, %d resume(s), %d retry(ies)@,"
       r.crashes r.resumes r.retries;
+  if r.ingest_accepted + r.ingest_shed + r.ingest_duplicates + r.drains > 0 then begin
+    Format.fprintf fmt
+      "  daemon ingest: %d accepted, %d shed, %d duplicate(s); %d drain(s)@,"
+      r.ingest_accepted r.ingest_shed r.ingest_duplicates r.drains;
+    if r.breaker_opens + r.watchdog_trips > 0 then
+      Format.fprintf fmt "  daemon faults: breaker opened %d time(s), watchdog tripped %d time(s)@,"
+        r.breaker_opens r.watchdog_trips
+  end;
   pp_latency fmt "round wall" r.round_latency;
   pp_latency fmt "prove phase" r.prove_latency;
   (match r.round_trend with
@@ -499,6 +530,16 @@ let to_json r =
             ("resumes", num r.resumes);
             ("retries", num r.retries);
             ("fault_events", counts_json r.fault_events);
+          ] );
+      ( "daemon",
+        Jsonx.Obj
+          [
+            ("ingest_accepted", num r.ingest_accepted);
+            ("ingest_shed", num r.ingest_shed);
+            ("ingest_duplicates", num r.ingest_duplicates);
+            ("drains", num r.drains);
+            ("breaker_opens", num r.breaker_opens);
+            ("watchdog_trips", num r.watchdog_trips);
           ] );
       ("service_rounds", opt_num r.service_rounds);
       ("service_entries", opt_num r.service_entries);

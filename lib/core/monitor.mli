@@ -80,6 +80,12 @@ type report = {
   resumes : int;  (** ["prover.resume"] recoveries *)
   retries : int;  (** ["fault.retry"] backoff attempts *)
   fault_events : (string * int) list;  (** injected fault kind -> count *)
+  ingest_accepted : int;  (** daemon windows admitted *)
+  ingest_shed : int;  (** windows rejected-newest at a full queue *)
+  ingest_duplicates : int;  (** repeat [(router, epoch)] submissions *)
+  drains : int;  (** completed graceful drains *)
+  breaker_opens : int;  (** circuit-breaker open transitions *)
+  watchdog_trips : int;  (** healthy -> unhealthy /healthz transitions *)
   service_rounds : int option;  (** from the saved service state, when given *)
   service_entries : int option;
   service_root : string option;

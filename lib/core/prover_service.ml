@@ -278,6 +278,25 @@ let fetch_commitment t ~router_id ~epoch =
 let gap_known t ~router_id ~epoch =
   List.exists (fun (g : gap) -> g.router_id = router_id && g.epoch = epoch) t.gaps
 
+(* A late-arriving export: the round for [epoch] already ran without
+   [router_id] (its records were not in the store at round time, so no
+   gap was recorded), and the records only showed up afterwards. The
+   daemon calls this to put the pair into the gap journal so the heal
+   machinery picks it up once its commitment is on the board. The gap
+   reaches durable state with the next checkpoint row; until then a
+   crash loses it, but detection is idempotent — the records are in
+   the store, so the caller re-detects it after resume. *)
+let note_gap t ~router_id ~epoch =
+  if gap_known t ~router_id ~epoch then false
+  else begin
+    let round_ix = List.length t.rounds_rev in
+    t.gaps <-
+      t.gaps @ [ { router_id; epoch; detected_round = round_ix; healed_round = None } ];
+    Obs.Event.emit ~router:router_id ~epoch ~round:round_ix ~track:"prover"
+      "prover.gap.open";
+    true
+  end
+
 (* The shared tail of every aggregation entry point: prove the round
    over [batches], checkpoint it together with its coverage record and
    the updated gap journal, then advance the in-memory state. Crash

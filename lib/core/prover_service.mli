@@ -106,6 +106,15 @@ val heal : t -> (Aggregate.round list, string) result
 val heal_pending : t -> bool
 (** Some open gap is healable right now. *)
 
+val note_gap : t -> router_id:int -> epoch:int -> bool
+(** Journal an open gap for a late-arriving export: the round for
+    [epoch] already ran without [router_id] (so no gap was recorded at
+    round time) and its records only reached the store afterwards.
+    Emits [prover.gap.open]; {!heal} folds the pair in once its
+    commitment is on the board. Returns [false] (and does nothing) if
+    the pair is already in the journal. The entry becomes durable with
+    the next checkpoint row; detection is idempotent across a crash. *)
+
 val gaps : t -> gap list
 (** The full gap journal, oldest first (healed entries included). *)
 

@@ -125,6 +125,13 @@ let default_specs =
       target = 0.999;
       windows = default_windows;
     };
+    {
+      slo_name = "ingest-admission";
+      good = [ "daemon.ingest.accept" ];
+      bad = [ "daemon.ingest.shed"; "daemon.ingest.duplicate" ];
+      target = 0.999;
+      windows = default_windows;
+    };
   ]
 
 (* ---- evaluation ---- *)
@@ -231,6 +238,7 @@ let expected_for events =
         | "fault.drop" | "fault.delay" -> Some "coverage"
         | "fault.duplicate" -> Some "board-integrity"
         | "fault.crash" -> Some "prover-restarts"
+        | "fault.flood" -> Some "ingest-admission"
         | _ -> None)
       events
   in

@@ -67,8 +67,10 @@ val default_windows : window list
 val default_specs : spec list
 (** One objective per failure surface the recorder distinguishes:
     [coverage] (gap opens vs publishes), [board-integrity] (rejects),
-    [prover-errors], [prover-restarts] (resumes), and
-    [verifier-acceptance]. All target 0.999 over {!default_windows}. *)
+    [prover-errors], [prover-restarts] (resumes),
+    [verifier-acceptance], and [ingest-admission] (daemon shed /
+    duplicate windows vs accepted). All target 0.999 over
+    {!default_windows}. *)
 
 val kind_matches : string -> string -> bool
 (** [kind_matches pattern kind]: glob match, ['*'] spans any
@@ -85,8 +87,9 @@ val expected_for : Zkflow_obs.Event.t list -> string list
 (** The default-spec names a run's {e injected} faults should trip,
     derived from the ["fault.*"] marker events actually emitted:
     drops/delays -> [coverage], duplicates -> [board-integrity],
-    crashes -> [prover-restarts]. Sorted, deduplicated. The chaos
-    harness asserts [expected_for log] is a subset of what fired. *)
+    crashes -> [prover-restarts], floods -> [ingest-admission].
+    Sorted, deduplicated. The chaos harness asserts
+    [expected_for log] is a subset of what fired. *)
 
 val load_specs : string -> (spec list, string) result
 (** Parse a JSON array of specs:

@@ -93,8 +93,8 @@ let index : Httpd.response =
        ])
 
 let handler ?specs ?gap_grace source : Httpd.handler =
- fun path ->
-  match path with
+ fun req ->
+  match req.Httpd.path with
   | "/" -> Some index
   | "/metrics" ->
       Some
@@ -107,10 +107,11 @@ let handler ?specs ?gap_grace source : Httpd.handler =
   | "/slo" -> Some (slo ?specs source)
   | _ -> None
 
-let probe (h : Httpd.handler) path : Httpd.response =
-  match h path with
+let probe (h : Httpd.handler) target : Httpd.response =
+  let req = Httpd.request_of_target target in
+  match h req with
   | Some r -> r
   | None ->
       json 404
         (Jsonx.Obj
-           [ ("error", Jsonx.Str "not found"); ("path", Jsonx.Str path) ])
+           [ ("error", Jsonx.Str "not found"); ("path", Jsonx.Str req.path) ])

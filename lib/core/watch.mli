@@ -39,7 +39,7 @@ val handler :
     {!Monitor.build} for [/healthz]. *)
 
 val probe : Zkflow_obs.Httpd.handler -> string -> Zkflow_obs.Httpd.response
-(** Invoke a handler directly — no socket — resolving [None] to the
-    same JSON 404 the server would send. Backs [zkflow watch --probe],
-    which lets tests and CI validate endpoint schemas without binding
-    a port. *)
+(** Invoke a handler directly — no socket — on a raw request target
+    (query string allowed), resolving [None] to the same JSON 404 the
+    server would send. Backs [zkflow watch --probe], which lets tests
+    and CI validate endpoint schemas without binding a port. *)

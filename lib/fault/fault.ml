@@ -14,6 +14,7 @@ type kind =
   | Flaky of { site : site; failures : int }
   | Torn_write of { target : string; drop_bytes : int }
   | Bit_flip of { target : string }
+  | Flood of { windows : int; capacity : int }
 
 type plan = { seed : int; name : string; faults : kind list }
 
@@ -43,6 +44,9 @@ let kind_to_json = function
       ]
   | Bit_flip { target } ->
     Jsonx.Obj [ ("kind", Jsonx.Str "bit_flip"); ("target", Jsonx.Str target) ]
+  | Flood { windows; capacity } ->
+    Jsonx.Obj
+      [ ("kind", Jsonx.Str "flood"); ("windows", num windows); ("capacity", num capacity) ]
 
 let plan_to_json p =
   Jsonx.Obj
@@ -97,6 +101,12 @@ let kind_of_json v =
   | "bit_flip" ->
     let* target = str_field v "target" in
     Ok (Bit_flip { target })
+  | "flood" ->
+    let* windows = int_field v "windows" in
+    let* capacity = int_field v "capacity" in
+    if windows < 1 then Error "fault plan: flood windows must be >= 1"
+    else if capacity < 1 then Error "fault plan: flood capacity must be >= 1"
+    else Ok (Flood { windows; capacity })
   | k -> Error (Printf.sprintf "fault plan: unknown fault kind %S" k)
 
 let plan_of_json v =
@@ -148,6 +158,11 @@ let duplicated p ~router ~epoch =
 
 let storage_faults p =
   List.filter (function Torn_write _ | Bit_flip _ -> true | _ -> false) p.faults
+
+let flood p =
+  List.find_map
+    (function Flood { windows; capacity } -> Some (windows, capacity) | _ -> None)
+    p.faults
 
 (* ---- deterministic plan synthesis ---- *)
 

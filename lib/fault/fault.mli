@@ -58,6 +58,11 @@ type kind =
           the instant of death. *)
   | Bit_flip of { target : string }
       (** Flip one seeded bit of the target file after a crash. *)
+  | Flood of { windows : int; capacity : int }
+      (** Ingest overload burst (daemon mode): [windows] window
+          exports thrown at a parked daemon whose queue holds
+          [capacity] — everything past the cap must be shed
+          explicitly, never buffered or silently lost. *)
 
 type plan = { seed : int; name : string; faults : kind list }
 
@@ -88,6 +93,9 @@ val duplicated : plan -> router:int -> epoch:int -> bool
 
 val storage_faults : plan -> kind list
 (** The [Torn_write]/[Bit_flip] entries, in plan order. *)
+
+val flood : plan -> (int * int) option
+(** The first [Flood] entry as [(windows, capacity)], if any. *)
 
 (* ---- arming ---- *)
 

@@ -1,16 +1,22 @@
 (* Minimal embedded HTTP/1.0 server — just enough protocol for a
    Prometheus scrape or a curl: GET only, Connection: close, one
    handler thread per connection. No dependencies beyond unix +
-   threads, by design: this runs inside the prover. *)
+   threads, by design: this runs inside the prover. Connections are
+   capped (503 past the cap) and carry a read deadline (408 on a
+   stalled client) so a scrape storm or a slowloris cannot pile up
+   unbounded threads. *)
 
 type response = { status : int; content_type : string; body : string }
 
-type handler = string -> response option
+type request = { path : string; params : (string * string) list }
+
+type handler = request -> response option
 
 type t = {
   sock : Unix.file_descr;
   port : int;
   stopping : bool Atomic.t;
+  conns : int Atomic.t;
   accept_thread : Thread.t;
 }
 
@@ -18,9 +24,56 @@ let reason_of = function
   | 200 -> "OK"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
+
+let percent_decode s =
+  let n = String.length s in
+  let hex = function
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+  in
+  let b = Buffer.create n in
+  let rec go i =
+    if i < n then (
+      (match s.[i] with
+      | '+' ->
+        Buffer.add_char b ' ';
+        go (i + 1)
+      | '%' when i + 2 < n && hex s.[i + 1] >= 0 && hex s.[i + 2] >= 0 ->
+        Buffer.add_char b (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+        go (i + 3)
+      | c ->
+        Buffer.add_char b c;
+        go (i + 1)))
+  in
+  go 0;
+  Buffer.contents b
+
+let request_of_target target =
+  match String.index_opt target '?' with
+  | None -> { path = target; params = [] }
+  | Some i ->
+    let path = String.sub target 0 i in
+    let qs = String.sub target (i + 1) (String.length target - i - 1) in
+    let params =
+      String.split_on_char '&' qs
+      |> List.filter (fun kv -> kv <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> (percent_decode kv, "")
+             | Some j ->
+               ( percent_decode (String.sub kv 0 j),
+                 percent_decode
+                   (String.sub kv (j + 1) (String.length kv - j - 1)) ))
+    in
+    { path; params }
+
+let param req name = List.assoc_opt name req.params
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -43,8 +96,25 @@ let not_found path =
     body = Printf.sprintf {|{"error":"not found","path":%s}|} (Zkflow_util.Jsonx.quote path);
   }
 
+let timeout_response =
+  {
+    status = 408;
+    content_type = "application/json";
+    body = {|{"error":"request timeout"}|};
+  }
+
+let saturated_response =
+  {
+    status = 503;
+    content_type = "application/json";
+    body = {|{"error":"server saturated"}|};
+  }
+
+exception Read_deadline
+
 (* Read up to the end of the request headers (CRLFCRLF); we only need
-   the request line, the rest is drained and ignored. *)
+   the request line, the rest is drained and ignored. Raises
+   {!Read_deadline} if the socket's SO_RCVTIMEO expires mid-read. *)
 let read_request fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 512 in
@@ -75,6 +145,9 @@ let read_request fd =
           Buffer.add_subbytes buf chunk 0 n;
           go ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_RCVTIMEO expired: the client stalled mid-request. *)
+          raise Read_deadline
   in
   go ()
 
@@ -83,6 +156,8 @@ let handle_conn handler fd =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       match read_request fd with
+      | exception Read_deadline ->
+        (try respond fd timeout_response with Unix.Unix_error _ -> ())
       | None -> ()
       | Some req ->
         let line =
@@ -99,13 +174,8 @@ let handle_conn handler fd =
               body = {|{"error":"method not allowed"}|};
             }
           | _ :: target :: _ ->
-            (* Strip any query string: the endpoints take none. *)
-            let path =
-              match String.index_opt target '?' with
-              | Some i -> String.sub target 0 i
-              | None -> target
-            in
-            (try Option.value ~default:(not_found path) (handler path)
+            let request = request_of_target target in
+            (try Option.value ~default:(not_found request.path) (handler request)
              with e ->
                {
                  status = 500;
@@ -118,7 +188,8 @@ let handle_conn handler fd =
         in
         (try respond fd resp with Unix.Unix_error _ -> ()))
 
-let start ?(host = "127.0.0.1") ~port handler =
+let start ?(host = "127.0.0.1") ?(max_conns = 64) ?(read_timeout_s = 10.) ~port
+    handler =
   (* A peer closing mid-write must not kill the prover. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match
@@ -143,13 +214,46 @@ let start ?(host = "127.0.0.1") ~port handler =
   | exception Failure _ -> Error (Printf.sprintf "listen: bad host %S" host)
   | sock, port ->
     let stopping = Atomic.make false in
+    let conns = Atomic.make 0 in
     let accept_thread =
       Thread.create
         (fun () ->
           let rec loop () =
             match Unix.accept sock with
             | fd, _ ->
-              ignore (Thread.create (fun () -> handle_conn handler fd) ());
+              if Atomic.fetch_and_add conns 1 >= max_conns then (
+                (* Past the cap: shed the connection right here in the
+                   accept thread — never spawn an unbounded thread.
+                   Lingering close: drain whatever request bytes are in
+                   flight (briefly — 100 ms cap) before closing, else
+                   the close turns into an RST and the client never
+                   sees the 503. *)
+                Atomic.decr conns;
+                (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.1
+                 with Unix.Unix_error _ -> ());
+                (try respond fd saturated_response with Unix.Unix_error _ -> ());
+                (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                 with Unix.Unix_error _ -> ());
+                (let b = Bytes.create 512 in
+                 let rec drain () =
+                   match Unix.read fd b 0 (Bytes.length b) with
+                   | 0 -> ()
+                   | _ -> drain ()
+                   | exception Unix.Unix_error _ -> ()
+                 in
+                 drain ());
+                (try Unix.close fd with Unix.Unix_error _ -> ()))
+              else (
+                if read_timeout_s > 0. then (
+                  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout_s
+                  with Unix.Unix_error _ -> ());
+                ignore
+                  (Thread.create
+                     (fun () ->
+                       Fun.protect
+                         ~finally:(fun () -> Atomic.decr conns)
+                         (fun () -> handle_conn handler fd))
+                     ()));
               loop ()
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
             | exception Unix.Unix_error _ ->
@@ -159,7 +263,7 @@ let start ?(host = "127.0.0.1") ~port handler =
           loop ())
         ()
     in
-    Ok { sock; port; stopping; accept_thread }
+    Ok { sock; port; stopping; conns; accept_thread }
 
 let port t = t.port
 

@@ -1,28 +1,57 @@
 (** Minimal embedded HTTP/1.0 server over Unix sockets — no
     dependencies, by design: it runs {e inside} the prover process to
     expose the live telemetry plane ([/metrics], [/healthz], [/slo])
-    while a long [prove]/[chaos] run is underway.
+    and the daemon query front-end while a long run is underway.
 
     Protocol surface on purpose: GET only, [Connection: close], the
     response fully buffered (the bodies are a few KB of metrics text
     or JSON). One accept thread, one short-lived thread per
     connection; requests never touch proof state except through the
     handler given to {!start}. SIGPIPE is ignored on startup so a
-    scraper disconnecting mid-response cannot kill the prover. *)
+    scraper disconnecting mid-response cannot kill the prover.
+
+    Robustness: concurrent connections are capped ({!start}'s
+    [max_conns]) — excess connections get an immediate JSON 503
+    instead of an unbounded thread pile-up — and each connection has a
+    read deadline ([read_timeout_s]) so a stalled client (slowloris)
+    cannot pin a handler thread forever: a timed-out request gets a
+    408 and the socket is closed. *)
 
 type response = { status : int; content_type : string; body : string }
 
-type handler = string -> response option
-(** Called with the request path (query string stripped). [None]
-    yields a JSON 404. Exceptions become a JSON 500; they never
-    propagate to the server. *)
+type request = { path : string; params : (string * string) list }
+(** A parsed request target: [path] is the part before ['?'];
+    [params] are the query parameters in order of appearance,
+    percent-decoded (['+'] decodes to space). *)
+
+type handler = request -> response option
+(** Called with the parsed request. [None] yields a JSON 404.
+    Exceptions become a JSON 500; they never propagate to the
+    server. *)
 
 type t
 
-val start : ?host:string -> port:int -> handler -> (t, string) result
+val request_of_target : string -> request
+(** Parse a raw request target ("/query?src=10.0.0.1&op=sum") into a
+    {!request}. Exposed for probes and tests. *)
+
+val param : request -> string -> string option
+(** First value of a query parameter, if present. *)
+
+val start :
+  ?host:string ->
+  ?max_conns:int ->
+  ?read_timeout_s:float ->
+  port:int ->
+  handler ->
+  (t, string) result
 (** Bind [host] (default loopback [127.0.0.1]) on [port] — [0] picks
     an ephemeral port, which {!port} reports — and serve in background
-    threads until {!stop}. *)
+    threads until {!stop}. At most [max_conns] (default 64) handler
+    threads run at once; connections beyond that are answered with an
+    immediate 503 and closed. A connection that has not delivered its
+    request headers within [read_timeout_s] seconds (default 10; [0.]
+    disables the deadline) is answered with a 408 and closed. *)
 
 val port : t -> int
 (** The actually bound port (useful with [port:0]). *)

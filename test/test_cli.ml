@@ -180,9 +180,13 @@ let test_telemetry_plane_clean_run () =
   let dir = fresh_dir () in
   let events = Filename.concat dir "events.jsonl" in
   let timeseries = Filename.concat dir "timeseries.jsonl" in
+  (* Enough flows that the aggregation round outlasts several 100 ms
+     sampler ticks: the round-latency trend legitimately has too few
+     frames to compare windows when prove finishes in ~2 ticks (a
+     6-flow round does, on a fast machine, and the trend is null). *)
   let code, out =
     run
-      [ "simulate"; "--dir"; dir; "--events"; events; "--flows"; "6"; "--rate";
+      [ "simulate"; "--dir"; dir; "--events"; events; "--flows"; "60"; "--rate";
         "60"; "--duration"; "2000"; "--routers"; "2" ]
   in
   check_int ("simulate: " ^ out) 0 code;

@@ -52,6 +52,7 @@ let sample_plan =
       Fault.Flaky { site = "agg.fetch"; failures = 3 };
       Fault.Torn_write { target = "checkpoint"; drop_bytes = 7 };
       Fault.Bit_flip { target = "checkpoint" };
+      Fault.Flood { windows = 9; capacity = 4 };
     ]
 
 let test_plan_json_roundtrip () =
@@ -181,6 +182,49 @@ let test_retry_exhaustion () =
       with
       | Ok () -> Alcotest.fail "should exhaust"
       | Error e -> check_bool "error names the label" true (contains ~needle:"t.dead" e))
+
+let test_retry_zero_attempt_budget () =
+  (* A budget of zero attempts is a caller bug, not a quiet no-op. *)
+  match
+    Fault.Retry.with_backoff ~max_attempts:0 ~rng:(Rng.create 1L) ~label:"t.zero"
+      (fun () -> Ok ())
+  with
+  | exception Invalid_argument _ -> ()
+  | Ok () -> Alcotest.fail "zero-attempt budget must not succeed"
+  | Error e -> Alcotest.fail ("expected Invalid_argument, got Error " ^ e)
+
+let test_retry_exhaustion_surfaces_last_error () =
+  (* The error the caller sees is the edge's own last failure, with the
+     give-up count appended — not a generic retry message. *)
+  let attempt = ref 0 in
+  match
+    Fault.Retry.with_backoff ~max_attempts:3 ~rng:(Rng.create 2L) ~label:"t.last"
+      (fun () ->
+        incr attempt;
+        Error (Printf.sprintf "edge failure #%d" !attempt))
+  with
+  | Ok () -> Alcotest.fail "should exhaust"
+  | Error e ->
+    check_bool "carries the last underlying error" true
+      (contains ~needle:"edge failure #3" e);
+    check_bool "reports the attempt budget" true
+      (contains ~needle:"gave up after 3 attempts" e)
+
+let test_retry_backoff_ceiling () =
+  (* Many retries with a tiny cap: every jittered sleep must stay under
+     [max_ms], however far the exponential doubling has run. *)
+  let sleeps = ref [] in
+  (match
+     Fault.Retry.with_backoff ~max_attempts:12 ~base_ms:1. ~max_ms:4.
+       ~sleep:(fun s -> sleeps := s :: !sleeps)
+       ~rng:(Rng.create 7L) ~label:"t.ceiling"
+       (fun () -> Error "always down")
+   with
+  | Ok () -> Alcotest.fail "should exhaust"
+  | Error _ -> ());
+  check_int "one sleep per non-final attempt" 11 (List.length !sleeps);
+  check_bool "all sleeps under the 4ms cap" true
+    (List.for_all (fun s -> s >= 0. && s <= 0.004) !sleeps)
 
 (* ---- crash/resume: bit-identical roots at every catalogued site ---- *)
 
@@ -567,6 +611,37 @@ let test_chaos_run_dropped_export_degrades_explicitly () =
     check_bool "degraded status" true (r.Chaos.status = Chaos.Degraded);
     check_string "root still bit-identical to twin" r.Chaos.twin_root r.Chaos.final_root
 
+let test_chaos_daemon_twin () =
+  (* Daemon-mode chaos: worker kills, a harness-side publish kill, a
+     held export healed during the drain, and an overload burst — the
+     resident daemon's final root must still be bit-identical to the
+     uninterrupted *batch* twin over the same records. *)
+  let p =
+    plan ~seed:5 ~name:"daemon-storm"
+      [
+        Fault.Crash_at { site = "agg.pre_checkpoint"; hits = 1 };
+        Fault.Crash_at { site = "board.publish"; hits = 1 };
+        Fault.Delay { router = 1; epoch = 0 };
+        Fault.Flood { windows = 6; capacity = 3 };
+      ]
+  in
+  match Chaos.run_daemon ~dir:(fresh_dir ()) ~config:chaos_config ~plan:p () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let b = r.Chaos.base in
+    check_bool "crashed at both kill sites" true (b.Chaos.crashes >= 2);
+    check_bool "resumed" true (b.Chaos.resumes >= 1);
+    check_bool "safety" true b.Chaos.safety_ok;
+    check_bool "liveness" true b.Chaos.liveness_ok;
+    check_string "root bit-identical to batch twin" b.Chaos.twin_root
+      b.Chaos.final_root;
+    check_bool "held export healed" true (b.Chaos.heal_rounds >= 1);
+    check_bool "complete after heal" true (b.Chaos.status = Chaos.Complete);
+    check_bool "every window admitted" true (r.Chaos.accepted >= r.Chaos.submitted - r.Chaos.duplicates && r.Chaos.submitted > 0);
+    check_bool "drained" true (r.Chaos.drains >= 1);
+    check_int "flood shed exactly past capacity" 3 r.Chaos.flood_shed;
+    check_bool "flood verdict" true r.Chaos.flood_ok
+
 let () =
   Alcotest.run "zkflow_fault"
     [
@@ -586,6 +661,11 @@ let () =
           Alcotest.test_case "retry recovers deterministically" `Quick
             test_retry_recovers_and_is_deterministic;
           Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
+          Alcotest.test_case "retry zero-attempt budget" `Quick
+            test_retry_zero_attempt_budget;
+          Alcotest.test_case "retry exhaustion surfaces last error" `Quick
+            test_retry_exhaustion_surfaces_last_error;
+          Alcotest.test_case "retry backoff ceiling" `Quick test_retry_backoff_ceiling;
         ] );
       ( "crash-resume",
         [
@@ -619,5 +699,7 @@ let () =
             test_chaos_run_crash_storm;
           Alcotest.test_case "dropped export degrades explicitly" `Slow
             test_chaos_run_dropped_export_degrades_explicitly;
+          Alcotest.test_case "daemon-mode: kills + held export + flood" `Slow
+            test_chaos_daemon_twin;
         ] );
     ]

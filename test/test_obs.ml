@@ -19,6 +19,7 @@ open Zkflow_core
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
 let digest = Alcotest.testable D.pp D.equal
 let params = Zkflow_zkproof.Params.make ~queries:8
 
@@ -408,8 +409,12 @@ let http_get ~port path =
       Buffer.contents buf)
 
 let test_httpd_roundtrip () =
-  let handler = function
+  let handler (req : Httpd.request) =
+    match req.path with
     | "/ping" -> Some { Httpd.status = 200; content_type = "text/plain"; body = "pong" }
+    | "/echo" ->
+      let v = Option.value ~default:"?" (Httpd.param req "msg") in
+      Some { Httpd.status = 200; content_type = "text/plain"; body = "echo:" ^ v }
     | "/boom" -> failwith "kaboom"
     | _ -> None
   in
@@ -425,9 +430,13 @@ let test_httpd_roundtrip () =
         check_bool "status 200" true (contains ~needle:"HTTP/1.0 200" resp);
         check_bool "body served" true (contains ~needle:"pong" resp);
         check_bool "connection closed" true (contains ~needle:"Connection: close" resp);
-        (* a query string is stripped before routing *)
-        check_bool "query string stripped" true
+        (* a query string is split off the path before routing ... *)
+        check_bool "query string split from path" true
           (contains ~needle:"HTTP/1.0 200" (http_get ~port "/ping?x=1"));
+        (* ... and delivered to the handler, percent-decoded *)
+        check_bool "params decoded" true
+          (contains ~needle:"echo:a b&c"
+             (http_get ~port "/echo?msg=a+b%26c&other=1"));
         (* unknown path: JSON 404 naming the path *)
         let resp = http_get ~port "/nope" in
         check_bool "404" true (contains ~needle:"HTTP/1.0 404" resp);
@@ -439,6 +448,118 @@ let test_httpd_roundtrip () =
         (* the server survived all of the above *)
         check_bool "still serving" true
           (contains ~needle:"HTTP/1.0 200" (http_get ~port "/ping")))
+
+let test_httpd_request_of_target () =
+  let req = Httpd.request_of_target "/query?src=10.0.0.1&op=sum&flag" in
+  check_string "path" "/query" req.Httpd.path;
+  check_string "src" "10.0.0.1" (Option.get (Httpd.param req "src"));
+  check_string "op" "sum" (Option.get (Httpd.param req "op"));
+  check_string "bare key" "" (Option.get (Httpd.param req "flag"));
+  check_bool "missing key" true (Httpd.param req "nope" = None);
+  let req = Httpd.request_of_target "/plain" in
+  check_string "no query path" "/plain" req.Httpd.path;
+  check_bool "no query params" true (req.Httpd.params = []);
+  let req = Httpd.request_of_target "/x?a=%2Fv%41l+1" in
+  check_string "percent decoding" "/vAl 1" (Option.get (Httpd.param req "a"))
+
+(* Past the connection cap the server sheds with an immediate 503 from
+   the accept thread — it never parks a request thread. A connection
+   that connects but never sends its request holds its handler slot,
+   which is exactly how a slowloris would pin threads. *)
+let test_httpd_saturation () =
+  (* a handler that blocks until we release it, so one in-flight
+     request provably occupies the single slot *)
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let release = ref false in
+  let entered = ref false in
+  let handler (req : Httpd.request) =
+    match req.Httpd.path with
+    | "/slow" ->
+      Mutex.lock gate_m;
+      entered := true;
+      Condition.broadcast gate_c;
+      while not !release do
+        Condition.wait gate_c gate_m
+      done;
+      Mutex.unlock gate_m;
+      Some { Httpd.status = 200; content_type = "text/plain"; body = "slow" }
+    | _ -> None
+  in
+  match Httpd.start ~port:0 ~max_conns:1 handler with
+  | Error e -> Alcotest.fail ("httpd start: " ^ e)
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock gate_m;
+        release := true;
+        Condition.broadcast gate_c;
+        Mutex.unlock gate_m;
+        Httpd.stop srv)
+      (fun () ->
+        let port = Httpd.port srv in
+        (* occupy the single slot from a background thread *)
+        let holder = Thread.create (fun () -> http_get ~port "/slow") () in
+        Mutex.lock gate_m;
+        while not !entered do
+          Condition.wait gate_c gate_m
+        done;
+        Mutex.unlock gate_m;
+        (* second connection is shed immediately with a 503 *)
+        let resp = http_get ~port "/anything" in
+        check_bool "503 on saturation" true
+          (contains ~needle:"HTTP/1.0 503" resp);
+        check_bool "503 says saturated" true
+          (contains ~needle:"saturated" resp);
+        (* release the slot; the server recovers *)
+        Mutex.lock gate_m;
+        release := true;
+        Condition.broadcast gate_c;
+        Mutex.unlock gate_m;
+        let held = Thread.join holder in
+        ignore held;
+        check_bool "slot freed, serving again" true
+          (contains ~needle:"HTTP/1.0 404" (http_get ~port "/after")))
+
+(* A client that connects and stalls without finishing its request
+   headers gets a 408 once the read deadline expires — the handler
+   thread is not pinned forever. *)
+let test_httpd_read_deadline () =
+  let handler (_ : Httpd.request) =
+    Some { Httpd.status = 200; content_type = "text/plain"; body = "ok" }
+  in
+  match Httpd.start ~port:0 ~read_timeout_s:0.2 handler with
+  | Error e -> Alcotest.fail ("httpd start: " ^ e)
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Httpd.stop srv)
+      (fun () ->
+        let port = Httpd.port srv in
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            (* send a partial request line and stall *)
+            let partial = "GET /st" in
+            ignore (Unix.write_substring sock partial 0 (String.length partial));
+            let buf = Buffer.create 128 in
+            let chunk = Bytes.create 256 in
+            let rec drain () =
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+            in
+            drain ();
+            let resp = Buffer.contents buf in
+            check_bool "408 on stalled client" true
+              (contains ~needle:"HTTP/1.0 408" resp));
+        (* a prompt client is still served *)
+        check_bool "prompt client unaffected" true
+          (contains ~needle:"HTTP/1.0 200" (http_get ~port "/fast")))
 
 (* ---- monitor: health reports from synthetic event logs ---- *)
 
@@ -776,6 +897,12 @@ let () =
         [
           Alcotest.test_case "GET round-trip, 404, handler raise" `Quick
             test_httpd_roundtrip;
+          Alcotest.test_case "request target parsing" `Quick
+            test_httpd_request_of_target;
+          Alcotest.test_case "503 past the connection cap" `Quick
+            test_httpd_saturation;
+          Alcotest.test_case "408 on stalled client" `Quick
+            test_httpd_read_deadline;
         ] );
       ( "event",
         [

@@ -127,7 +127,7 @@ let test_old_fault_does_not_fire () =
 
 let test_empty_log () =
   let alerts = Slo.evaluate [] in
-  check_int "every default spec evaluated" 5 (List.length alerts);
+  check_int "every default spec evaluated" 6 (List.length alerts);
   check_bool "nothing fires on silence" true (Slo.firing alerts = [])
 
 (* ---- fault markers -> expected objectives ---- *)
@@ -228,7 +228,7 @@ let test_to_json_schema () =
     check_bool "coverage listed firing" true (List.mem (Jsonx.Str "coverage") names)
   | _ -> Alcotest.fail "no firing list");
   (match Jsonx.member "alerts" v with
-  | Some (Jsonx.Arr alerts) -> check_int "one alert per default spec" 5 (List.length alerts)
+  | Some (Jsonx.Arr alerts) -> check_int "one alert per default spec" 6 (List.length alerts)
   | _ -> Alcotest.fail "no alerts list");
   (* and a clean log is ok: true with an empty firing list *)
   let clean = List.init 4 (fun i -> ev ~epoch:i ~ts:(s i) "board" "board.publish") in
